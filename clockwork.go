@@ -1,0 +1,308 @@
+// Package clockwork is a Go reproduction of "Serving DNNs like
+// Clockwork: Performance Predictability from the Bottom Up" (Gujarati et
+// al., OSDI 2020): a distributed model serving system that consolidates
+// every performance-relevant choice in a central controller so that DNN
+// inference's natural determinism survives all the way to the client,
+// yielding tail latencies that track SLOs at the 99.99th+ percentile.
+//
+// The hardware substrate (GPU execution, PCIe transfers, cluster
+// network) is simulated and calibrated against the paper's published
+// profiles (Appendix A), and the whole system runs on a deterministic
+// virtual clock: an 8-hour trace replays in seconds, bit-identically for
+// a given seed. See DESIGN.md for the substitution rationale and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	sys := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1})
+//	sys.RegisterModel("my-resnet", "resnet50_v1b")
+//	sys.Submit("my-resnet", 100*time.Millisecond, func(r clockwork.Result) {
+//		fmt.Println(r.Success, r.Latency)
+//	})
+//	sys.RunFor(time.Second)
+package clockwork
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/baseline"
+	"clockwork/internal/core"
+	"clockwork/internal/modelir"
+	"clockwork/internal/modelzoo"
+)
+
+// Policy selects the serving policy.
+type Policy string
+
+// Available policies: the paper's system and its two baselines (§6.1).
+const (
+	PolicyClockwork Policy = "clockwork"
+	PolicyClipper   Policy = "clipper"
+	PolicyINFaaS    Policy = "infaas"
+)
+
+// Config configures a serving system. The zero value is a single
+// Clockwork worker with one GPU and the paper's defaults.
+type Config struct {
+	// Workers is the number of worker machines (default 1).
+	Workers int
+	// GPUsPerWorker is the number of GPUs per worker (default 1).
+	GPUsPerWorker int
+	// Policy selects the scheduler (default PolicyClockwork).
+	Policy Policy
+	// Seed makes runs reproducible; equal seeds give identical runs.
+	Seed uint64
+	// Lookahead is the controller's scheduling horizon (default 5ms).
+	Lookahead time.Duration
+	// PageCacheBytes overrides per-GPU weight-cache capacity
+	// (default: 32GB device memory minus workspace and IO staging).
+	PageCacheBytes int64
+	// ExactTiming disables the hardware noise model, making action
+	// durations exactly equal to their profiles (useful in tests).
+	ExactTiming bool
+	// MetricsInterval buckets the time-series metrics (default 1min).
+	MetricsInterval time.Duration
+}
+
+// Result is the client-observed outcome of one inference request.
+type Result struct {
+	// Success reports whether the inference executed and returned.
+	Success bool
+	// Reason explains failures: "cancelled" (admission control
+	// determined the SLO unmeetable), "rejected" (a worker could not
+	// honour the schedule), or "timeout".
+	Reason string
+	// Latency is the end-to-end client-observed latency.
+	Latency time.Duration
+	// Batch is the batch size the request executed in.
+	Batch int
+	// ColdStart reports whether the model was not GPU-resident when the
+	// request arrived.
+	ColdStart bool
+}
+
+// System is a fully wired serving deployment on a virtual clock.
+type System struct {
+	cluster *core.Cluster
+}
+
+// New constructs a serving system.
+func New(cfg Config) *System {
+	ccfg := core.ClusterConfig{
+		Workers:         cfg.Workers,
+		GPUsPerWorker:   cfg.GPUsPerWorker,
+		Seed:            cfg.Seed,
+		PageCacheBytes:  cfg.PageCacheBytes,
+		NoNoise:         cfg.ExactTiming,
+		MetricsInterval: cfg.MetricsInterval,
+		Controller:      core.Config{Lookahead: cfg.Lookahead},
+	}
+	switch cfg.Policy {
+	case "", PolicyClockwork:
+		// default scheduler
+	case PolicyClipper, PolicyINFaaS:
+		// The baselines live in internal/baseline; wire through the
+		// same helper the experiments use.
+		return &System{cluster: newBaselineCluster(string(cfg.Policy), ccfg)}
+	default:
+		panic(fmt.Sprintf("clockwork: unknown policy %q", cfg.Policy))
+	}
+	return &System{cluster: core.NewCluster(ccfg)}
+}
+
+// RegisterModel makes a model instance servable. zooModel names an entry
+// of the embedded catalogue (see ZooModels); instanceName is the name
+// requests refer to. It returns an error for unknown catalogue entries.
+func (s *System) RegisterModel(instanceName, zooModel string) error {
+	m, ok := modelzoo.ByName(zooModel)
+	if !ok {
+		return fmt.Errorf("clockwork: unknown zoo model %q", zooModel)
+	}
+	s.cluster.RegisterModel(instanceName, m)
+	return nil
+}
+
+// Graph re-exports the model-definition IR so callers can describe
+// custom architectures (the role ONNX plays in the paper, §5.1) and
+// serve them alongside catalogue models.
+type Graph = modelir.Graph
+
+// Layer constructors for custom Graphs.
+type (
+	// Conv2D is a 2D convolution with "same" padding.
+	Conv2D = modelir.Conv2D
+	// Pool2D is spatial pooling.
+	Pool2D = modelir.Pool2D
+	// Dense is a fully connected layer.
+	Dense = modelir.Dense
+	// Activation is an elementwise nonlinearity.
+	Activation = modelir.Activation
+	// GlobalPool collapses spatial dimensions.
+	GlobalPool = modelir.GlobalPool
+	// TensorShape is a (channels, height, width) shape.
+	TensorShape = modelir.Shape
+	// ModelLayer is the operator interface custom layers implement.
+	ModelLayer = modelir.Layer
+)
+
+// RegisterCustomModel compiles a user-defined graph (§5.1: weights blob,
+// per-batch kernels, memory metadata, profiling seed — all derived from
+// the abstract definition) and registers it under the graph's name.
+func (s *System) RegisterCustomModel(g *Graph) error {
+	m, err := modelir.Compile(g, modelir.DefaultCalibration)
+	if err != nil {
+		return err
+	}
+	s.cluster.RegisterModel(m.Name, m)
+	return nil
+}
+
+// RegisterCopies registers n instances of zooModel named "<base>#i" and
+// returns their instance names.
+func (s *System) RegisterCopies(base, zooModel string, n int) ([]string, error) {
+	m, ok := modelzoo.ByName(zooModel)
+	if !ok {
+		return nil, fmt.Errorf("clockwork: unknown zoo model %q", zooModel)
+	}
+	return s.cluster.RegisterCopies(base, m, n), nil
+}
+
+// Submit issues an inference request with the given SLO. onDone (may be
+// nil) runs when the response reaches the client.
+func (s *System) Submit(model string, slo time.Duration, onDone func(Result)) {
+	s.cluster.Submit(model, slo, func(r core.Response, l time.Duration) {
+		if onDone == nil {
+			return
+		}
+		onDone(Result{
+			Success:   r.Success,
+			Reason:    r.Reason,
+			Latency:   l,
+			Batch:     r.Batch,
+			ColdStart: r.ColdStart,
+		})
+	})
+}
+
+// RunFor advances virtual time by d, executing everything due in that
+// span.
+func (s *System) RunFor(d time.Duration) { s.cluster.RunFor(d) }
+
+// Now returns the elapsed virtual time.
+func (s *System) Now() time.Duration { return s.cluster.Eng.Now().Duration() }
+
+// After schedules fn at now+d on the virtual clock — the hook workload
+// generators use to pace themselves.
+func (s *System) After(d time.Duration, fn func()) {
+	s.cluster.Eng.After(d, fn)
+}
+
+// Summary condenses the run's client-observed metrics.
+type Summary struct {
+	Requests  uint64
+	Succeeded uint64
+	Failed    uint64
+	// SLOMisses counts successful responses that exceeded their SLO.
+	SLOMisses uint64
+	// Cancelled counts requests rejected in advance by admission
+	// control; Rejected counts worker-side schedule misses.
+	Cancelled uint64
+	Rejected  uint64
+
+	P50, P99, P9999, Max time.Duration
+	// GoodputMean is within-SLO responses per second over the run.
+	GoodputMean float64
+	// ColdStarts counts requests whose model was not resident.
+	ColdStarts uint64
+}
+
+// Summary returns current aggregate metrics.
+func (s *System) Summary() Summary {
+	m := s.cluster.Metrics
+	st := s.cluster.Ctl.Stats()
+	elapsed := s.Now().Seconds()
+	var goodput float64
+	if elapsed > 0 {
+		goodput = float64(m.Goodput.TotalCount()) / elapsed
+	}
+	return Summary{
+		Requests:    st.Requests,
+		Succeeded:   st.Succeeded,
+		Failed:      m.Failures.Value(),
+		SLOMisses:   m.SLOMisses.Value(),
+		Cancelled:   st.Cancelled,
+		Rejected:    st.Rejected,
+		P50:         m.LatencyAll.Percentile(50),
+		P99:         m.LatencyAll.Percentile(99),
+		P9999:       m.LatencyAll.Percentile(99.99),
+		Max:         m.LatencyAll.Max(),
+		GoodputMean: goodput,
+		ColdStarts:  st.ColdStart,
+	}
+}
+
+// LatencyPercentile returns the client-observed latency at percentile p
+// (0–100) across all requests so far.
+func (s *System) LatencyPercentile(p float64) time.Duration {
+	return s.cluster.Metrics.LatencyAll.Percentile(p)
+}
+
+// Cluster exposes the underlying cluster for advanced use (experiment
+// harnesses); most callers never need it.
+func (s *System) Cluster() *core.Cluster { return s.cluster }
+
+// ZooModels returns the names of the embedded model catalogue
+// (the paper's Appendix A, Table 1).
+func ZooModels() []string {
+	all := modelzoo.All()
+	names := make([]string, len(all))
+	for i, m := range all {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ModelSpec describes one catalogue entry.
+type ModelSpec struct {
+	Name       string
+	Family     string
+	WeightsMB  float64
+	InputKB    float64
+	OutputKB   float64
+	TransferMs float64
+	// ExecMs holds execution latency at batch sizes 1, 2, 4, 8, 16.
+	ExecMs [5]float64
+}
+
+// ZooInfo returns the catalogue entry for name.
+func ZooInfo(name string) (ModelSpec, bool) {
+	m, ok := modelzoo.ByName(name)
+	if !ok {
+		return ModelSpec{}, false
+	}
+	return ModelSpec{
+		Name:       m.Name,
+		Family:     m.Family,
+		WeightsMB:  m.WeightsMB,
+		InputKB:    m.InputKB,
+		OutputKB:   m.OutputKB,
+		TransferMs: m.TransferMs,
+		ExecMs:     m.ExecMs,
+	}, true
+}
+
+// newBaselineCluster wires a baseline policy into a cluster: baselines
+// disable admission control, and the Clipper-like system additionally
+// runs workers in best-effort (concurrent EXEC) mode.
+func newBaselineCluster(policy string, cfg core.ClusterConfig) *core.Cluster {
+	cfg.Controller.DisableAdmissionControl = true
+	switch policy {
+	case string(PolicyClipper):
+		cfg.Scheduler = baseline.NewClipper()
+		cfg.WorkerBestEffort = true
+	case string(PolicyINFaaS):
+		cfg.Scheduler = baseline.NewINFaaS()
+	}
+	return core.NewCluster(cfg)
+}

@@ -1,0 +1,164 @@
+package clockwork
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPIServing(t *testing.T) {
+	sys := New(Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true, Seed: 1})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	sys.Submit("m", 100*time.Millisecond, func(r Result) { got = r })
+	sys.RunFor(100 * time.Millisecond)
+	if !got.Success || !got.ColdStart {
+		t.Fatalf("result: %+v", got)
+	}
+	if got.Latency <= 0 {
+		t.Fatal("no latency measured")
+	}
+	s := sys.Summary()
+	if s.Requests != 1 || s.Succeeded != 1 || s.ColdStarts != 1 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.GoodputMean <= 0 {
+		t.Fatal("no goodput")
+	}
+	if sys.LatencyPercentile(50) != got.Latency {
+		t.Fatal("percentile mismatch for single request")
+	}
+	if sys.Now() < 100*time.Millisecond {
+		t.Fatal("virtual time did not advance")
+	}
+	if sys.Cluster() == nil {
+		t.Fatal("cluster accessor nil")
+	}
+}
+
+func TestPublicAPIUnknownModel(t *testing.T) {
+	sys := New(Config{})
+	if err := sys.RegisterModel("m", "not-a-model"); err == nil {
+		t.Fatal("expected error for unknown zoo model")
+	}
+	if _, err := sys.RegisterCopies("m", "not-a-model", 3); err == nil {
+		t.Fatal("expected error for unknown zoo model")
+	}
+}
+
+func TestPublicAPICopies(t *testing.T) {
+	sys := New(Config{ExactTiming: true})
+	names, err := sys.RegisterCopies("x", "googlenet", 3)
+	if err != nil || len(names) != 3 {
+		t.Fatalf("copies: %v %v", names, err)
+	}
+	done := 0
+	for _, n := range names {
+		sys.Submit(n, 100*time.Millisecond, func(r Result) {
+			if r.Success {
+				done++
+			}
+		})
+	}
+	sys.RunFor(time.Second)
+	if done != 3 {
+		t.Fatalf("served %d/3", done)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	for _, p := range []Policy{PolicyClockwork, PolicyClipper, PolicyINFaaS} {
+		sys := New(Config{Policy: p, ExactTiming: true})
+		if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		sys.Submit("m", 500*time.Millisecond, func(r Result) { ok = r.Success })
+		sys.RunFor(time.Second)
+		if !ok {
+			t.Fatalf("policy %s failed to serve", p)
+		}
+	}
+}
+
+func TestPublicAPIUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Policy: "magic"})
+}
+
+func TestPublicAPIAfterHook(t *testing.T) {
+	sys := New(Config{ExactTiming: true})
+	fired := false
+	sys.After(10*time.Millisecond, func() { fired = true })
+	sys.RunFor(20 * time.Millisecond)
+	if !fired {
+		t.Fatal("After hook did not fire")
+	}
+}
+
+func TestZooAccessors(t *testing.T) {
+	names := ZooModels()
+	if len(names) != 64 {
+		t.Fatalf("zoo size = %d", len(names))
+	}
+	spec, ok := ZooInfo("resnet50_v1b")
+	if !ok || spec.WeightsMB != 102.1 || spec.Family != "ResNet" {
+		t.Fatalf("spec: %+v", spec)
+	}
+	if _, ok := ZooInfo("ghost"); ok {
+		t.Fatal("phantom zoo entry")
+	}
+}
+
+func TestRegisterCustomModel(t *testing.T) {
+	sys := New(Config{ExactTiming: true})
+	g := &Graph{
+		Name:  "my-custom-net",
+		Input: TensorShape{C: 3, H: 64, W: 64},
+		Layers: []ModelLayer{
+			Conv2D{OutChannels: 32, Kernel: 3},
+			Activation{},
+			GlobalPool{},
+			Dense{Out: 10},
+		},
+	}
+	if err := sys.RegisterCustomModel(g); err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	sys.Submit("my-custom-net", 100*time.Millisecond, func(r Result) { ok = r.Success })
+	sys.RunFor(time.Second)
+	if !ok {
+		t.Fatal("custom model failed to serve")
+	}
+	// Invalid graphs are rejected with an error, not a panic.
+	if err := sys.RegisterCustomModel(&Graph{Name: "bad"}); err == nil {
+		t.Fatal("expected error for invalid graph")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (uint64, time.Duration) {
+		sys := New(Config{Seed: 99})
+		if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			sys.Submit("m", 100*time.Millisecond, nil)
+			sys.RunFor(5 * time.Millisecond)
+		}
+		sys.RunFor(time.Second)
+		s := sys.Summary()
+		return s.Succeeded, s.Max
+	}
+	n1, m1 := run()
+	n2, m2 := run()
+	if n1 != n2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", n1, m1, n2, m2)
+	}
+}

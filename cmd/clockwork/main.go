@@ -1,0 +1,116 @@
+// Command clockwork regenerates the paper's tables and figures on the
+// simulated cluster and prints their data.
+//
+// Examples:
+//
+//	clockwork -exp fig2a
+//	clockwork -exp fig5 -dur 20s
+//	clockwork -exp fig6 -models 3600 -minutes 60
+//	clockwork -exp fig8 -minutes 60 -functions 17000 -copies 66 -workers 6
+//	clockwork -exp scale
+//	clockwork -exp ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clockwork/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment: fig2a fig2b fig5 fig6 fig7 fig7iso fig8 fig9 scale ablations all")
+		seed      = flag.Uint64("seed", 42, "experiment RNG seed")
+		dur       = flag.Duration("dur", 0, "per-cell duration for fig5/ablations (0 = default)")
+		minutes   = flag.Int("minutes", 0, "trace minutes for fig6/fig8/fig9/scale (0 = default)")
+		models    = flag.Int("models", 0, "model count for fig6/fig7 (0 = default)")
+		functions = flag.Int("functions", 0, "MAF function count for fig8/fig9/scale (0 = default)")
+		copies    = flag.Int("copies", 0, "instances per zoo model for fig8/fig9/scale (0 = default)")
+		workers   = flag.Int("workers", 0, "worker machines (0 = default)")
+		gpus      = flag.Int("gpus", 0, "GPUs per worker (0 = default)")
+		rate      = flag.Float64("rate", 0, "total rate for fig7 (0 = default)")
+		rateScale = flag.Float64("ratescale", 0, "MAF trace rate multiplier (0 = default)")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var run func(name string)
+	run = func(name string) {
+		switch name {
+		case "fig2a":
+			fmt.Println(experiments.RunFig2a(experiments.Fig2aConfig{Seed: *seed}))
+		case "fig2b":
+			fmt.Println(experiments.RunFig2b(experiments.Fig2bConfig{Seed: *seed, Duration: *dur}))
+		case "fig5":
+			fmt.Println(experiments.RunFig5(experiments.Fig5Config{
+				Seed: *seed, Duration: *dur, Models: *models,
+			}))
+		case "fig6":
+			cfg := experiments.Fig6Config{Seed: *seed, TotalModels: *models}
+			if *minutes > 0 {
+				cfg.Duration = time.Duration(*minutes) * time.Minute
+			}
+			fmt.Println(experiments.RunFig6(cfg))
+		case "fig7":
+			for _, nr := range []struct {
+				n int
+				r float64
+			}{{12, 600}, {12, 1200}, {12, 2400}, {48, 600}, {48, 1200}, {48, 2400}} {
+				cfg := experiments.Fig7Config{Seed: *seed, Models: nr.n, TotalRate: nr.r, Workers: *workers}
+				if *models > 0 {
+					cfg.Models = *models
+				}
+				if *rate > 0 {
+					cfg.TotalRate = *rate
+				}
+				fmt.Println(experiments.RunFig7(cfg))
+				if *models > 0 || *rate > 0 {
+					break // single custom configuration
+				}
+			}
+		case "fig7iso":
+			for _, mc := range []struct{ m, c int }{{0, 0}, {12, 16}, {48, 4}} {
+				fmt.Println(experiments.RunFig7Isolation(experiments.Fig7IsoConfig{
+					Seed: *seed, BCModels: mc.m, BCConc: mc.c, Workers: *workers,
+				}))
+			}
+		case "fig8":
+			fmt.Println(experiments.RunFig8(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
+		case "fig9":
+			fmt.Println(experiments.RunFig9(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
+		case "scale":
+			fmt.Println(experiments.RunScale(experiments.ScaleConfig{
+				Seed: *seed, Workers: *workers, GPUsPerWorker: *gpus,
+				Functions: *functions, Minutes: *minutes, Copies: *copies,
+				RateScale: *rateScale,
+			}))
+		case "ablations":
+			fmt.Println(experiments.RunAblationLookahead(*dur, *seed))
+			fmt.Println(experiments.RunAblationPredictor(*dur, *seed))
+			fmt.Println(experiments.RunAblationLoadPolicy(*dur, *seed))
+			fmt.Println(experiments.RunAblationPaging(0, *seed))
+		case "all":
+			for _, n := range []string{"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "scale", "ablations"} {
+				run(n)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	run(*exp)
+}
+
+func fig8Config(seed uint64, workers, gpus, copies, functions, minutes int, rateScale float64) experiments.Fig8Config {
+	return experiments.Fig8Config{
+		Seed: seed, Workers: workers, GPUsPerWorker: gpus,
+		Copies: copies, Functions: functions, Minutes: minutes,
+		RateScale: rateScale,
+	}
+}

@@ -1,0 +1,39 @@
+// Command modelzoo prints the embedded model catalogue — the paper's
+// Appendix A, Table 1 — optionally filtered by family.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"clockwork/internal/modelzoo"
+)
+
+func main() {
+	family := flag.String("family", "", "print only this model family")
+	flag.Parse()
+
+	models := modelzoo.All()
+	if *family != "" {
+		models = modelzoo.ByFamily(*family)
+		if len(models) == 0 {
+			fmt.Fprintf(os.Stderr, "no models in family %q; families: %v\n", *family, modelzoo.Families())
+			os.Exit(2)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "family\tmodel\tin kB\tout kB\tweights MB\ttransfer ms\tB1\tB2\tB4\tB8\tB16")
+	for _, m := range models {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.2f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			m.Family, m.Name, m.InputKB, m.OutputKB, m.WeightsMB, m.TransferMs,
+			m.ExecMs[0], m.ExecMs[1], m.ExecMs[2], m.ExecMs[3], m.ExecMs[4])
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d models, %d families\n", len(models), len(modelzoo.Families()))
+}

@@ -1,0 +1,42 @@
+// Command tracegen synthesises a Microsoft-Azure-Functions-like trace
+// (the §6.5 workload) and prints its shape: per-class function counts,
+// aggregate request rate per minute, and summary statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"clockwork/internal/rng"
+	"clockwork/internal/workload"
+)
+
+func main() {
+	var (
+		functions = flag.Int("functions", 1000, "number of function workloads")
+		minutes   = flag.Int("minutes", 60, "trace duration in minutes")
+		seed      = flag.Uint64("seed", 42, "RNG seed")
+		scale     = flag.Float64("scale", 1.0, "rate multiplier")
+	)
+	flag.Parse()
+
+	tr := workload.SynthesizeMAF(rng.NewSource(*seed).Stream("tracegen"), workload.MAFConfig{
+		Functions: *functions,
+		Minutes:   *minutes,
+		RateScale: *scale,
+	})
+
+	fmt.Printf("MAF-like trace: %d functions × %d minutes (seed %d, ×%.2f)\n",
+		*functions, *minutes, *seed, *scale)
+	counts := tr.KindCounts()
+	for _, k := range []workload.FunctionKind{
+		workload.KindHeavy, workload.KindCold, workload.KindBursty, workload.KindPeriodic,
+	} {
+		fmt.Printf("  %-9s %6d functions\n", k, counts[k])
+	}
+	fmt.Printf("mean rate %.1f r/s\n\n", tr.TotalRate())
+	fmt.Println("minute  r/s")
+	for m := 0; m < tr.Minutes; m++ {
+		fmt.Printf("%6d  %.1f\n", m, tr.RateAtMinute(m))
+	}
+}

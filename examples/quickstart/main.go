@@ -1,0 +1,53 @@
+// Quickstart: serve a ResNet50 with a 100ms SLO and watch the cold
+// start, warm latency, and admission control in action.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork"
+)
+
+func main() {
+	sys := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1, Seed: 1})
+	if err := sys.RegisterModel("demo", "resnet50_v1b"); err != nil {
+		panic(err)
+	}
+
+	report := func(tag string) func(clockwork.Result) {
+		return func(r clockwork.Result) {
+			status := "ok"
+			if !r.Success {
+				status = "failed:" + r.Reason
+			}
+			fmt.Printf("%-22s %-14s latency=%-12v batch=%d cold=%v\n",
+				tag, status, r.Latency, r.Batch, r.ColdStart)
+		}
+	}
+
+	// 1. The first request is a cold start: the controller schedules a
+	// LOAD (≈8.3ms weight transfer) before the INFER (≈2.8ms).
+	sys.Submit("demo", 100*time.Millisecond, report("cold start"))
+	sys.RunFor(50 * time.Millisecond)
+
+	// 2. Warm requests skip the transfer.
+	sys.Submit("demo", 100*time.Millisecond, report("warm"))
+	sys.RunFor(50 * time.Millisecond)
+
+	// 3. A burst of eight: Clockwork batches them (larger batch sizes
+	// have earlier required start times, so batching wins).
+	for i := 0; i < 8; i++ {
+		sys.Submit("demo", 100*time.Millisecond, report(fmt.Sprintf("burst[%d]", i)))
+	}
+	sys.RunFor(100 * time.Millisecond)
+
+	// 4. An unmeetable SLO (1ms < the 2.8ms execution time) is rejected
+	// in advance — no GPU cycles are wasted on it.
+	sys.Submit("demo", time.Millisecond, report("unmeetable SLO"))
+	sys.RunFor(50 * time.Millisecond)
+
+	s := sys.Summary()
+	fmt.Printf("\nsummary: %d requests, %d ok, %d cancelled, p50=%v p99=%v max=%v\n",
+		s.Requests, s.Succeeded, s.Cancelled, s.P50, s.P99, s.Max)
+}

@@ -1,0 +1,74 @@
+package action
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clockwork/internal/simclock"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{Load: "LOAD", Unload: "UNLOAD", Infer: "INFER", Type(99): "Type(99)"}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%d: got %q want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	all := []Status{Success, RejectedLate, RejectedNoPages, RejectedNotLoaded,
+		RejectedAlreadyLoaded, RejectedNotResident, RejectedBusy, RejectedIO}
+	seen := map[string]bool{}
+	for _, s := range all {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Fatalf("status %d: bad or duplicate string %q", s, str)
+		}
+		seen[str] = true
+	}
+	if Status(200).String() != "Status(200)" {
+		t.Fatal("unknown status string wrong")
+	}
+	if !Success.IsSuccess() {
+		t.Fatal("Success must be success")
+	}
+	for _, s := range all[1:] {
+		if s.IsSuccess() {
+			t.Fatalf("%v must not be success", s)
+		}
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	a := &Action{Earliest: simclock.Time(10), Latest: simclock.Time(20)}
+	for _, tc := range []struct {
+		t    simclock.Time
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {20, true}, {21, false},
+	} {
+		if got := a.WindowContains(tc.t); got != tc.want {
+			t.Errorf("WindowContains(%v) = %v", tc.t, got)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	inf := &Action{ID: 7, Type: Infer, Model: "resnet50", Batch: 4, GPU: 1}
+	if s := inf.String(); !strings.Contains(s, "INFER#7") || !strings.Contains(s, "b4") {
+		t.Fatalf("infer string: %q", s)
+	}
+	ld := &Action{ID: 8, Type: Load, Model: "resnet50"}
+	if s := ld.String(); !strings.Contains(s, "LOAD#8") {
+		t.Fatalf("load string: %q", s)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{ActionID: 3, Type: Load, Status: RejectedNoPages, Model: "m", Duration: time.Millisecond}
+	if s := r.String(); !strings.Contains(s, "rejected:no-pages") {
+		t.Fatalf("result string: %q", s)
+	}
+}

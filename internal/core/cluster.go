@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/gpu"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/network"
+	"clockwork/internal/rng"
+	"clockwork/internal/simclock"
+	"clockwork/internal/tracelog"
+	"clockwork/internal/worker"
+)
+
+// ClusterConfig assembles a whole serving system: workers, controller,
+// network, and client-side metrics.
+type ClusterConfig struct {
+	Workers       int
+	GPUsPerWorker int
+
+	// Worker geometry overrides (zero = paper defaults).
+	DeviceMemBytes int64
+	PageCacheBytes int64
+
+	// Noise selects the hardware timing noise model; the zero value
+	// means gpu.DefaultNoise (use gpu.NoNoise for exact-schedule tests
+	// by setting NoNoise=true).
+	Noise   gpu.Noise
+	NoNoise bool
+
+	Seed uint64
+
+	// Controller configuration and scheduler. A nil Scheduler selects
+	// the paper's ClockworkScheduler.
+	Controller Config
+	Scheduler  Scheduler
+
+	// Network shape. Client bandwidth 0 = unconstrained aggregate
+	// (clients live on many machines); worker links default to 10Gbps.
+	NetLatency      time.Duration
+	WorkerBandwidth float64
+	ClientBandwidth float64
+
+	// ZeroLengthInputs reproduces the §6.5 scale experiment: clients
+	// send zero-length inputs and workers generate inputs on arrival.
+	ZeroLengthInputs bool
+
+	// WorkerBestEffort switches workers into the baseline thread-pool
+	// execution mode (concurrent EXECs); used with baseline schedulers.
+	WorkerBestEffort bool
+
+	// MetricsInterval buckets time series (default 1 minute, matching
+	// the paper's plots).
+	MetricsInterval time.Duration
+
+	// Trace, if non-nil, captures the controller's full decision stream
+	// (requests, actions, results, responses) for §7-style performance
+	// clarity: per-request time breakdowns and action audits.
+	Trace *tracelog.Log
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.GPUsPerWorker <= 0 {
+		c.GPUsPerWorker = 1
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = time.Minute
+	}
+	var zero gpu.Noise
+	if c.Noise == zero && !c.NoNoise {
+		c.Noise = gpu.DefaultNoise
+	}
+	if c.NoNoise {
+		c.Noise = gpu.NoNoise
+	}
+	if c.NetLatency <= 0 {
+		c.NetLatency = network.DefaultLatency
+	}
+	if c.WorkerBandwidth <= 0 {
+		c.WorkerBandwidth = network.DefaultBandwidth
+	}
+	return c
+}
+
+// Cluster is a fully wired Clockwork deployment on a single event engine.
+type Cluster struct {
+	Eng     *simclock.Engine
+	Ctl     *Controller
+	Workers []*worker.Worker
+	Metrics *Metrics
+
+	cfg        ClusterConfig
+	clientLink *network.Duplex
+}
+
+// NewCluster builds a deployment. Register models with RegisterModel (or
+// RegisterCopies), then drive load via Submit and run the engine.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	cfg = cfg.withDefaults()
+	eng := simclock.NewEngine()
+	src := rng.NewSource(cfg.Seed)
+
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = NewClockworkScheduler()
+	}
+	ctl := NewController(eng, cfg.Controller, sched)
+
+	cl := &Cluster{
+		Eng:        eng,
+		Ctl:        ctl,
+		cfg:        cfg,
+		clientLink: network.NewDuplex(eng),
+		Metrics:    newMetrics(cfg.MetricsInterval),
+	}
+	cl.clientLink.AtoB.Latency = cfg.NetLatency
+	cl.clientLink.BtoA.Latency = cfg.NetLatency
+	cl.clientLink.AtoB.BytesPerSecond = cfg.ClientBandwidth
+	cl.clientLink.BtoA.BytesPerSecond = cfg.ClientBandwidth
+
+	for i := 0; i < cfg.Workers; i++ {
+		wcfg := worker.Config{
+			ID:             i,
+			GPUs:           cfg.GPUsPerWorker,
+			DeviceMemBytes: cfg.DeviceMemBytes,
+			PageCacheBytes: cfg.PageCacheBytes,
+			Noise:          cfg.Noise,
+			BestEffort:     cfg.WorkerBestEffort,
+		}.Resolved()
+		w := worker.New(eng, src, wcfg)
+		link := network.NewDuplex(eng)
+		link.AtoB.Latency = cfg.NetLatency
+		link.BtoA.Latency = cfg.NetLatency
+		link.AtoB.BytesPerSecond = cfg.WorkerBandwidth
+		link.BtoA.BytesPerSecond = cfg.WorkerBandwidth
+
+		wi := w
+		li := link
+		ctl.AddWorker(i, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
+			func(a *action.Action, payloadBytes int64) {
+				if cl.cfg.ZeroLengthInputs {
+					payloadBytes = 0
+				}
+				if cl.cfg.Trace != nil {
+					cl.cfg.Trace.Append(tracelog.Event{
+						At: eng.Now().Duration(), Kind: tracelog.KindAction,
+						ActionID: a.ID, ActionType: a.Type.String(),
+						Model: a.Model, Batch: a.Batch, RequestIDs: a.RequestIDs,
+						Worker: wi.ID(), GPU: a.GPU,
+						Start: a.Earliest.Duration(), End: a.Latest.Duration(),
+					})
+				}
+				li.AtoB.Send(payloadBytes, func() { wi.Submit(a) })
+			})
+		w.OnResult = func(r action.Result) {
+			var bytes int64
+			if r.Type == action.Infer && r.Status.IsSuccess() {
+				bytes = int64(len(r.RequestIDs)) * outputBytesOf(cl, r.Model)
+			}
+			li.BtoA.Send(bytes, func() {
+				if cl.cfg.Trace != nil {
+					cl.cfg.Trace.Append(tracelog.Event{
+						At: eng.Now().Duration(), Kind: tracelog.KindResult,
+						ActionID: r.ActionID, ActionType: r.Type.String(),
+						Model: r.Model, Batch: r.Batch, RequestIDs: r.RequestIDs,
+						Worker: r.WorkerID, GPU: r.GPU,
+						Start: r.Start.Duration(), End: r.End.Duration(),
+						Duration: r.Duration, Status: r.Status.String(),
+					})
+				}
+				ctl.HandleResult(r)
+			})
+		}
+		cl.Workers = append(cl.Workers, w)
+		cl.Metrics.attachGPUs(w)
+	}
+	return cl
+}
+
+func outputBytesOf(cl *Cluster, model string) int64 {
+	if mi, ok := cl.Ctl.Model(model); ok {
+		return mi.Zoo().OutputBytes()
+	}
+	return 0
+}
+
+// Config returns the effective cluster configuration.
+func (cl *Cluster) Config() ClusterConfig { return cl.cfg }
+
+// RegisterModel announces one model instance to the controller and every
+// worker (workers pre-load all models into host RAM, §5.1).
+func (cl *Cluster) RegisterModel(name string, zoo *modelzoo.Model) {
+	cl.Ctl.RegisterModel(name, zoo)
+	for _, w := range cl.Workers {
+		w.RegisterModel(name, zoo)
+	}
+}
+
+// RegisterCopies registers n independent instances of zoo named
+// "<base>#0" … "<base>#n-1" and returns their names — the paper's
+// "15 separate copies of ResNet50" pattern.
+func (cl *Cluster) RegisterCopies(base string, zoo *modelzoo.Model, n int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("%s#%d", base, i)
+		cl.RegisterModel(names[i], zoo)
+	}
+	return names
+}
+
+// Submit issues one client request. The input travels client→controller
+// over the shared client link; the response is delivered back to the
+// client, where latency is measured and recorded. onDone may be nil.
+func (cl *Cluster) Submit(model string, slo time.Duration, onDone func(Response, time.Duration)) {
+	sentAt := cl.Eng.Now()
+	mi, ok := cl.Ctl.Model(model)
+	if !ok {
+		panic("cluster: unregistered model " + model)
+	}
+	inputBytes := mi.Zoo().InputBytes()
+	if cl.cfg.ZeroLengthInputs {
+		inputBytes = 0
+	}
+	cl.clientLink.AtoB.Send(inputBytes, func() {
+		req := cl.Ctl.Submit(model, slo, func(resp Response) {
+			if cl.cfg.Trace != nil {
+				ok := resp.Success
+				cl.cfg.Trace.Append(tracelog.Event{
+					At: cl.Eng.Now().Duration(), Kind: tracelog.KindResponse,
+					RequestID: resp.RequestID, Model: resp.Model,
+					Success: &ok, Reason: resp.Reason, Batch: resp.Batch,
+				})
+			}
+			outBytes := mi.Zoo().OutputBytes()
+			if !resp.Success {
+				outBytes = 0
+			}
+			cl.clientLink.BtoA.Send(outBytes, func() {
+				latency := cl.Eng.Now().Sub(sentAt)
+				cl.Metrics.record(cl.Eng.Now(), resp, latency, slo)
+				if onDone != nil {
+					onDone(resp, latency)
+				}
+			})
+		})
+		if cl.cfg.Trace != nil {
+			cl.cfg.Trace.Append(tracelog.Event{
+				At: cl.Eng.Now().Duration(), Kind: tracelog.KindRequest,
+				RequestID: req.ID, Model: req.Model, SLO: req.SLO,
+			})
+		}
+	})
+}
+
+// RunFor advances the cluster by d.
+func (cl *Cluster) RunFor(d time.Duration) { cl.Eng.RunFor(d) }
+
+// RunUntil advances the cluster to instant t.
+func (cl *Cluster) RunUntil(t simclock.Time) { cl.Eng.RunUntil(t) }

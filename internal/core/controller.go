@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/predictor"
+	"clockwork/internal/simclock"
+)
+
+// Config parameterises the controller.
+type Config struct {
+	// Lookahead is how far into the future the controller keeps each
+	// executor scheduled (§5.3: 5ms by default).
+	Lookahead time.Duration
+	// ProfileWindow is the rolling measurement window per action key
+	// (§5.3: the past 10 actions).
+	ProfileWindow int
+	// LoadHorizon scales GPU capacity when computing Appendix B load
+	// priorities.
+	LoadHorizon time.Duration
+	// ResponseMargin is subtracted from each request's SLO to form its
+	// internal deadline, covering the result's return path (output
+	// transfer + network). Zero selects min(1ms, SLO/20) per request.
+	ResponseMargin time.Duration
+	// DisableAdmissionControl turns off Clockwork's cancel-in-advance
+	// behaviour. Baseline schedulers (Clipper/INFaaS style) set this:
+	// they treat the SLO as a soft goal and execute requests even after
+	// their deadlines have passed.
+	DisableAdmissionControl bool
+	// NetworkAllowance pads predicted LOAD completion times to cover the
+	// controller→worker hop, so an INFER whose window opens at a LOAD's
+	// ETA never races the transfer (default 500µs).
+	NetworkAllowance time.Duration
+}
+
+// Defaults from the paper.
+const (
+	DefaultLookahead   = 5 * time.Millisecond
+	DefaultLoadHorizon = 100 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.Lookahead <= 0 {
+		c.Lookahead = DefaultLookahead
+	}
+	if c.ProfileWindow <= 0 {
+		c.ProfileWindow = predictor.DefaultWindow
+	}
+	if c.LoadHorizon <= 0 {
+		c.LoadHorizon = DefaultLoadHorizon
+	}
+	if c.NetworkAllowance <= 0 {
+		c.NetworkAllowance = 500 * time.Microsecond
+	}
+	return c
+}
+
+// Scheduler is the decision-making brain plugged into the controller
+// (§5.3). The controller owns networking, state mirroring, timeouts and
+// response plumbing; the scheduler decides what runs where and when.
+type Scheduler interface {
+	// Attach gives the scheduler its controller before any events flow.
+	Attach(c *Controller)
+	// OnRequest fires after the controller has enqueued a new request.
+	OnRequest(r *Request)
+	// OnResult fires after the controller has updated its mirrors with
+	// a worker result.
+	OnResult(res action.Result)
+	// OnCancel fires after the controller cancelled a queued request
+	// whose SLO became unmeetable.
+	OnCancel(r *Request)
+}
+
+// Stats counts controller-side outcomes.
+type Stats struct {
+	Requests  uint64 // total received
+	Succeeded uint64
+	Cancelled uint64 // rejected in advance by the controller
+	Rejected  uint64 // action cancelled by a worker (misprediction)
+	ColdStart uint64 // requests whose model was not resident on arrival
+
+	ActionsInfer  uint64
+	ActionsLoad   uint64
+	ActionsUnload uint64
+	LoadFailures  uint64 // LOAD actions rejected by workers
+}
+
+// Controller is Clockwork's centralized controller.
+type Controller struct {
+	eng  *simclock.Engine
+	cfg  Config
+	schd Scheduler
+
+	workers []*workerHandle
+	gpus    []*GPUMirror
+	models  map[string]*ModelInfo
+
+	// activeModels is the set of models with at least one queued
+	// request (Appendix B's demand tracking works over this set).
+	activeModels map[*ModelInfo]bool
+
+	profile *predictor.Profile
+
+	nextRequestID uint64
+	nextActionID  uint64
+
+	pendingInfers map[uint64][]*Request
+
+	// Fig 9 telemetry: duration and completion-time prediction errors.
+	InferDuration   *predictor.ErrorTracker
+	LoadDuration    *predictor.ErrorTracker
+	InferCompletion *predictor.ErrorTracker
+	LoadCompletion  *predictor.ErrorTracker
+
+	stats Stats
+}
+
+// NewController returns a controller driving the given scheduler.
+func NewController(eng *simclock.Engine, cfg Config, schd Scheduler) *Controller {
+	c := &Controller{
+		eng:             eng,
+		cfg:             cfg.withDefaults(),
+		schd:            schd,
+		models:          make(map[string]*ModelInfo),
+		activeModels:    make(map[*ModelInfo]bool),
+		pendingInfers:   make(map[uint64][]*Request),
+		InferDuration:   predictor.NewErrorTracker(),
+		LoadDuration:    predictor.NewErrorTracker(),
+		InferCompletion: predictor.NewErrorTracker(),
+		LoadCompletion:  predictor.NewErrorTracker(),
+	}
+	c.profile = predictor.NewProfile(c.cfg.ProfileWindow)
+	schd.Attach(c)
+	return c
+}
+
+// Engine exposes the event engine (schedulers arm wake timers with it).
+func (c *Controller) Engine() *simclock.Engine { return c.eng }
+
+// Now returns the current instant.
+func (c *Controller) Now() simclock.Time { return c.eng.Now() }
+
+// Config returns the effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a copy of the outcome counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// GPUs returns all GPU mirrors across workers.
+func (c *Controller) GPUs() []*GPUMirror { return c.gpus }
+
+// AddWorker registers a worker's mirrors and its transport hook. The
+// cluster layer calls this during setup, exchanging page-cache geometry
+// like the startup handshake of §5.3.
+func (c *Controller) AddWorker(id, gpuCount int, pageCacheBytes, pageSize int64,
+	submit func(a *action.Action, payloadBytes int64)) {
+	wh := &workerHandle{id: id, submit: submit}
+	for i := 0; i < gpuCount; i++ {
+		m := newGPUMirror(id, i, pageCacheBytes, pageSize)
+		m.withWork = make(map[*ModelInfo]bool)
+		wh.gpus = append(wh.gpus, m)
+		c.gpus = append(c.gpus, m)
+	}
+	if id != len(c.workers) {
+		panic(fmt.Sprintf("core: workers must be added in ID order (got %d, want %d)", id, len(c.workers)))
+	}
+	c.workers = append(c.workers, wh)
+}
+
+// RegisterModel announces a model instance, seeding its action profiles
+// from offline profiling data (§5.1).
+func (c *Controller) RegisterModel(name string, zoo *modelzoo.Model) {
+	if zoo == nil {
+		panic("core: nil model")
+	}
+	if _, dup := c.models[name]; dup {
+		panic("core: duplicate model " + name)
+	}
+	mi := &ModelInfo{name: name, zoo: zoo, residentOn: make(map[*GPUMirror]bool)}
+	c.models[name] = mi
+	for _, b := range modelzoo.BatchSizes {
+		c.profile.Seed(predictor.Key{Op: "exec", Model: name, Batch: b}, zoo.ExecLatency(b))
+	}
+	c.profile.Seed(predictor.Key{Op: "load", Model: name}, zoo.Transfer())
+}
+
+// Model returns the registry entry for name.
+func (c *Controller) Model(name string) (*ModelInfo, bool) {
+	mi, ok := c.models[name]
+	return mi, ok
+}
+
+// ModelCount returns the number of registered instances.
+func (c *Controller) ModelCount() int { return len(c.models) }
+
+// ActiveModels returns the set of models with queued requests. The
+// returned map is live; schedulers must not mutate it.
+func (c *Controller) ActiveModels() map[*ModelInfo]bool { return c.activeModels }
+
+// EstimateExec predicts execution latency of (model, batch).
+func (c *Controller) EstimateExec(mi *ModelInfo, batch int) time.Duration {
+	return c.profile.Estimate(predictor.Key{Op: "exec", Model: mi.name, Batch: batch})
+}
+
+// EstimateLoad predicts the weight-transfer duration of model.
+func (c *Controller) EstimateLoad(mi *ModelInfo) time.Duration {
+	return c.profile.Estimate(predictor.Key{Op: "load", Model: mi.name})
+}
+
+// Submit accepts one client request. The cluster layer invokes this when
+// the request arrives at the controller over the network.
+func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Response)) *Request {
+	mi, ok := c.models[model]
+	if !ok {
+		panic("core: request for unregistered model " + model)
+	}
+	c.nextRequestID++
+	now := c.eng.Now()
+	margin := c.cfg.ResponseMargin
+	if margin <= 0 {
+		margin = time.Millisecond
+		if m := slo / 20; m < margin {
+			margin = m
+		}
+	}
+	r := &Request{
+		ID:          c.nextRequestID,
+		Model:       model,
+		SLO:         slo,
+		Arrival:     now,
+		InputBytes:  mi.zoo.InputBytes(),
+		OutputBytes: mi.zoo.OutputBytes(),
+		OnResponse:  onResponse,
+		deadline:    now.Add(slo - margin),
+		execEst:     c.EstimateExec(mi, 1),
+	}
+	r.coldStart = len(mi.residentOn) == 0
+	if r.coldStart {
+		c.stats.ColdStart++
+	}
+	c.stats.Requests++
+
+	mi.queue = append(mi.queue, r)
+	mi.demand += r.execEst
+	if len(mi.queue) == 1 {
+		c.activeModels[mi] = true
+		for g := range mi.residentOn {
+			g.withWork[mi] = true
+		}
+	}
+
+	// Cancel in advance at the last instant a batch-1 warm execution
+	// could still begin (§4.1: "cancels the request before performing
+	// any fruitless work"). Baselines execute late requests instead.
+	if !c.cfg.DisableAdmissionControl {
+		lastChance := r.deadline.Add(-r.execEst)
+		r.cancelTmr = c.eng.At(lastChance, func() { c.cancelRequest(mi, r) })
+	}
+
+	c.schd.OnRequest(r)
+	return r
+}
+
+// cancelRequest fails a still-queued request whose SLO is unmeetable.
+func (c *Controller) cancelRequest(mi *ModelInfo, r *Request) {
+	if r.state != stateQueued {
+		return
+	}
+	if !mi.removeRequest(r) {
+		return
+	}
+	mi.demand -= r.execEst
+	c.noteQueueMaybeEmpty(mi)
+	r.state = stateDone
+	c.stats.Cancelled++
+	c.respond(r, Response{
+		RequestID: r.ID, Model: r.Model, Success: false,
+		Reason: "cancelled", ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+	})
+	c.schd.OnCancel(r)
+}
+
+// timeoutRequest fails an in-flight request whose deadline passed before
+// its result arrived (the action was rejected or its result is late).
+func (c *Controller) timeoutRequest(r *Request) {
+	if r.state != stateInFlight {
+		return
+	}
+	r.state = stateDone
+	c.stats.Rejected++
+	c.respond(r, Response{
+		RequestID: r.ID, Model: r.Model, Success: false,
+		Reason: "timeout", ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+	})
+}
+
+func (c *Controller) noteQueueMaybeEmpty(mi *ModelInfo) {
+	if len(mi.queue) == 0 {
+		delete(c.activeModels, mi)
+		for g := range mi.residentOn {
+			delete(g.withWork, mi)
+		}
+	}
+}
+
+func (c *Controller) respond(r *Request, resp Response) {
+	if r.cancelTmr != nil {
+		r.cancelTmr.Stop()
+		r.cancelTmr = nil
+	}
+	if r.OnResponse != nil {
+		r.OnResponse(resp)
+	}
+}
+
+// ---- scheduler action emission ----
+
+// SendInfer dispatches a batch of queued requests as one INFER action on
+// mirror g. The requests must have been popped from the model's queue by
+// the scheduler (PopBatch); the controller handles demand bookkeeping,
+// window math, mirror updates, and transport.
+func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*Request,
+	earliest, latest simclock.Time) *action.Action {
+	if len(reqs) == 0 {
+		panic("core: SendInfer with no requests")
+	}
+	est := c.EstimateExec(mi, batch)
+	if est <= 0 {
+		panic("core: zero exec estimate for " + mi.name)
+	}
+	var inputs, outputs int64
+	for _, r := range reqs {
+		r.state = stateInFlight
+		mi.demand -= r.execEst
+		inputs += r.InputBytes
+		outputs += r.OutputBytes
+		// Re-arm the request's timer at its deadline: if the action is
+		// rejected by the worker (a timing misprediction), the client
+		// learns of the failure AT the deadline, never after — the
+		// paper's failed requests "timed out at 100ms".
+		if r.cancelTmr != nil {
+			r.cancelTmr.Stop()
+			r.cancelTmr = nil
+		}
+		if !c.cfg.DisableAdmissionControl {
+			req := r
+			r.cancelTmr = c.eng.At(r.deadline, func() { c.timeoutRequest(req) })
+		}
+	}
+	if mi.demand < 0 {
+		mi.demand = 0
+	}
+	c.noteQueueMaybeEmpty(mi)
+
+	c.nextActionID++
+	completion := simclock.Max(earliest, c.eng.Now()).Add(est)
+	a := &action.Action{
+		ID:                 c.nextActionID,
+		Type:               action.Infer,
+		GPU:                g.GPU,
+		Model:              mi.name,
+		Batch:              batch,
+		RequestIDs:         requestIDs(reqs),
+		Earliest:           earliest,
+		Latest:             latest,
+		ExpectedDuration:   est,
+		ExpectedCompletion: completion,
+		InputBytes:         inputs,
+		OutputBytes:        outputs,
+	}
+	g.ExecFreeAt = completion
+	g.inFlightInfers[mi.name]++
+	g.Pages.Touch(mi.name)
+	c.pendingInfers[a.ID] = reqs
+	c.stats.ActionsInfer++
+	c.workers[g.WorkerID].submit(a, inputs)
+	return a
+}
+
+// SendLoad dispatches a LOAD for mi on mirror g, updating the mirror's
+// page and loading state. The scheduler must have ensured enough free
+// pages (via SendUnload).
+func (c *Controller) SendLoad(g *GPUMirror, mi *ModelInfo, earliest, latest simclock.Time) *action.Action {
+	pages := mi.zoo.Pages(g.Pages.PageSize())
+	if err := g.Pages.Alloc(mi.name, pages); err != nil {
+		panic(fmt.Sprintf("core: SendLoad without free pages: %v", err))
+	}
+	est := c.EstimateLoad(mi)
+	if est <= 0 {
+		panic("core: zero load estimate for " + mi.name)
+	}
+	c.nextActionID++
+	// The executor frees at transferEnd; the weights are *usable* for
+	// INFER window math a network-allowance later, so windows opened at
+	// the ETA never race the transfer's completion.
+	transferEnd := simclock.Max(earliest, c.eng.Now()).Add(est)
+	eta := transferEnd.Add(c.cfg.NetworkAllowance)
+	a := &action.Action{
+		ID:                 c.nextActionID,
+		Type:               action.Load,
+		GPU:                g.GPU,
+		Model:              mi.name,
+		Earliest:           earliest,
+		Latest:             latest,
+		ExpectedDuration:   est,
+		ExpectedCompletion: transferEnd,
+	}
+	g.loading[mi.name] = eta
+	g.LoadFreeAt = transferEnd
+	mi.residentOn[g] = true
+	if len(mi.queue) > 0 {
+		g.withWork[mi] = true
+	}
+	c.stats.ActionsLoad++
+	c.workers[g.WorkerID].submit(a, 0)
+	return a
+}
+
+// SendUnload dispatches an UNLOAD for mi on mirror g and updates the
+// mirror immediately (UNLOAD always succeeds on the worker, §5.2).
+func (c *Controller) SendUnload(g *GPUMirror, mi *ModelInfo) *action.Action {
+	if err := g.Pages.Free(mi.name); err != nil {
+		panic(fmt.Sprintf("core: SendUnload: %v", err))
+	}
+	delete(g.loading, mi.name)
+	delete(mi.residentOn, g)
+	delete(g.withWork, mi)
+	c.nextActionID++
+	a := &action.Action{
+		ID:       c.nextActionID,
+		Type:     action.Unload,
+		GPU:      g.GPU,
+		Model:    mi.name,
+		Earliest: c.eng.Now(),
+		Latest:   simclock.MaxTime,
+	}
+	c.stats.ActionsUnload++
+	c.workers[g.WorkerID].submit(a, 0)
+	return a
+}
+
+func requestIDs(reqs []*Request) []uint64 {
+	ids := make([]uint64, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// HandleResult ingests one worker result. The cluster layer invokes this
+// when the result arrives at the controller over the network.
+func (c *Controller) HandleResult(res action.Result) {
+	g := c.workers[res.WorkerID].gpus[res.GPU]
+	switch res.Type {
+	case action.Load:
+		c.handleLoadResult(g, res)
+	case action.Infer:
+		c.handleInferResult(g, res)
+	case action.Unload:
+		// Mirror already updated at send time; a rejection here means
+		// the mirror diverged (counted, should not happen).
+		if !res.Status.IsSuccess() {
+			c.stats.LoadFailures++
+		}
+	}
+	c.schd.OnResult(res)
+}
+
+func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
+	mi := c.models[res.Model]
+	if res.Status.IsSuccess() {
+		delete(g.loading, res.Model)
+		c.profile.Observe(predictor.Key{Op: "load", Model: res.Model}, res.Duration)
+		c.LoadDuration.Record(res.ExpectedDuration, res.Duration)
+		c.LoadCompletion.Record(absTimeError(res.ExpectedCompletion, res.End))
+		return
+	}
+	// Rejected LOAD: roll the mirror back.
+	c.stats.LoadFailures++
+	delete(g.loading, res.Model)
+	if g.Pages.Has(res.Model) {
+		if err := g.Pages.Free(res.Model); err == nil {
+			delete(mi.residentOn, g)
+			delete(g.withWork, mi)
+		}
+	}
+}
+
+func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
+	reqs := c.pendingInfers[res.ActionID]
+	delete(c.pendingInfers, res.ActionID)
+	mi := c.models[res.Model]
+	if n := g.inFlightInfers[res.Model]; n <= 1 {
+		delete(g.inFlightInfers, res.Model)
+	} else {
+		g.inFlightInfers[res.Model] = n - 1
+	}
+	if res.Status.IsSuccess() {
+		c.profile.Observe(predictor.Key{Op: "exec", Model: res.Model, Batch: res.Batch}, res.Duration)
+		c.InferDuration.Record(res.ExpectedDuration, res.Duration)
+		c.InferCompletion.Record(absTimeError(res.ExpectedCompletion, res.End))
+		for _, r := range reqs {
+			if r.state != stateInFlight {
+				continue // already timed out at its deadline
+			}
+			r.state = stateDone
+			c.stats.Succeeded++
+			c.respond(r, Response{
+				RequestID: r.ID, Model: r.Model, Success: true,
+				Batch: res.Batch, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+			})
+		}
+		_ = mi
+		return
+	}
+	// The worker cancelled the action; fail its requests (§4.2: no
+	// best-effort remediation). Requests whose deadline already passed
+	// were answered by their timeout timer.
+	for _, r := range reqs {
+		if r.state != stateInFlight {
+			continue
+		}
+		r.state = stateDone
+		c.stats.Rejected++
+		c.respond(r, Response{
+			RequestID: r.ID, Model: r.Model, Success: false,
+			Reason: "rejected", ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+		})
+	}
+	// Deliberately do NOT rewind g.ExecFreeAt for the phantom work: the
+	// executor dequeues by earliest timestamp, so pulling the horizon
+	// back under already-committed actions would let the scheduler slot
+	// new work ahead of them and push them past their own windows — a
+	// self-sustaining reject cascade. A slightly conservative horizon
+	// merely costs an idle gap that elapses on its own.
+}
+
+// absTimeError converts predicted/actual instants into the duration pair
+// the error trackers expect.
+func absTimeError(predicted, actual simclock.Time) (time.Duration, time.Duration) {
+	// Express both as durations from a common origin so Record sees the
+	// signed difference.
+	return time.Duration(predicted), time.Duration(actual)
+}

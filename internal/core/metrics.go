@@ -1,0 +1,160 @@
+package core
+
+import (
+	"time"
+
+	"clockwork/internal/simclock"
+	"clockwork/internal/telemetry"
+	"clockwork/internal/worker"
+)
+
+// Metrics aggregates client-observed outcomes plus device utilisation —
+// everything the paper's evaluation figures plot.
+type Metrics struct {
+	interval time.Duration
+
+	// LatencyAll covers every request including failures (the paper's
+	// CDFs include rejected requests); LatencyGood covers only
+	// responses that succeeded within their SLO.
+	LatencyAll  *telemetry.Histogram
+	LatencyGood *telemetry.Histogram
+
+	// Throughput counts all responses; Goodput counts only successes
+	// within SLO (Fig 5/6/8).
+	Throughput *telemetry.TimeSeries
+	Goodput    *telemetry.TimeSeries
+
+	// LatencySeries holds one histogram per interval for the per-minute
+	// median/p99/max curves of Fig 8(b) and Fig 6(b).
+	LatencySeries []*telemetry.Histogram
+
+	// Batch tracks executed batch sizes per interval (Fig 8(c)).
+	Batch *telemetry.TimeSeries
+
+	// ColdStartThroughput counts successful cold-start responses
+	// (Fig 8(e)); ColdModels counts distinct models with ≥1 cold start
+	// per interval (Fig 8(d)).
+	ColdStartThroughput *telemetry.TimeSeries
+	coldModelSets       []map[string]bool
+
+	// GPUUtil and PCIUtil integrate device busy time across all GPUs
+	// (Fig 6(d,e)); NumGPUs normalises them to fractions.
+	GPUUtil *telemetry.Utilization
+	PCIUtil *telemetry.Utilization
+	NumGPUs int
+
+	Success   telemetry.Counter
+	Failures  telemetry.Counter
+	SLOMisses telemetry.Counter // successes that exceeded the SLO end-to-end
+}
+
+func newMetrics(interval time.Duration) *Metrics {
+	return &Metrics{
+		interval:            interval,
+		LatencyAll:          telemetry.NewHistogram(),
+		LatencyGood:         telemetry.NewHistogram(),
+		Throughput:          telemetry.NewTimeSeries(interval),
+		Goodput:             telemetry.NewTimeSeries(interval),
+		Batch:               telemetry.NewTimeSeries(interval),
+		ColdStartThroughput: telemetry.NewTimeSeries(interval),
+		GPUUtil:             telemetry.NewUtilization(interval),
+		PCIUtil:             telemetry.NewUtilization(interval),
+	}
+}
+
+// Interval returns the bucket width shared by all series.
+func (m *Metrics) Interval() time.Duration { return m.interval }
+
+func (m *Metrics) attachGPUs(w *worker.Worker) {
+	for i := 0; i < w.NumGPUs(); i++ {
+		g := w.GPU(i)
+		prevDev := g.Dev.OnBusy
+		g.Dev.OnBusy = func(from, to simclock.Time) {
+			if prevDev != nil {
+				prevDev(from, to)
+			}
+			m.GPUUtil.AddBusy(from, to)
+		}
+		prevH2D := g.H2D.OnBusy
+		g.H2D.OnBusy = func(from, to simclock.Time) {
+			if prevH2D != nil {
+				prevH2D(from, to)
+			}
+			m.PCIUtil.AddBusy(from, to)
+		}
+		m.NumGPUs++
+	}
+}
+
+func (m *Metrics) bucket(t simclock.Time) int {
+	if t < 0 {
+		return 0
+	}
+	return int(int64(t) / int64(m.interval))
+}
+
+func (m *Metrics) latencyHist(idx int) *telemetry.Histogram {
+	for len(m.LatencySeries) <= idx {
+		m.LatencySeries = append(m.LatencySeries, telemetry.NewHistogram())
+	}
+	return m.LatencySeries[idx]
+}
+
+func (m *Metrics) coldSet(idx int) map[string]bool {
+	for len(m.coldModelSets) <= idx {
+		m.coldModelSets = append(m.coldModelSets, make(map[string]bool))
+	}
+	return m.coldModelSets[idx]
+}
+
+// record ingests one client-observed response.
+func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Duration) {
+	idx := m.bucket(now)
+	m.LatencyAll.Observe(latency)
+	m.latencyHist(idx).Observe(latency)
+	m.Throughput.Incr(now)
+	if resp.Success {
+		m.Success.Incr()
+		if latency <= slo {
+			m.LatencyGood.Observe(latency)
+			m.Goodput.Incr(now)
+		} else {
+			m.SLOMisses.Incr()
+		}
+		m.Batch.Add(now, float64(resp.Batch))
+		if resp.ColdStart {
+			m.ColdStartThroughput.Incr(now)
+			m.coldSet(idx)[resp.Model] = true
+		}
+	} else {
+		m.Failures.Incr()
+		if resp.ColdStart {
+			m.coldSet(idx)[resp.Model] = true
+		}
+	}
+}
+
+// ColdModels returns the number of distinct models that had at least one
+// cold-start request in interval i (Fig 8(d)).
+func (m *Metrics) ColdModels(i int) int {
+	if i < 0 || i >= len(m.coldModelSets) {
+		return 0
+	}
+	return len(m.coldModelSets[i])
+}
+
+// GPUUtilFraction returns the mean per-GPU busy fraction in interval i.
+func (m *Metrics) GPUUtilFraction(i int) float64 {
+	if m.NumGPUs == 0 {
+		return 0
+	}
+	return float64(m.GPUUtil.BusyIn(i)) / float64(m.interval) / float64(m.NumGPUs)
+}
+
+// PCIUtilFraction returns the mean per-link busy fraction in interval i.
+func (m *Metrics) PCIUtilFraction(i int) float64 {
+	if m.NumGPUs == 0 {
+		return 0
+	}
+	return float64(m.PCIUtil.BusyIn(i)) / float64(m.interval) / float64(m.NumGPUs)
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/memory"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/simclock"
+)
+
+// GPUMirror is the controller's model of one worker GPU (§5.3 "managing
+// worker state"): which models hold pages, which are mid-LOAD and when
+// they land, and when each executor will next be free. Actions have
+// deterministic latency by design, so this mirror stays accurate without
+// per-action acknowledgements.
+type GPUMirror struct {
+	WorkerID int
+	GPU      int
+
+	// Pages mirrors the worker's PageCache (same deterministic type).
+	Pages *memory.PageCache
+
+	// loading maps model → predicted LOAD completion instant.
+	loading map[string]simclock.Time
+
+	// ExecFreeAt and LoadFreeAt are the predicted instants the INFER and
+	// LOAD executors drain their submitted work.
+	ExecFreeAt simclock.Time
+	LoadFreeAt simclock.Time
+
+	// inFlightInfers counts submitted-but-unresolved INFER actions per
+	// model, so eviction never targets a model that is about to execute.
+	inFlightInfers map[string]int
+
+	// withWork indexes the models resident (or loading) on this GPU
+	// that currently have queued requests — the scheduler's candidate
+	// set for the next INFER.
+	withWork map[*ModelInfo]bool
+}
+
+func newGPUMirror(workerID, gpu int, pageCacheBytes, pageSize int64) *GPUMirror {
+	return &GPUMirror{
+		WorkerID:       workerID,
+		GPU:            gpu,
+		Pages:          memory.NewPageCache(pageCacheBytes, pageSize),
+		loading:        make(map[string]simclock.Time),
+		inFlightInfers: make(map[string]int),
+		withWork:       make(map[*ModelInfo]bool),
+	}
+}
+
+// Resident reports whether the controller believes model's weights are
+// (or will momentarily be) on this GPU, and when they become usable
+// (MinTime when already usable).
+func (g *GPUMirror) Resident(model string) (readyAt simclock.Time, ok bool) {
+	if eta, loading := g.loading[model]; loading {
+		return eta, true
+	}
+	if g.Pages.Has(model) {
+		return simclock.MinTime, true
+	}
+	return 0, false
+}
+
+// IsLoading reports whether a LOAD for model is in flight.
+func (g *GPUMirror) IsLoading(model string) bool {
+	_, ok := g.loading[model]
+	return ok
+}
+
+// InFlight returns the number of unresolved INFER actions for model.
+func (g *GPUMirror) InFlight(model string) int { return g.inFlightInfers[model] }
+
+// ModelsWithWork returns the live candidate set of models on this GPU
+// with queued requests. Callers must not mutate it.
+func (g *GPUMirror) ModelsWithWork() map[*ModelInfo]bool { return g.withWork }
+
+// OutstandingExecWork returns predicted time until the INFER executor
+// drains, from instant now.
+func (g *GPUMirror) OutstandingExecWork(now simclock.Time) time.Duration {
+	if g.ExecFreeAt <= now {
+		return 0
+	}
+	return g.ExecFreeAt.Sub(now)
+}
+
+// OutstandingLoadWork returns predicted time until the LOAD executor
+// drains, from instant now.
+func (g *GPUMirror) OutstandingLoadWork(now simclock.Time) time.Duration {
+	if g.LoadFreeAt <= now {
+		return 0
+	}
+	return g.LoadFreeAt.Sub(now)
+}
+
+// String implements fmt.Stringer.
+func (g *GPUMirror) String() string {
+	return fmt.Sprintf("mirror{w%d.g%d %v loading=%d}", g.WorkerID, g.GPU, g.Pages, len(g.loading))
+}
+
+// workerHandle couples a worker's mirrors with its transport hook.
+type workerHandle struct {
+	id   int
+	gpus []*GPUMirror
+	// submit delivers an action to the worker over the simulated
+	// network, carrying payloadBytes of data (inference inputs are
+	// routed through the controller, §7); installed by the cluster
+	// layer.
+	submit func(a *action.Action, payloadBytes int64)
+}
+
+// ModelInfo is the controller-side registry entry for one model
+// instance: its zoo profile, queued requests, and Appendix B demand
+// accounting. Schedulers read it through the exported accessors; only
+// the controller mutates it.
+type ModelInfo struct {
+	name string
+	zoo  *modelzoo.Model
+
+	// queue holds queued requests, FIFO (deadline order for same-SLO
+	// clients).
+	queue []*Request
+
+	// demand is Appendix B's d_m: summed batch-1 execution estimates of
+	// queued requests.
+	demand time.Duration
+
+	// residentOn tracks which GPU mirrors hold (or are loading) this
+	// model.
+	residentOn map[*GPUMirror]bool
+}
+
+// Name returns the model instance name.
+func (mi *ModelInfo) Name() string { return mi.name }
+
+// Zoo returns the underlying catalogue model.
+func (mi *ModelInfo) Zoo() *modelzoo.Model { return mi.zoo }
+
+// QueuedCount returns the number of queued requests.
+func (mi *ModelInfo) QueuedCount() int { return len(mi.queue) }
+
+// Demand returns Appendix B's d_m.
+func (mi *ModelInfo) Demand() time.Duration { return mi.demand }
+
+// ResidentOn returns the live set of mirrors holding this model.
+// Callers must not mutate it.
+func (mi *ModelInfo) ResidentOn() map[*GPUMirror]bool { return mi.residentOn }
+
+// PeekOldest returns the oldest queued request without removing it, or
+// nil when the queue is empty.
+func (mi *ModelInfo) PeekOldest() *Request {
+	if len(mi.queue) == 0 {
+		return nil
+	}
+	return mi.queue[0]
+}
+
+// MinDeadline returns the earliest deadline among queued requests
+// (MaxTime when empty).
+func (mi *ModelInfo) MinDeadline() simclock.Time {
+	if len(mi.queue) == 0 {
+		return simclock.MaxTime
+	}
+	min := mi.queue[0].deadline
+	for _, r := range mi.queue[1:] {
+		if r.deadline < min {
+			min = r.deadline
+		}
+	}
+	return min
+}
+
+// MaxDeadline returns the latest deadline among queued requests
+// (MinTime when empty).
+func (mi *ModelInfo) MaxDeadline() simclock.Time {
+	if len(mi.queue) == 0 {
+		return simclock.MinTime
+	}
+	max := mi.queue[0].deadline
+	for _, r := range mi.queue[1:] {
+		if r.deadline > max {
+			max = r.deadline
+		}
+	}
+	return max
+}
+
+// MinDeadlineOfOldest returns the earliest deadline among the n oldest
+// queued requests — the deadline a batch of size n must meet.
+func (mi *ModelInfo) MinDeadlineOfOldest(n int) simclock.Time {
+	if n > len(mi.queue) {
+		n = len(mi.queue)
+	}
+	if n == 0 {
+		return simclock.MaxTime
+	}
+	min := mi.queue[0].deadline
+	for _, r := range mi.queue[1:n] {
+		if r.deadline < min {
+			min = r.deadline
+		}
+	}
+	return min
+}
+
+// PopBatch removes and returns up to n queued requests in FIFO order.
+// Schedulers call this immediately before SendInfer.
+func (mi *ModelInfo) PopBatch(n int) []*Request {
+	if n > len(mi.queue) {
+		n = len(mi.queue)
+	}
+	out := make([]*Request, n)
+	copy(out, mi.queue[:n])
+	remaining := len(mi.queue) - n
+	copy(mi.queue, mi.queue[n:])
+	for i := remaining; i < len(mi.queue); i++ {
+		mi.queue[i] = nil
+	}
+	mi.queue = mi.queue[:remaining]
+	return out
+}
+
+// removeRequest deletes r from the queue (used on cancellation).
+func (mi *ModelInfo) removeRequest(r *Request) bool {
+	for i, q := range mi.queue {
+		if q == r {
+			copy(mi.queue[i:], mi.queue[i+1:])
+			mi.queue[len(mi.queue)-1] = nil
+			mi.queue = mi.queue[:len(mi.queue)-1]
+			return true
+		}
+	}
+	return false
+}

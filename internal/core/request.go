@@ -1,0 +1,72 @@
+// Package core implements Clockwork's central controller (§4.5, §5.3)
+// and its scheduler (Appendix B). All performance-relevant choices —
+// admission, batching, placement, cache management — are made here;
+// workers execute exactly what they are told.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/simclock"
+)
+
+// Request is one client inference request as the controller sees it.
+type Request struct {
+	ID      uint64
+	Model   string
+	SLO     time.Duration
+	Arrival simclock.Time // at the controller
+
+	InputBytes  int64
+	OutputBytes int64
+
+	// OnResponse is invoked exactly once with the outcome. The cluster
+	// layer wires it back over the client's network link.
+	OnResponse func(Response)
+
+	// ---- scheduler-internal state ----
+	state     requestState
+	deadline  simclock.Time
+	coldStart bool
+	execEst   time.Duration // batch-1 estimate at arrival (demand accounting)
+	cancelTmr *simclock.Timer
+}
+
+// Deadline returns the instant the response stops being useful.
+func (r *Request) Deadline() simclock.Time { return r.deadline }
+
+type requestState uint8
+
+const (
+	stateQueued requestState = iota
+	stateInFlight
+	stateDone
+)
+
+// Response is the terminal outcome of a request.
+type Response struct {
+	RequestID uint64
+	Model     string
+	Success   bool
+	// Reason is empty on success; otherwise one of "cancelled" (the
+	// controller determined the SLO could not be met and rejected the
+	// request in advance), "rejected" (a worker cancelled the action),
+	// or "timeout".
+	Reason string
+	// Batch is the batch size the request executed in (success only).
+	Batch int
+	// ColdStart reports whether the model was not GPU-resident anywhere
+	// when the request arrived.
+	ColdStart bool
+	// CompletedAt is the controller-side completion instant.
+	CompletedAt simclock.Time
+}
+
+// String implements fmt.Stringer.
+func (r Response) String() string {
+	if r.Success {
+		return fmt.Sprintf("response{#%d %s ok b%d}", r.RequestID, r.Model, r.Batch)
+	}
+	return fmt.Sprintf("response{#%d %s failed:%s}", r.RequestID, r.Model, r.Reason)
+}

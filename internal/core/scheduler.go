@@ -1,0 +1,310 @@
+package core
+
+import (
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/simclock"
+)
+
+// ClockworkScheduler is the paper's scheduler (§5.3, Appendix B):
+//
+//   - INFER: a single conceptual queue of strategies ordered by required
+//     start time (deadline − estimated batch execution). Each pass keeps
+//     every INFER executor supplied with at most Lookahead (5ms) of
+//     work, choosing the most urgent (model, batch) pair whose largest
+//     feasible batch fits its oldest request's deadline — larger batches
+//     have earlier required start times and therefore win.
+//   - LOAD: each LOAD executor is likewise kept Lookahead-full. Models
+//     are ranked by load priority p_m = d_m − Σ_g a_{m,g}·capacity/ℓ_g
+//     (unfulfilled demand); the highest positive-priority non-resident
+//     model is loaded, evicting least-recently-used models as needed.
+//   - Admission: the controller cancels requests in advance when their
+//     SLO is provably unmeetable (Controller.Submit's last-chance timer),
+//     so workers never burn cycles on fruitless work.
+type ClockworkScheduler struct {
+	c     *Controller
+	wakes map[*GPUMirror]*simclock.Timer
+
+	// LoadSelection switches between Appendix B's priority policy
+	// (default) and the naive ablation policy. Set before first use.
+	LoadSelection LoadPolicy
+
+	// descBatches caches the compiled batch sizes, largest first.
+	descBatches []int
+}
+
+// LoadPolicy selects how the scheduler chooses LOAD targets.
+type LoadPolicy uint8
+
+// Load policies: the paper's demand-priority policy, and a naive
+// oldest-deadline-first policy kept as an ablation baseline.
+const (
+	LoadByPriority LoadPolicy = iota
+	LoadOldestFirst
+)
+
+// NewClockworkScheduler returns the paper's scheduler.
+func NewClockworkScheduler() *ClockworkScheduler {
+	n := len(modelzoo.BatchSizes)
+	desc := make([]int, n)
+	for i, b := range modelzoo.BatchSizes {
+		desc[n-1-i] = b
+	}
+	return &ClockworkScheduler{wakes: make(map[*GPUMirror]*simclock.Timer), descBatches: desc}
+}
+
+// Attach implements Scheduler.
+func (s *ClockworkScheduler) Attach(c *Controller) { s.c = c }
+
+// OnRequest implements Scheduler: new demand may enable an INFER on any
+// GPU holding the model, or justify a LOAD anywhere.
+func (s *ClockworkScheduler) OnRequest(r *Request) {
+	mi, _ := s.c.Model(r.Model)
+	for g := range mi.ResidentOn() {
+		s.scheduleGPU(g)
+	}
+	// Cold or under-replicated demand: consider loads everywhere.
+	// (O(1) per saturated GPU thanks to the lookahead early-exit.)
+	for _, g := range s.c.GPUs() {
+		s.scheduleLoads(g)
+		s.armWake(g)
+	}
+}
+
+// OnResult implements Scheduler: a result frees mirror capacity
+// (completed LOAD) or signals drift; re-evaluate that GPU.
+func (s *ClockworkScheduler) OnResult(res action.Result) {
+	g := s.c.workers[res.WorkerID].gpus[res.GPU]
+	s.scheduleGPU(g)
+}
+
+// OnCancel implements Scheduler: cancelled demand never helps; no-op.
+func (s *ClockworkScheduler) OnCancel(*Request) {}
+
+func (s *ClockworkScheduler) scheduleGPU(g *GPUMirror) {
+	s.scheduleInfers(g)
+	s.scheduleLoads(g)
+	s.armWake(g)
+}
+
+// scheduleInfers keeps g's INFER executor supplied with ≤ Lookahead of
+// predicted work.
+func (s *ClockworkScheduler) scheduleInfers(g *GPUMirror) {
+	cfg := s.c.Config()
+	for {
+		now := s.c.Now()
+		if g.OutstandingExecWork(now) >= cfg.Lookahead {
+			return
+		}
+		mi, batch, earliest, requiredStart := s.bestStrategy(g, now)
+		if mi == nil {
+			return
+		}
+		reqs := mi.PopBatch(batch)
+		latest := requiredStart
+		if latest < earliest {
+			latest = earliest // guarded by feasibility; keep window sane
+		}
+		s.c.SendInfer(g, mi, batch, reqs, earliest, latest)
+	}
+}
+
+// bestStrategy picks the most urgent feasible (model, batch) for g:
+// among models with queued work resident on g, the largest batch that
+// meets its oldest request's deadline, preferring the earliest required
+// start time (Appendix B's strategy-queue order).
+func (s *ClockworkScheduler) bestStrategy(g *GPUMirror, now simclock.Time) (best *ModelInfo, batch int, earliest, requiredStart simclock.Time) {
+	requiredStart = simclock.MaxTime
+	for mi := range g.ModelsWithWork() {
+		readyAt, ok := g.Resident(mi.name)
+		if !ok || mi.QueuedCount() == 0 {
+			continue
+		}
+		start := simclock.Max(now, g.ExecFreeAt)
+		start = simclock.Max(start, readyAt)
+		for _, b := range s.descBatches {
+			if b > mi.QueuedCount() {
+				continue
+			}
+			est := s.c.EstimateExec(mi, b)
+			deadline := mi.MinDeadlineOfOldest(b)
+			if start.Add(est) > deadline {
+				continue // batch too slow for its oldest request
+			}
+			rs := deadline.Add(-est)
+			if rs < requiredStart {
+				best, batch, earliest, requiredStart = mi, b, start, rs
+			}
+			break // largest feasible batch for this model found
+		}
+	}
+	return best, batch, earliest, requiredStart
+}
+
+// scheduleLoads keeps g's LOAD executor supplied with ≤ Lookahead of
+// predicted transfer work, choosing models by Appendix B load priority.
+func (s *ClockworkScheduler) scheduleLoads(g *GPUMirror) {
+	cfg := s.c.Config()
+	for {
+		now := s.c.Now()
+		if g.OutstandingLoadWork(now) >= cfg.Lookahead {
+			return
+		}
+		best := s.bestLoad(g, now)
+		if best == nil {
+			return
+		}
+		if !s.evictFor(g, best) {
+			return // cannot free enough pages right now
+		}
+		earliest := simclock.Max(now, g.LoadFreeAt)
+		latest := earliest.Add(cfg.Lookahead)
+		s.c.SendLoad(g, best, earliest, latest)
+	}
+}
+
+// bestLoad returns the non-resident model with the highest positive load
+// priority whose LOAD would still be useful, or nil.
+func (s *ClockworkScheduler) bestLoad(g *GPUMirror, now simclock.Time) *ModelInfo {
+	cfg := s.c.Config()
+	active := s.c.ActiveModels()
+	if len(active) == 0 {
+		return nil
+	}
+	if s.LoadSelection == LoadOldestFirst {
+		return s.bestLoadOldest(g, now)
+	}
+	// ℓ_g: per-GPU allocated demand (Appendix B), over active models.
+	loads := make(map[*GPUMirror]time.Duration, len(s.c.GPUs()))
+	for mi := range active {
+		n := len(mi.residentOn)
+		if n == 0 || mi.demand <= 0 {
+			continue
+		}
+		share := mi.demand / time.Duration(n)
+		for g2 := range mi.residentOn {
+			loads[g2] += share
+		}
+	}
+	var best *ModelInfo
+	var bestP time.Duration
+	for mi := range active {
+		if mi.demand <= 0 {
+			continue
+		}
+		if _, resident := g.Resident(mi.name); resident {
+			continue
+		}
+		// p_m = d_m − Σ_g a_{m,g} · capacity_g / ℓ_g.
+		p := mi.demand
+		if n := len(mi.residentOn); n > 0 {
+			share := mi.demand / time.Duration(n)
+			for g2 := range mi.residentOn {
+				l := loads[g2]
+				if l <= 0 {
+					l = time.Nanosecond
+				}
+				fulfilled := time.Duration(float64(share) * float64(cfg.LoadHorizon) / float64(l))
+				p -= fulfilled
+			}
+		}
+		if p <= 0 {
+			continue
+		}
+		// No "will the load land before the current deadlines" filter:
+		// demand is a *rate* signal. Under a tight SLO every queued
+		// request may expire before the transfer lands, yet sustained
+		// demand means the load pays off for the arrivals right behind
+		// them — filtering here deadlocks cold models forever.
+		if best == nil || p > bestP {
+			best, bestP = mi, p
+		}
+	}
+	return best
+}
+
+// bestLoadOldest is the ablation load policy: load the not-yet-resident
+// model whose oldest queued request has the earliest deadline, ignoring
+// demand volume and existing replicas.
+func (s *ClockworkScheduler) bestLoadOldest(g *GPUMirror, now simclock.Time) *ModelInfo {
+	var best *ModelInfo
+	bestDeadline := simclock.MaxTime
+	for mi := range s.c.ActiveModels() {
+		if _, resident := g.Resident(mi.name); resident {
+			continue
+		}
+		eta := simclock.Max(now, g.LoadFreeAt).Add(s.c.EstimateLoad(mi))
+		if eta.Add(s.c.EstimateExec(mi, 1)) > mi.MaxDeadline() {
+			continue
+		}
+		if dl := mi.MinDeadline(); dl < bestDeadline {
+			bestDeadline = dl
+			best = mi
+		}
+	}
+	return best
+}
+
+// evictFor frees pages for mi on g using LRU (§5.3: UNLOAD selection is
+// least-recently-used), skipping models that are loading or have
+// in-flight INFERs. Reports whether enough pages are now free.
+func (s *ClockworkScheduler) evictFor(g *GPUMirror, mi *ModelInfo) bool {
+	need := mi.zoo.Pages(g.Pages.PageSize())
+	if need > g.Pages.TotalPages() {
+		return false
+	}
+	for g.Pages.FreePages() < need {
+		victim := s.nextVictim(g)
+		if victim == nil {
+			return false
+		}
+		s.c.SendUnload(g, victim)
+	}
+	return true
+}
+
+// nextVictim returns the least-recently-used evictable model on g.
+func (s *ClockworkScheduler) nextVictim(g *GPUMirror) *ModelInfo {
+	keys := g.Pages.Keys() // MRU first
+	for i := len(keys) - 1; i >= 0; i-- {
+		name := keys[i]
+		if g.IsLoading(name) || g.InFlight(name) > 0 {
+			continue
+		}
+		if mi, ok := s.c.Model(name); ok {
+			return mi
+		}
+	}
+	return nil
+}
+
+// armWake schedules a re-evaluation for when g's saturated executors
+// drop below the lookahead threshold again.
+func (s *ClockworkScheduler) armWake(g *GPUMirror) {
+	cfg := s.c.Config()
+	now := s.c.Now()
+	wake := simclock.MaxTime
+	if len(g.withWork) > 0 && g.OutstandingExecWork(now) >= cfg.Lookahead {
+		wake = simclock.Min(wake, g.ExecFreeAt.Add(-cfg.Lookahead))
+	}
+	if len(s.c.activeModels) > 0 && g.OutstandingLoadWork(now) >= cfg.Lookahead {
+		wake = simclock.Min(wake, g.LoadFreeAt.Add(-cfg.Lookahead))
+	}
+	if wake == simclock.MaxTime {
+		return
+	}
+	// Never arm at or before the current instant: this pass already saw
+	// the present state, and a same-instant wake would loop forever.
+	if wake <= now {
+		wake = now.Add(time.Nanosecond)
+	}
+	if old := s.wakes[g]; old != nil {
+		if old.Pending() && old.When() <= wake {
+			return // an adequate wake is already armed
+		}
+		old.Stop()
+	}
+	s.wakes[g] = s.c.Engine().At(wake, func() { s.scheduleGPU(g) })
+}

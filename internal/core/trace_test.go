@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/tracelog"
+)
+
+func TestClusterTraceCapture(t *testing.T) {
+	trace := tracelog.New()
+	cl := NewCluster(ClusterConfig{
+		Workers: 1, GPUsPerWorker: 1, NoNoise: true,
+		Trace: trace,
+	})
+	cl.RegisterModel("m", modelzoo.ResNet50())
+	cl.Submit("m", 100*time.Millisecond, nil)
+	cl.RunFor(100 * time.Millisecond)
+
+	s := trace.Summary()
+	if s["request"] != 1 || s["response"] != 1 {
+		t.Fatalf("summary: %v", s)
+	}
+	// A cold start issues LOAD + INFER, each with a result.
+	if s["action"] < 2 || s["result"] < 2 {
+		t.Fatalf("summary: %v", s)
+	}
+	if s["result:success"] < 2 {
+		t.Fatalf("summary: %v", s)
+	}
+
+	// The explanation must reconstruct the cold-start shape: queueing
+	// (≈ the 8.3ms LOAD) dominating, then a 2.77ms exec.
+	b, ok := trace.Explain(1)
+	if !ok || !b.Success {
+		t.Fatalf("explain: %+v ok=%v", b, ok)
+	}
+	if b.Exec != modelzoo.ResNet50().ExecLatency(1) {
+		t.Fatalf("exec span = %v", b.Exec)
+	}
+	if b.Queue < 8*time.Millisecond {
+		t.Fatalf("cold-start queue %v should include the weight transfer", b.Queue)
+	}
+	if b.Total() < b.Queue+b.Exec {
+		t.Fatal("breakdown exceeds total")
+	}
+}
+
+func TestClusterTraceFailureCapture(t *testing.T) {
+	trace := tracelog.New()
+	cl := NewCluster(ClusterConfig{
+		Workers: 1, GPUsPerWorker: 1, NoNoise: true,
+		Trace: trace,
+	})
+	cl.RegisterModel("m", modelzoo.ResNet50())
+	cl.Submit("m", time.Millisecond, nil) // unmeetable
+	cl.RunFor(100 * time.Millisecond)
+	b, ok := trace.Explain(1)
+	if !ok || b.Success || b.Reason != "cancelled" {
+		t.Fatalf("explain: %+v", b)
+	}
+}

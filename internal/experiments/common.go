@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated substrate. Each experiment has a
+// Config with paper-faithful defaults plus Scale/Duration knobs (the
+// full-size runs replay hours of trace; benchmarks use scaled-down
+// variants and EXPERIMENTS.md records which scale produced which
+// numbers), and returns a typed result whose String() prints the same
+// rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"clockwork/internal/baseline"
+	"clockwork/internal/core"
+)
+
+// System names accepted by the comparison experiments.
+const (
+	SystemClockwork = "clockwork"
+	SystemClipper   = "clipper"
+	SystemINFaaS    = "infaas"
+)
+
+// Systems lists the three systems of Fig 5.
+var Systems = []string{SystemClockwork, SystemClipper, SystemINFaaS}
+
+// newSystemCluster builds a cluster running the named system's policy.
+func newSystemCluster(system string, cfg core.ClusterConfig) *core.Cluster {
+	switch system {
+	case SystemClockwork:
+		// defaults
+	case SystemClipper:
+		cfg.Scheduler = baseline.NewClipper()
+		cfg.WorkerBestEffort = true
+		cfg.Controller.DisableAdmissionControl = true
+	case SystemINFaaS:
+		cfg.Scheduler = baseline.NewINFaaS()
+		cfg.Controller.DisableAdmissionControl = true
+	default:
+		panic("experiments: unknown system " + system)
+	}
+	return core.NewCluster(cfg)
+}
+
+// fmtMS renders a duration as milliseconds with two decimals.
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+// table renders rows of columns with aligned padding.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

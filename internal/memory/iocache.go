@@ -1,0 +1,100 @@
+package memory
+
+import "fmt"
+
+// IOCache tracks the transient device memory holding inference inputs
+// before execution and outputs after execution (§5.2). Allocations are
+// short-lived and byte-granular; the paper sizes it at 512MB, far more
+// than in-flight IO ever needs, so allocation failures indicate a
+// scheduling bug rather than genuine pressure.
+type IOCache struct {
+	capacity int64
+	used     int64
+	allocs   int
+}
+
+// NewIOCache returns an IO staging area of the given capacity.
+func NewIOCache(capacityBytes int64) *IOCache {
+	if capacityBytes < 0 {
+		panic("memory: negative IO cache capacity")
+	}
+	return &IOCache{capacity: capacityBytes}
+}
+
+// Alloc reserves n bytes, failing (without side effects) on exhaustion.
+func (c *IOCache) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memory: io alloc of negative size %d", n)
+	}
+	if c.used+n > c.capacity {
+		return fmt.Errorf("memory: io cache exhausted (%d used + %d > %d)", c.used, n, c.capacity)
+	}
+	c.used += n
+	c.allocs++
+	return nil
+}
+
+// Free releases n bytes.
+func (c *IOCache) Free(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memory: io free of negative size %d", n)
+	}
+	if n > c.used {
+		return fmt.Errorf("memory: io free of %d exceeds used %d", n, c.used)
+	}
+	c.used -= n
+	c.allocs--
+	return nil
+}
+
+// Used returns the bytes currently reserved.
+func (c *IOCache) Used() int64 { return c.used }
+
+// Capacity returns the total capacity.
+func (c *IOCache) Capacity() int64 { return c.capacity }
+
+// Outstanding returns the number of live allocations.
+func (c *IOCache) Outstanding() int { return c.allocs }
+
+// Workspace models the 512MB intermediate-results arena. Because
+// Clockwork executes models one at a time, at most one holder exists;
+// double-acquisition is a scheduling bug and returns an error.
+type Workspace struct {
+	capacity int64
+	holder   string
+	held     bool
+}
+
+// NewWorkspace returns a workspace of the given capacity.
+func NewWorkspace(capacityBytes int64) *Workspace {
+	if capacityBytes < 0 {
+		panic("memory: negative workspace capacity")
+	}
+	return &Workspace{capacity: capacityBytes}
+}
+
+// Acquire claims the workspace for the named user.
+func (w *Workspace) Acquire(user string) error {
+	if w.held {
+		return fmt.Errorf("memory: workspace held by %q, wanted by %q", w.holder, user)
+	}
+	w.held = true
+	w.holder = user
+	return nil
+}
+
+// Release frees the workspace.
+func (w *Workspace) Release() error {
+	if !w.held {
+		return fmt.Errorf("memory: workspace release while free")
+	}
+	w.held = false
+	w.holder = ""
+	return nil
+}
+
+// Held reports whether the workspace is claimed, and by whom.
+func (w *Workspace) Held() (string, bool) { return w.holder, w.held }
+
+// Capacity returns the workspace size.
+func (w *Workspace) Capacity() int64 { return w.capacity }

@@ -1,0 +1,117 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIOCacheBasics(t *testing.T) {
+	c := NewIOCache(1000)
+	if c.Capacity() != 1000 || c.Used() != 0 || c.Outstanding() != 0 {
+		t.Fatal("fresh cache wrong")
+	}
+	if err := c.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Alloc(500); err == nil {
+		t.Fatal("over-capacity alloc should fail")
+	}
+	if c.Used() != 600 || c.Outstanding() != 1 {
+		t.Fatal("failed alloc changed state")
+	}
+	if err := c.Free(600); err != nil {
+		t.Fatal(err)
+	}
+	if c.Used() != 0 || c.Outstanding() != 0 {
+		t.Fatal("free did not restore state")
+	}
+}
+
+func TestIOCacheErrors(t *testing.T) {
+	c := NewIOCache(100)
+	if err := c.Alloc(-1); err == nil {
+		t.Fatal("negative alloc should fail")
+	}
+	if err := c.Free(-1); err == nil {
+		t.Fatal("negative free should fail")
+	}
+	if err := c.Free(1); err == nil {
+		t.Fatal("free beyond used should fail")
+	}
+	if err := c.Alloc(0); err != nil {
+		t.Fatal("zero alloc should succeed")
+	}
+}
+
+func TestIOCachePanicsOnNegativeCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIOCache(-1)
+}
+
+// Property: used never exceeds capacity and never goes negative under
+// arbitrary alloc/free interleavings.
+func TestIOCacheBoundsProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		c := NewIOCache(10_000)
+		var outstanding []int64
+		for _, o := range ops {
+			if o >= 0 {
+				n := int64(o)
+				if err := c.Alloc(n); err == nil {
+					outstanding = append(outstanding, n)
+				}
+			} else if len(outstanding) > 0 {
+				n := outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
+				if err := c.Free(n); err != nil {
+					return false
+				}
+			}
+			if c.Used() < 0 || c.Used() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkspaceExclusive(t *testing.T) {
+	w := NewWorkspace(DefaultWorkspaceBytes)
+	if w.Capacity() != DefaultWorkspaceBytes {
+		t.Fatal("capacity wrong")
+	}
+	if _, held := w.Held(); held {
+		t.Fatal("fresh workspace should be free")
+	}
+	if err := w.Acquire("exec-1"); err != nil {
+		t.Fatal(err)
+	}
+	if holder, held := w.Held(); !held || holder != "exec-1" {
+		t.Fatal("holder wrong")
+	}
+	if err := w.Acquire("exec-2"); err == nil {
+		t.Fatal("double acquire must fail — one EXEC at a time")
+	}
+	if err := w.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Release(); err == nil {
+		t.Fatal("double release must fail")
+	}
+}
+
+func TestWorkspacePanicsOnNegativeCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorkspace(-5)
+}

@@ -1,0 +1,215 @@
+// Package memory implements Clockwork's pre-allocated GPU memory
+// management (§5.2): a PageCache of fixed 16MB pages holding model
+// weights, an IOCache for transient inference inputs/outputs, and a
+// Workspace for intermediate results.
+//
+// Paging is what makes the memory state *predictable and summarisable*:
+// there is no external fragmentation, so the controller can mirror a
+// worker's entire memory state as "which models hold pages + free page
+// count". The same PageCache type therefore backs both the worker's real
+// allocator and the controller's mirror.
+package memory
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// DefaultPageSize is the paper's page size (16 MB).
+const DefaultPageSize = 16 * 1024 * 1024
+
+// DefaultWorkspaceBytes is the transient execution workspace (512 MB).
+const DefaultWorkspaceBytes = 512 * 1024 * 1024
+
+// DefaultIOCacheBytes is the input/output staging area (512 MB).
+const DefaultIOCacheBytes = 512 * 1024 * 1024
+
+// PageCache allocates fixed-size pages to named models with LRU
+// bookkeeping. It is deterministic: identical operation sequences produce
+// identical states, which the controller relies on to mirror workers.
+type PageCache struct {
+	pageSize   int64
+	totalPages int
+	freePages  int
+	entries    map[string]*cacheEntry
+	lru        *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key    string
+	pages  int
+	pinned int
+	elem   *list.Element
+}
+
+// NewPageCache returns a cache of capacityBytes split into pageSize pages.
+func NewPageCache(capacityBytes, pageSize int64) *PageCache {
+	if pageSize <= 0 {
+		panic("memory: non-positive page size")
+	}
+	if capacityBytes < 0 {
+		panic("memory: negative capacity")
+	}
+	total := int(capacityBytes / pageSize)
+	return &PageCache{
+		pageSize:   pageSize,
+		totalPages: total,
+		freePages:  total,
+		entries:    make(map[string]*cacheEntry),
+		lru:        list.New(),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (c *PageCache) PageSize() int64 { return c.pageSize }
+
+// TotalPages returns the cache capacity in pages.
+func (c *PageCache) TotalPages() int { return c.totalPages }
+
+// FreePages returns the number of unallocated pages.
+func (c *PageCache) FreePages() int { return c.freePages }
+
+// UsedPages returns the number of allocated pages.
+func (c *PageCache) UsedPages() int { return c.totalPages - c.freePages }
+
+// Len returns the number of resident entries.
+func (c *PageCache) Len() int { return len(c.entries) }
+
+// Has reports whether key holds pages.
+func (c *PageCache) Has(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// PagesOf returns the pages held by key (0 if absent).
+func (c *PageCache) PagesOf(key string) int {
+	if e, ok := c.entries[key]; ok {
+		return e.pages
+	}
+	return 0
+}
+
+// Alloc reserves pages for key. It fails (without side effects) if key is
+// already resident, pages is non-positive, or there are not enough free
+// pages — mirroring LOAD's "abort if no pages" semantics (§5.2).
+func (c *PageCache) Alloc(key string, pages int) error {
+	if pages <= 0 {
+		return fmt.Errorf("memory: alloc %q: non-positive page count %d", key, pages)
+	}
+	if _, exists := c.entries[key]; exists {
+		return fmt.Errorf("memory: alloc %q: already resident", key)
+	}
+	if pages > c.freePages {
+		return fmt.Errorf("memory: alloc %q: need %d pages, %d free", key, pages, c.freePages)
+	}
+	e := &cacheEntry{key: key, pages: pages}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.freePages -= pages
+	return nil
+}
+
+// Free releases key's pages (UNLOAD). Freeing an absent key is an error;
+// freeing a pinned key is an error because the model is executing.
+func (c *PageCache) Free(key string) error {
+	e, ok := c.entries[key]
+	if !ok {
+		return fmt.Errorf("memory: free %q: not resident", key)
+	}
+	if e.pinned > 0 {
+		return fmt.Errorf("memory: free %q: pinned %d times", key, e.pinned)
+	}
+	c.lru.Remove(e.elem)
+	delete(c.entries, key)
+	c.freePages += e.pages
+	return nil
+}
+
+// Touch marks key as most recently used. Absent keys are ignored.
+func (c *PageCache) Touch(key string) {
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// Pin prevents key from being freed or evicted while in use (e.g. during
+// EXEC). Pins nest.
+func (c *PageCache) Pin(key string) error {
+	e, ok := c.entries[key]
+	if !ok {
+		return fmt.Errorf("memory: pin %q: not resident", key)
+	}
+	e.pinned++
+	return nil
+}
+
+// Unpin releases one pin.
+func (c *PageCache) Unpin(key string) error {
+	e, ok := c.entries[key]
+	if !ok {
+		return fmt.Errorf("memory: unpin %q: not resident", key)
+	}
+	if e.pinned == 0 {
+		return fmt.Errorf("memory: unpin %q: not pinned", key)
+	}
+	e.pinned--
+	return nil
+}
+
+// Pinned returns key's pin count.
+func (c *PageCache) Pinned(key string) int {
+	if e, ok := c.entries[key]; ok {
+		return e.pinned
+	}
+	return 0
+}
+
+// LRUVictim returns the least-recently-used unpinned entry, if any.
+func (c *PageCache) LRUVictim() (string, bool) {
+	for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
+		e := elem.Value.(*cacheEntry)
+		if e.pinned == 0 {
+			return e.key, true
+		}
+	}
+	return "", false
+}
+
+// Keys returns resident keys in most-recently-used-first order.
+func (c *PageCache) Keys() []string {
+	out := make([]string, 0, len(c.entries))
+	for elem := c.lru.Front(); elem != nil; elem = elem.Next() {
+		out = append(out, elem.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// operation sequences.
+func (c *PageCache) CheckInvariants() error {
+	if c.freePages < 0 || c.freePages > c.totalPages {
+		return fmt.Errorf("memory: free pages %d out of [0,%d]", c.freePages, c.totalPages)
+	}
+	sum := 0
+	n := 0
+	for elem := c.lru.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*cacheEntry)
+		if c.entries[e.key] != e {
+			return fmt.Errorf("memory: lru/map mismatch for %q", e.key)
+		}
+		sum += e.pages
+		n++
+	}
+	if n != len(c.entries) {
+		return fmt.Errorf("memory: lru has %d entries, map has %d", n, len(c.entries))
+	}
+	if sum != c.totalPages-c.freePages {
+		return fmt.Errorf("memory: allocated pages %d != total-free %d", sum, c.totalPages-c.freePages)
+	}
+	return nil
+}
+
+// String summarises occupancy.
+func (c *PageCache) String() string {
+	return fmt.Sprintf("pagecache{%d/%d pages used, %d models}", c.UsedPages(), c.totalPages, len(c.entries))
+}

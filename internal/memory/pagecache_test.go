@@ -1,0 +1,257 @@
+package memory
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newCache(pages int) *PageCache {
+	return NewPageCache(int64(pages)*DefaultPageSize, DefaultPageSize)
+}
+
+func TestPageCacheBasics(t *testing.T) {
+	c := newCache(10)
+	if c.TotalPages() != 10 || c.FreePages() != 10 || c.UsedPages() != 0 {
+		t.Fatal("fresh cache wrong")
+	}
+	if c.PageSize() != DefaultPageSize {
+		t.Fatal("page size wrong")
+	}
+	if err := c.Alloc("a", 7); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreePages() != 3 || c.UsedPages() != 7 || !c.Has("a") || c.PagesOf("a") != 7 {
+		t.Fatal("post-alloc state wrong")
+	}
+	if err := c.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreePages() != 10 || c.Has("a") || c.PagesOf("a") != 0 {
+		t.Fatal("post-free state wrong")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageCacheAllocFailures(t *testing.T) {
+	c := newCache(10)
+	if err := c.Alloc("a", 0); err == nil {
+		t.Fatal("zero pages should fail")
+	}
+	if err := c.Alloc("a", -1); err == nil {
+		t.Fatal("negative pages should fail")
+	}
+	if err := c.Alloc("a", 11); err == nil {
+		t.Fatal("oversized alloc should fail")
+	}
+	if err := c.Alloc("a", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Alloc("a", 1); err == nil {
+		t.Fatal("double alloc should fail")
+	}
+	if err := c.Alloc("b", 5); err == nil {
+		t.Fatal("alloc beyond free should fail")
+	}
+	// Failure must not change state.
+	if c.FreePages() != 4 {
+		t.Fatalf("free pages = %d after failed allocs", c.FreePages())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageCacheFreeFailures(t *testing.T) {
+	c := newCache(4)
+	if err := c.Free("ghost"); err == nil {
+		t.Fatal("free of absent key should fail")
+	}
+	mustAlloc(t, c, "a", 2)
+	if err := c.Pin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free("a"); err == nil {
+		t.Fatal("free of pinned key should fail")
+	}
+	if err := c.Unpin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinSemantics(t *testing.T) {
+	c := newCache(4)
+	if err := c.Pin("ghost"); err == nil {
+		t.Fatal("pin of absent key should fail")
+	}
+	if err := c.Unpin("ghost"); err == nil {
+		t.Fatal("unpin of absent key should fail")
+	}
+	mustAlloc(t, c, "a", 1)
+	if err := c.Unpin("a"); err == nil {
+		t.Fatal("unpin of unpinned key should fail")
+	}
+	_ = c.Pin("a")
+	_ = c.Pin("a")
+	if c.Pinned("a") != 2 {
+		t.Fatalf("pin count = %d", c.Pinned("a"))
+	}
+	_ = c.Unpin("a")
+	if c.Pinned("a") != 1 {
+		t.Fatal("nested pins broken")
+	}
+	if c.Pinned("ghost") != 0 {
+		t.Fatal("absent key pin count should be 0")
+	}
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	c := newCache(10)
+	mustAlloc(t, c, "a", 1)
+	mustAlloc(t, c, "b", 1)
+	mustAlloc(t, c, "c", 1)
+	// LRU order: a oldest.
+	if v, ok := c.LRUVictim(); !ok || v != "a" {
+		t.Fatalf("victim = %q", v)
+	}
+	c.Touch("a") // now b is oldest
+	if v, ok := c.LRUVictim(); !ok || v != "b" {
+		t.Fatalf("victim = %q", v)
+	}
+	_ = c.Pin("b") // pinned entries are skipped
+	if v, ok := c.LRUVictim(); !ok || v != "c" {
+		t.Fatalf("victim = %q", v)
+	}
+	_ = c.Pin("c")
+	_ = c.Pin("a")
+	if _, ok := c.LRUVictim(); ok {
+		t.Fatal("all pinned: no victim expected")
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	c := newCache(10)
+	mustAlloc(t, c, "a", 1)
+	mustAlloc(t, c, "b", 1)
+	c.Touch("a")
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestTouchAbsentKeyIsNoop(t *testing.T) {
+	c := newCache(2)
+	c.Touch("ghost") // must not panic
+}
+
+func TestPageCachePanicsOnBadConstruction(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewPageCache(100, 0) },
+		func() { NewPageCache(-1, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if newCache(2).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func mustAlloc(t *testing.T, c *PageCache, key string, pages int) {
+	t.Helper()
+	if err := c.Alloc(key, pages); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under arbitrary alloc/free/touch/pin sequences the cache
+// never violates its invariants, and free pages always equals capacity
+// minus the sum of live allocations.
+func TestPageCacheInvariantsProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Pages uint8
+	}
+	f := func(ops []op) bool {
+		c := newCache(32)
+		live := map[string]int{}
+		pins := map[string]int{}
+		for _, o := range ops {
+			key := fmt.Sprintf("m%d", o.Key%8)
+			switch o.Kind % 5 {
+			case 0: // alloc
+				pages := int(o.Pages%10) + 1
+				err := c.Alloc(key, pages)
+				if _, exists := live[key]; exists {
+					if err == nil {
+						return false // double alloc must fail
+					}
+				} else if pages <= c.TotalPages()-sum(live) {
+					if err != nil {
+						return false // should have succeeded
+					}
+					live[key] = pages
+				} else if err == nil {
+					return false // over-capacity must fail
+				}
+			case 1: // free
+				err := c.Free(key)
+				if _, exists := live[key]; exists && pins[key] == 0 {
+					if err != nil {
+						return false
+					}
+					delete(live, key)
+				} else if err == nil {
+					return false
+				}
+			case 2: // touch
+				c.Touch(key)
+			case 3: // pin
+				if err := c.Pin(key); err == nil {
+					pins[key]++
+				}
+			case 4: // unpin
+				if err := c.Unpin(key); err == nil {
+					pins[key]--
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				return false
+			}
+			if c.FreePages() != c.TotalPages()-sum(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

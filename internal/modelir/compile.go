@@ -1,0 +1,148 @@
+package modelir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clockwork/internal/modelzoo"
+)
+
+// Calibration converts graph statistics into execution-time estimates.
+// The zero value is unusable; use DefaultCalibration (fit against the
+// measured Appendix A corpus) or Calibrate against a custom corpus.
+type Calibration struct {
+	// SecondsPerFLOP is the effective per-MAC cost at batch 1 —
+	// far above the GPU's peak rate because small batches underutilise
+	// the device.
+	SecondsPerFLOP float64
+	// BatchEfficiency(b) scales per-sample cost at batch size b
+	// relative to batch 1 (≤ 1; larger batches amortise better).
+	BatchEfficiency map[int]float64
+	// BytesPerSecond prices the host→GPU weight transfer.
+	BytesPerSecond float64
+	// LaunchOverhead is the fixed per-inference kernel launch cost.
+	LaunchOverhead float64 // seconds
+}
+
+// DefaultCalibration is fit against the embedded Appendix A corpus at
+// package init.
+var DefaultCalibration = calibrateFromZoo()
+
+// flopsOfZooModel approximates a catalogue model's per-sample MACs from
+// its parameter count: for the CNNs in the corpus, FLOPs ≈ params ×
+// spatial reuse; the reuse factor is folded into SecondsPerFLOP by the
+// fit, so using params directly keeps the calibration self-consistent.
+func flopsOfZooModel(m *modelzoo.Model) float64 {
+	return m.WeightsMB * 1024 * 1024 / 4 // float32 params
+}
+
+func calibrateFromZoo() Calibration {
+	models := modelzoo.All()
+	// Fit SecondsPerFLOP as the median of exec(B1)/params.
+	ratios := make([]float64, 0, len(models))
+	for _, m := range models {
+		ratios = append(ratios, m.ExecMs[0]/1000/flopsOfZooModel(m))
+	}
+	sort.Float64s(ratios)
+	perFLOP := ratios[len(ratios)/2]
+
+	// Fit batch efficiency as the median of exec(Bk)/(k·exec(B1)).
+	eff := map[int]float64{1: 1.0}
+	for i, b := range modelzoo.BatchSizes {
+		if b == 1 {
+			continue
+		}
+		es := make([]float64, 0, len(models))
+		for _, m := range models {
+			es = append(es, m.ExecMs[i]/(float64(b)*m.ExecMs[0]))
+		}
+		sort.Float64s(es)
+		eff[b] = es[len(es)/2]
+	}
+
+	// Fit transfer bandwidth as the median of weights/transfer.
+	bws := make([]float64, 0, len(models))
+	for _, m := range models {
+		bws = append(bws, m.WeightsMB*1024*1024/(m.TransferMs/1000))
+	}
+	sort.Float64s(bws)
+
+	return Calibration{
+		SecondsPerFLOP:  perFLOP,
+		BatchEfficiency: eff,
+		BytesPerSecond:  bws[len(bws)/2],
+		LaunchOverhead:  50e-6,
+	}
+}
+
+// efficiencyAt interpolates batch efficiency for arbitrary batch sizes.
+func (c Calibration) efficiencyAt(batch int) float64 {
+	if e, ok := c.BatchEfficiency[batch]; ok {
+		return e
+	}
+	// Interpolate in log-batch space between compiled points.
+	lo, hi := 1, modelzoo.MaxBatch
+	for _, b := range modelzoo.BatchSizes {
+		if b < batch && b > lo {
+			lo = b
+		}
+		if b > batch && b < hi {
+			hi = b
+		}
+	}
+	if batch >= modelzoo.MaxBatch {
+		return c.BatchEfficiency[modelzoo.MaxBatch]
+	}
+	el, eh := c.BatchEfficiency[lo], c.BatchEfficiency[hi]
+	frac := (math.Log(float64(batch)) - math.Log(float64(lo))) /
+		(math.Log(float64(hi)) - math.Log(float64(lo)))
+	return el + frac*(eh-el)
+}
+
+// Compile lowers a graph into a servable model: the §5.1 postprocessing
+// step that produces the weights blob size, per-batch kernels (here:
+// per-batch execution profiles), memory metadata, and profiling seed.
+func Compile(g *Graph, cal Calibration) (*modelzoo.Model, error) {
+	out, err := g.Check()
+	if err != nil {
+		return nil, err
+	}
+	params, err := g.TotalParams()
+	if err != nil {
+		return nil, err
+	}
+	if params <= 0 {
+		return nil, fmt.Errorf("modelir: %q has no parameters; nothing to serve", g.Name)
+	}
+	if cal.SecondsPerFLOP <= 0 || cal.BytesPerSecond <= 0 {
+		return nil, fmt.Errorf("modelir: invalid calibration %+v", cal)
+	}
+
+	weightsBytes := float64(params) * 4 // float32
+	m := &modelzoo.Model{
+		Name:       g.Name,
+		Family:     "custom",
+		InputKB:    float64(g.Input.Elems()) * 4 / 1024,
+		OutputKB:   float64(out.Elems()) * 4 / 1024,
+		WeightsMB:  weightsBytes / 1024 / 1024,
+		TransferMs: weightsBytes / cal.BytesPerSecond * 1000,
+	}
+	// Profile the kernels per compiled batch size. The calibrated
+	// per-FLOP rate was fit on params (see flopsOfZooModel), so the
+	// estimate uses params for corpus consistency.
+	base := float64(params)*cal.SecondsPerFLOP + cal.LaunchOverhead
+	for i, b := range modelzoo.BatchSizes {
+		m.ExecMs[i] = base * float64(b) * cal.efficiencyAt(b) * 1000
+	}
+	return m, nil
+}
+
+// MustCompile is Compile that panics on error, for declarative setup.
+func MustCompile(g *Graph, cal Calibration) *modelzoo.Model {
+	m, err := Compile(g, cal)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,253 @@
+// Package modelir implements the model front-end of §5.1: users hand
+// Clockwork an abstract model definition (the role ONNX/NNEF play in the
+// paper — the "narrow waist" of the ML stack), and Clockwork compiles it
+// into the artifacts its runtime needs:
+//
+//   - Weights: the parameter blob size (drives LOAD cost and paging).
+//   - Kernels: one per layer and batch size (drives EXEC cost).
+//   - Memory metadata: the workspace high-water mark, pre-computed so
+//     the runtime never allocates during execution.
+//   - Profiling data: a seed execution-time estimate per batch size,
+//     derived from layer FLOPs and calibrated against the measured
+//     Appendix A corpus.
+//
+// The resulting modelzoo.Model is indistinguishable to the serving stack
+// from a catalogue entry, so custom architectures can ride the same
+// scheduler, cache, and predictor machinery.
+package modelir
+
+import (
+	"fmt"
+)
+
+// Graph is an abstract DNN: an input shape and a sequence of layers
+// (DNNs have no data-dependent control flow — §2 — so a linear sequence
+// with explicit shapes is faithful for cost purposes).
+type Graph struct {
+	Name string
+	// Input is the per-sample input tensor shape (channels, height,
+	// width) — batch is added at compile time.
+	Input Shape
+	// Layers execute in order.
+	Layers []Layer
+}
+
+// Shape is a (channels, height, width) tensor shape. Fully-connected
+// activations use (features, 1, 1).
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the element count.
+func (s Shape) Elems() int64 { return int64(s.C) * int64(s.H) * int64(s.W) }
+
+func (s Shape) valid() bool { return s.C > 0 && s.H > 0 && s.W > 0 }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Layer is one operator. Implementations compute their output shape,
+// parameter count, and FLOPs per sample.
+type Layer interface {
+	// Name identifies the operator type.
+	Name() string
+	// OutShape returns the output shape for the given input shape, or
+	// an error if the shapes are incompatible.
+	OutShape(in Shape) (Shape, error)
+	// Params returns the number of learned parameters.
+	Params(in Shape) int64
+	// FLOPs returns multiply-accumulate operations per sample.
+	FLOPs(in Shape) int64
+}
+
+// Conv2D is a 2D convolution with square kernels and "same" padding.
+type Conv2D struct {
+	OutChannels int
+	Kernel      int
+	Stride      int
+}
+
+// Name implements Layer.
+func (l Conv2D) Name() string { return "conv2d" }
+
+// OutShape implements Layer.
+func (l Conv2D) OutShape(in Shape) (Shape, error) {
+	if l.OutChannels <= 0 || l.Kernel <= 0 {
+		return Shape{}, fmt.Errorf("modelir: conv2d needs positive channels/kernel, got %+v", l)
+	}
+	stride := l.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	out := Shape{C: l.OutChannels, H: (in.H + stride - 1) / stride, W: (in.W + stride - 1) / stride}
+	if !out.valid() {
+		return Shape{}, fmt.Errorf("modelir: conv2d degenerate output %v from input %v", out, in)
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (l Conv2D) Params(in Shape) int64 {
+	return int64(l.OutChannels)*int64(in.C)*int64(l.Kernel)*int64(l.Kernel) + int64(l.OutChannels)
+}
+
+// FLOPs implements Layer.
+func (l Conv2D) FLOPs(in Shape) int64 {
+	out, err := l.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	perOutput := int64(in.C) * int64(l.Kernel) * int64(l.Kernel)
+	return out.Elems() * perOutput
+}
+
+// Pool2D is max/avg pooling (cost-equivalent for our purposes).
+type Pool2D struct {
+	Window int
+}
+
+// Name implements Layer.
+func (l Pool2D) Name() string { return "pool2d" }
+
+// OutShape implements Layer.
+func (l Pool2D) OutShape(in Shape) (Shape, error) {
+	if l.Window <= 1 {
+		return Shape{}, fmt.Errorf("modelir: pool2d needs window > 1, got %d", l.Window)
+	}
+	out := Shape{C: in.C, H: in.H / l.Window, W: in.W / l.Window}
+	if !out.valid() {
+		return Shape{}, fmt.Errorf("modelir: pool2d window %d too large for input %v", l.Window, in)
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (l Pool2D) Params(Shape) int64 { return 0 }
+
+// FLOPs implements Layer.
+func (l Pool2D) FLOPs(in Shape) int64 { return in.Elems() }
+
+// Activation is an elementwise nonlinearity (ReLU etc.).
+type Activation struct{}
+
+// Name implements Layer.
+func (Activation) Name() string { return "activation" }
+
+// OutShape implements Layer.
+func (Activation) OutShape(in Shape) (Shape, error) { return in, nil }
+
+// Params implements Layer.
+func (Activation) Params(Shape) int64 { return 0 }
+
+// FLOPs implements Layer.
+func (Activation) FLOPs(in Shape) int64 { return in.Elems() }
+
+// Dense is a fully connected layer over the flattened input.
+type Dense struct {
+	Out int
+}
+
+// Name implements Layer.
+func (l Dense) Name() string { return "dense" }
+
+// OutShape implements Layer.
+func (l Dense) OutShape(in Shape) (Shape, error) {
+	if l.Out <= 0 {
+		return Shape{}, fmt.Errorf("modelir: dense needs positive width, got %d", l.Out)
+	}
+	return Shape{C: l.Out, H: 1, W: 1}, nil
+}
+
+// Params implements Layer.
+func (l Dense) Params(in Shape) int64 { return in.Elems()*int64(l.Out) + int64(l.Out) }
+
+// FLOPs implements Layer.
+func (l Dense) FLOPs(in Shape) int64 { return in.Elems() * int64(l.Out) }
+
+// GlobalPool collapses spatial dimensions.
+type GlobalPool struct{}
+
+// Name implements Layer.
+func (GlobalPool) Name() string { return "globalpool" }
+
+// OutShape implements Layer.
+func (GlobalPool) OutShape(in Shape) (Shape, error) { return Shape{C: in.C, H: 1, W: 1}, nil }
+
+// Params implements Layer.
+func (GlobalPool) Params(Shape) int64 { return 0 }
+
+// FLOPs implements Layer.
+func (GlobalPool) FLOPs(in Shape) int64 { return in.Elems() }
+
+// Check validates the graph: every layer must accept its predecessor's
+// output shape. It returns the output shape.
+func (g *Graph) Check() (Shape, error) {
+	if g.Name == "" {
+		return Shape{}, fmt.Errorf("modelir: graph needs a name")
+	}
+	if !g.Input.valid() {
+		return Shape{}, fmt.Errorf("modelir: invalid input shape %v", g.Input)
+	}
+	if len(g.Layers) == 0 {
+		return Shape{}, fmt.Errorf("modelir: graph %q has no layers", g.Name)
+	}
+	shape := g.Input
+	for i, l := range g.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			return Shape{}, fmt.Errorf("modelir: %q layer %d (%s): %w", g.Name, i, l.Name(), err)
+		}
+		shape = out
+	}
+	return shape, nil
+}
+
+// TotalParams sums learned parameters across layers.
+func (g *Graph) TotalParams() (int64, error) {
+	if _, err := g.Check(); err != nil {
+		return 0, err
+	}
+	var total int64
+	shape := g.Input
+	for _, l := range g.Layers {
+		total += l.Params(shape)
+		shape, _ = l.OutShape(shape)
+	}
+	return total, nil
+}
+
+// TotalFLOPs sums per-sample multiply-accumulates across layers.
+func (g *Graph) TotalFLOPs() (int64, error) {
+	if _, err := g.Check(); err != nil {
+		return 0, err
+	}
+	var total int64
+	shape := g.Input
+	for _, l := range g.Layers {
+		total += l.FLOPs(shape)
+		shape, _ = l.OutShape(shape)
+	}
+	return total, nil
+}
+
+// WorkspaceBytes returns the peak intermediate-activation footprint
+// (input + output of the widest layer, float32) — the §5.1 memory
+// metadata that sizes the runtime workspace.
+func (g *Graph) WorkspaceBytes(batch int) (int64, error) {
+	if _, err := g.Check(); err != nil {
+		return 0, err
+	}
+	if batch < 1 {
+		return 0, fmt.Errorf("modelir: batch %d < 1", batch)
+	}
+	peak := int64(0)
+	shape := g.Input
+	for _, l := range g.Layers {
+		out, _ := l.OutShape(shape)
+		if need := (shape.Elems() + out.Elems()) * 4; need > peak {
+			peak = need
+		}
+		shape = out
+	}
+	return peak * int64(batch), nil
+}

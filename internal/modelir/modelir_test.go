@@ -1,0 +1,262 @@
+package modelir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clockwork/internal/modelzoo"
+)
+
+// tinyCNN is a small but legal network used across tests.
+func tinyCNN() *Graph {
+	return &Graph{
+		Name:  "tiny-cnn",
+		Input: Shape{C: 3, H: 224, W: 224},
+		Layers: []Layer{
+			Conv2D{OutChannels: 64, Kernel: 7, Stride: 2},
+			Activation{},
+			Pool2D{Window: 2},
+			Conv2D{OutChannels: 128, Kernel: 3},
+			Activation{},
+			GlobalPool{},
+			Dense{Out: 1000},
+		},
+	}
+}
+
+func TestGraphCheckValid(t *testing.T) {
+	out, err := tinyCNN().Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 1000, H: 1, W: 1}) {
+		t.Fatalf("output shape = %v", out)
+	}
+}
+
+func TestGraphCheckRejectsBadGraphs(t *testing.T) {
+	cases := map[string]*Graph{
+		"no name":     {Input: Shape{3, 8, 8}, Layers: []Layer{Activation{}}},
+		"bad input":   {Name: "x", Input: Shape{0, 8, 8}, Layers: []Layer{Activation{}}},
+		"no layers":   {Name: "x", Input: Shape{3, 8, 8}},
+		"bad conv":    {Name: "x", Input: Shape{3, 8, 8}, Layers: []Layer{Conv2D{}}},
+		"pool window": {Name: "x", Input: Shape{3, 8, 8}, Layers: []Layer{Pool2D{Window: 1}}},
+		"pool large":  {Name: "x", Input: Shape{3, 8, 8}, Layers: []Layer{Pool2D{Window: 16}}},
+		"bad dense":   {Name: "x", Input: Shape{3, 8, 8}, Layers: []Layer{Dense{}}},
+	}
+	for name, g := range cases {
+		if _, err := g.Check(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := Shape{C: 3, H: 4, W: 5}
+	if s.Elems() != 60 {
+		t.Fatal("Elems wrong")
+	}
+	if s.String() != "3x4x5" {
+		t.Fatalf("String: %q", s.String())
+	}
+}
+
+func TestLayerAccounting(t *testing.T) {
+	in := Shape{C: 3, H: 32, W: 32}
+	conv := Conv2D{OutChannels: 8, Kernel: 3}
+	if p := conv.Params(in); p != 3*8*9+8 {
+		t.Fatalf("conv params = %d", p)
+	}
+	out, _ := conv.OutShape(in)
+	if out != (Shape{C: 8, H: 32, W: 32}) {
+		t.Fatalf("conv out = %v", out)
+	}
+	if f := conv.FLOPs(in); f != out.Elems()*3*9 {
+		t.Fatalf("conv flops = %d", f)
+	}
+	dense := Dense{Out: 10}
+	if p := dense.Params(in); p != 3*32*32*10+10 {
+		t.Fatalf("dense params = %d", p)
+	}
+	if (Activation{}).Params(in) != 0 || (GlobalPool{}).Params(in) != 0 || (Pool2D{Window: 2}).Params(in) != 0 {
+		t.Fatal("parameterless layers report params")
+	}
+	for _, l := range []Layer{Conv2D{OutChannels: 1, Kernel: 1}, Pool2D{Window: 2}, Activation{}, Dense{Out: 1}, GlobalPool{}} {
+		if l.Name() == "" {
+			t.Fatal("unnamed layer")
+		}
+	}
+}
+
+func TestTotalsAndWorkspace(t *testing.T) {
+	g := tinyCNN()
+	params, err := g.TotalParams()
+	if err != nil || params <= 0 {
+		t.Fatalf("params=%d err=%v", params, err)
+	}
+	flops, err := g.TotalFLOPs()
+	if err != nil || flops <= params {
+		t.Fatalf("flops=%d (should exceed params for a CNN)", flops)
+	}
+	ws1, err := g.WorkspaceBytes(1)
+	if err != nil || ws1 <= 0 {
+		t.Fatalf("ws=%d err=%v", ws1, err)
+	}
+	ws4, _ := g.WorkspaceBytes(4)
+	if ws4 != 4*ws1 {
+		t.Fatal("workspace must scale with batch")
+	}
+	if _, err := g.WorkspaceBytes(0); err == nil {
+		t.Fatal("batch 0 should error")
+	}
+	bad := &Graph{}
+	if _, err := bad.TotalParams(); err == nil {
+		t.Fatal("invalid graph should error")
+	}
+	if _, err := bad.TotalFLOPs(); err == nil {
+		t.Fatal("invalid graph should error")
+	}
+	if _, err := bad.WorkspaceBytes(1); err == nil {
+		t.Fatal("invalid graph should error")
+	}
+}
+
+func TestCompileProducesServableModel(t *testing.T) {
+	m, err := Compile(tinyCNN(), DefaultCalibration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "tiny-cnn" || m.Family != "custom" {
+		t.Fatalf("identity wrong: %+v", m)
+	}
+	if m.WeightsMB <= 0 || m.TransferMs <= 0 {
+		t.Fatal("no weights/transfer")
+	}
+	// Latencies must be positive, increasing in batch, with per-sample
+	// amortisation.
+	prev := 0.0
+	for i, b := range modelzoo.BatchSizes {
+		if m.ExecMs[i] <= prev {
+			t.Fatalf("batch %d latency %v not increasing", b, m.ExecMs[i])
+		}
+		perSample := m.ExecMs[i] / float64(b)
+		if b > 1 && perSample >= m.ExecMs[0] {
+			t.Fatalf("batch %d per-sample %v ≥ batch-1 %v: no amortisation", b, perSample, m.ExecMs[0])
+		}
+		prev = m.ExecMs[i]
+	}
+	// And the model plugs into the zoo-facing API.
+	if m.Pages(16*1024*1024) <= 0 {
+		t.Fatal("pages")
+	}
+	if m.ExecLatency(3) <= m.ExecLatency(1) {
+		t.Fatal("interpolation broken for compiled model")
+	}
+}
+
+func TestCompileCalibrationSanity(t *testing.T) {
+	// Compiling a graph with ResNet50-like parameter volume should give
+	// latencies within ~3× of the real ResNet50 row — the calibration
+	// is a median fit over a heterogeneous corpus, not a per-model
+	// oracle.
+	g := &Graph{
+		Name:  "resnet50-like",
+		Input: Shape{C: 3, H: 224, W: 224},
+		Layers: []Layer{
+			Conv2D{OutChannels: 64, Kernel: 7, Stride: 2},
+			GlobalPool{},
+			Dense{Out: 390_000}, // pad params to ≈25.6M total
+		},
+	}
+	params, _ := g.TotalParams()
+	real := modelzoo.ResNet50()
+	realParams := int64(real.WeightsMB * 1024 * 1024 / 4)
+	if ratio := float64(params) / float64(realParams); ratio < 0.5 || ratio > 2 {
+		t.Skipf("param construction off (%.2fx); adjust the pad", ratio)
+	}
+	m := MustCompile(g, DefaultCalibration)
+	if r := m.ExecMs[0] / real.ExecMs[0]; r < 1.0/3 || r > 3 {
+		t.Fatalf("batch-1 estimate %.2fms vs real %.2fms (%.1fx) — calibration off", m.ExecMs[0], real.ExecMs[0], r)
+	}
+	if r := m.TransferMs / real.TransferMs; r < 0.5 || r > 2 {
+		t.Fatalf("transfer estimate %.2fms vs real %.2fms", m.TransferMs, real.TransferMs)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(&Graph{}, DefaultCalibration); err == nil {
+		t.Fatal("invalid graph should fail")
+	}
+	noParams := &Graph{Name: "x", Input: Shape{3, 8, 8}, Layers: []Layer{Activation{}}}
+	if _, err := Compile(noParams, DefaultCalibration); err == nil {
+		t.Fatal("parameterless graph should fail")
+	}
+	if _, err := Compile(tinyCNN(), Calibration{}); err == nil {
+		t.Fatal("zero calibration should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic")
+		}
+	}()
+	MustCompile(&Graph{}, DefaultCalibration)
+}
+
+func TestDefaultCalibrationFit(t *testing.T) {
+	c := DefaultCalibration
+	if c.SecondsPerFLOP <= 0 || c.BytesPerSecond <= 0 {
+		t.Fatalf("calibration: %+v", c)
+	}
+	// Bandwidth should be near the Appendix A implied ~12.3 GB/s.
+	gbps := c.BytesPerSecond / 1024 / 1024 / 1024
+	if gbps < 11 || gbps > 14 {
+		t.Fatalf("calibrated bandwidth %.1f GB/s", gbps)
+	}
+	// Batch efficiency must be ≤ 1 and non-increasing-ish.
+	for b, e := range c.BatchEfficiency {
+		if e <= 0 || e > 1.001 {
+			t.Fatalf("efficiency[%d] = %v", b, e)
+		}
+	}
+	if c.BatchEfficiency[16] >= c.BatchEfficiency[2] {
+		t.Fatal("larger batches should amortise better")
+	}
+}
+
+// Property: efficiency interpolation stays within the fitted envelope
+// for all batch sizes 1..16.
+func TestEfficiencyInterpolationProperty(t *testing.T) {
+	c := DefaultCalibration
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, e := range c.BatchEfficiency {
+		min = math.Min(min, e)
+		max = math.Max(max, e)
+	}
+	f := func(raw uint8) bool {
+		b := int(raw%16) + 1
+		e := c.efficiencyAt(b)
+		return e >= min-1e-9 && e <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compiled latency scales monotonically with parameter volume.
+func TestCompileMonotoneInSizeProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		width := int(raw%64)*1000 + 1000
+		small := &Graph{Name: "s", Input: Shape{64, 1, 1}, Layers: []Layer{Dense{Out: width}}}
+		large := &Graph{Name: "l", Input: Shape{64, 1, 1}, Layers: []Layer{Dense{Out: width * 2}}}
+		ms, err1 := Compile(small, DefaultCalibration)
+		ml, err2 := Compile(large, DefaultCalibration)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ml.ExecMs[0] > ms.ExecMs[0] && ml.WeightsMB > ms.WeightsMB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package modelzoo embeds the model catalogue of the Clockwork paper
+// (Appendix A, Table 1): 64 pre-trained DNNs from the ONNX and GluonCV
+// model zoos, compiled with TVM 0.7 for an NVIDIA Tesla v100, with their
+// input/output sizes, weight sizes, host→GPU transfer times, and GPU
+// execution latencies at batch sizes 1, 2, 4, 8 and 16.
+//
+// For the simulator these numbers ARE the models: scheduling decisions in
+// Clockwork depend only on per-(model, batch) execution time, weight
+// size, and IO size, all of which Table 1 supplies.
+package modelzoo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// BatchSizes are the batch sizes Clockwork compiles kernels for (§5.1).
+var BatchSizes = []int{1, 2, 4, 8, 16}
+
+// MaxBatch is the largest compiled batch size.
+const MaxBatch = 16
+
+// Model describes one catalogue entry. All latencies are as profiled on
+// a Tesla v100; the simulated GPU replays them with a small noise model.
+type Model struct {
+	Name       string
+	Family     string
+	InputKB    float64    // per-request input tensor size
+	OutputKB   float64    // per-request output tensor size
+	WeightsMB  float64    // weights blob size
+	TransferMs float64    // host→GPU weights transfer time
+	ExecMs     [5]float64 // batch 1, 2, 4, 8, 16 execution latency
+}
+
+// WeightsBytes returns the weights blob size in bytes.
+func (m *Model) WeightsBytes() int64 { return int64(m.WeightsMB * 1024 * 1024) }
+
+// InputBytes returns the per-request input size in bytes.
+func (m *Model) InputBytes() int64 { return int64(m.InputKB * 1024) }
+
+// OutputBytes returns the per-request output size in bytes.
+func (m *Model) OutputBytes() int64 { return int64(m.OutputKB * 1024) }
+
+// Transfer returns the profiled host→GPU weights transfer duration.
+func (m *Model) Transfer() time.Duration {
+	return time.Duration(m.TransferMs * float64(time.Millisecond))
+}
+
+// Pages returns the number of fixed-size cache pages the weights occupy.
+func (m *Model) Pages(pageSize int64) int {
+	if pageSize <= 0 {
+		panic("modelzoo: non-positive page size")
+	}
+	return int((m.WeightsBytes() + pageSize - 1) / pageSize)
+}
+
+// ExecLatency returns the GPU execution latency for the given batch size.
+// Exact for the compiled sizes {1,2,4,8,16}; linear interpolation in batch
+// size between compiled points; linear extrapolation (using the 8→16
+// marginal cost) above 16. Panics on batch < 1.
+func (m *Model) ExecLatency(batch int) time.Duration {
+	ms := m.execMs(batch)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func (m *Model) execMs(batch int) float64 {
+	if batch < 1 {
+		panic(fmt.Sprintf("modelzoo: ExecLatency batch %d < 1", batch))
+	}
+	switch batch {
+	case 1:
+		return m.ExecMs[0]
+	case 2:
+		return m.ExecMs[1]
+	case 4:
+		return m.ExecMs[2]
+	case 8:
+		return m.ExecMs[3]
+	case 16:
+		return m.ExecMs[4]
+	}
+	if batch > MaxBatch {
+		slope := (m.ExecMs[4] - m.ExecMs[3]) / 8
+		return m.ExecMs[4] + slope*float64(batch-16)
+	}
+	// Interpolate between the nearest compiled sizes.
+	lowerIdx := 0
+	for i, b := range BatchSizes {
+		if b <= batch {
+			lowerIdx = i
+		}
+	}
+	lo, hi := BatchSizes[lowerIdx], BatchSizes[lowerIdx+1]
+	frac := float64(batch-lo) / float64(hi-lo)
+	return m.ExecMs[lowerIdx] + frac*(m.ExecMs[lowerIdx+1]-m.ExecMs[lowerIdx])
+}
+
+// ThroughputAt returns requests/second achieved when running back-to-back
+// batches of the given size.
+func (m *Model) ThroughputAt(batch int) float64 {
+	lat := m.ExecLatency(batch).Seconds()
+	if lat <= 0 {
+		return math.Inf(1)
+	}
+	return float64(batch) / lat
+}
+
+// BestBatchFor returns the largest compiled batch size whose execution
+// latency fits within budget, and true; or 0, false if even batch 1 does
+// not fit.
+func (m *Model) BestBatchFor(budget time.Duration) (int, bool) {
+	best := 0
+	for _, b := range BatchSizes {
+		if m.ExecLatency(b) <= budget {
+			best = b
+		}
+	}
+	return best, best > 0
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s{weights=%.1fMB b1=%.2fms}", m.Name, m.WeightsMB, m.ExecMs[0])
+}
+
+var byName map[string]*Model
+
+func init() {
+	byName = make(map[string]*Model, len(catalogue))
+	for i := range catalogue {
+		m := &catalogue[i]
+		if _, dup := byName[m.Name]; dup {
+			panic("modelzoo: duplicate model " + m.Name)
+		}
+		byName[m.Name] = m
+	}
+}
+
+// All returns the full catalogue, ordered as in the paper's Table 1.
+// Callers must not mutate the returned models.
+func All() []*Model {
+	out := make([]*Model, len(catalogue))
+	for i := range catalogue {
+		out[i] = &catalogue[i]
+	}
+	return out
+}
+
+// Count returns the catalogue size.
+func Count() int { return len(catalogue) }
+
+// ByName looks a model up by name.
+func ByName(name string) (*Model, bool) {
+	m, ok := byName[name]
+	return m, ok
+}
+
+// MustByName is ByName that panics on unknown names; for experiment setup.
+func MustByName(name string) *Model {
+	m, ok := byName[name]
+	if !ok {
+		panic("modelzoo: unknown model " + name)
+	}
+	return m
+}
+
+// ResNet50 returns the paper's de-facto comparison model (§6.1 uses
+// ResNet50 with ≈2.9ms batch-1 execution and ≈8.3ms weight transfer;
+// resnet50_v1b matches those figures).
+func ResNet50() *Model { return MustByName("resnet50_v1b") }
+
+// Families returns the distinct family names, sorted.
+func Families() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range catalogue {
+		f := catalogue[i].Family
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByFamily returns all models in a family, in catalogue order.
+func ByFamily(family string) []*Model {
+	var out []*Model
+	for i := range catalogue {
+		if catalogue[i].Family == family {
+			out = append(out, &catalogue[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package modelzoo
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCatalogueSize(t *testing.T) {
+	if Count() != 64 {
+		t.Fatalf("catalogue has %d models, want 64 (Table 1 rows)", Count())
+	}
+	if len(All()) != Count() {
+		t.Fatal("All() length mismatch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, ok := ByName("resnet50_v1b")
+	if !ok || m.Name != "resnet50_v1b" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := ByName("not-a-model"); ok {
+		t.Fatal("phantom model found")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustByName("nope")
+}
+
+func TestResNet50MatchesPaperNumbers(t *testing.T) {
+	m := ResNet50()
+	// §4.4: transfer ≈8.3ms, execution ≈2.9ms (we use the v1b row:
+	// 8.33ms / 2.77ms).
+	if m.TransferMs < 8.0 || m.TransferMs > 8.6 {
+		t.Fatalf("transfer %vms out of the paper's ≈8.3ms range", m.TransferMs)
+	}
+	if m.ExecMs[0] < 2.5 || m.ExecMs[0] > 3.0 {
+		t.Fatalf("batch-1 exec %vms out of the paper's ≈2.9ms range", m.ExecMs[0])
+	}
+}
+
+func TestExecLatencyExactPoints(t *testing.T) {
+	m := MustByName("googlenet")
+	wants := map[int]float64{1: 1.54, 2: 1.94, 4: 2.69, 8: 4.19, 16: 7.11}
+	for b, ms := range wants {
+		if got := m.ExecLatency(b); got != time.Duration(ms*float64(time.Millisecond)) {
+			t.Errorf("batch %d: got %v want %vms", b, got, ms)
+		}
+	}
+}
+
+func TestExecLatencyInterpolation(t *testing.T) {
+	m := MustByName("googlenet")
+	// batch 3 between 2 (1.94) and 4 (2.69) → 2.315ms.
+	got := m.ExecLatency(3)
+	want := time.Duration(2.315 * float64(time.Millisecond))
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("batch 3: got %v want ≈%v", got, want)
+	}
+	// batch 12 between 8 (4.19) and 16 (7.11) → 4.19+0.5*2.92=5.65ms.
+	got = m.ExecLatency(12)
+	want = time.Duration(5.65 * float64(time.Millisecond))
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("batch 12: got %v want ≈%v", got, want)
+	}
+}
+
+func TestExecLatencyExtrapolation(t *testing.T) {
+	m := MustByName("googlenet")
+	// Above 16 the marginal cost of the 8→16 segment applies.
+	b32 := m.ExecLatency(32)
+	b16 := m.ExecLatency(16)
+	if b32 <= b16 {
+		t.Fatal("extrapolation must increase latency")
+	}
+	perReq := (b32 - b16) / 16
+	seg := (m.ExecLatency(16) - m.ExecLatency(8)) / 8
+	if perReq != seg {
+		t.Fatalf("marginal cost %v != segment slope %v", perReq, seg)
+	}
+}
+
+func TestExecLatencyPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ResNet50().ExecLatency(0)
+}
+
+func TestPages(t *testing.T) {
+	m := ResNet50() // 102.1 MB
+	const pageSize = 16 * 1024 * 1024
+	if got := m.Pages(pageSize); got != 7 { // ceil(102.1/16) = 7
+		t.Fatalf("pages = %d, want 7", got)
+	}
+	tiny := MustByName("mobile_pose_mobilenetv3") // 19.0 MB → 2 pages
+	if got := tiny.Pages(pageSize); got != 2 {
+		t.Fatalf("pages = %d, want 2", got)
+	}
+}
+
+func TestPagesPanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ResNet50().Pages(0)
+}
+
+func TestByteAccessors(t *testing.T) {
+	m := ResNet50()
+	if m.InputBytes() != 602*1024 {
+		t.Fatalf("input bytes = %d", m.InputBytes())
+	}
+	if m.OutputBytes() != 4*1024 {
+		t.Fatalf("output bytes = %d", m.OutputBytes())
+	}
+	weightsMB := m.WeightsMB
+	wantWeights := int64(weightsMB * 1024 * 1024)
+	if m.WeightsBytes() != wantWeights {
+		t.Fatalf("weights bytes = %d", m.WeightsBytes())
+	}
+	if m.Transfer() != time.Duration(8.33*float64(time.Millisecond)) {
+		t.Fatalf("transfer = %v", m.Transfer())
+	}
+}
+
+func TestBestBatchFor(t *testing.T) {
+	m := ResNet50() // B1=2.77 B2=3.95 B4=5.88 B8=9.78 B16=16.58
+	if b, ok := m.BestBatchFor(10 * time.Millisecond); !ok || b != 8 {
+		t.Fatalf("got %d,%v want 8,true", b, ok)
+	}
+	if b, ok := m.BestBatchFor(3 * time.Millisecond); !ok || b != 1 {
+		t.Fatalf("got %d,%v want 1,true", b, ok)
+	}
+	if _, ok := m.BestBatchFor(time.Millisecond); ok {
+		t.Fatal("nothing should fit 1ms")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fams := Families()
+	if len(fams) != 13 {
+		t.Fatalf("got %d families, want 13: %v", len(fams), fams)
+	}
+	resnets := ByFamily("ResNet")
+	if len(resnets) != 22 {
+		t.Fatalf("ResNet family has %d rows, want 22", len(resnets))
+	}
+	if len(ByFamily("nonexistent")) != 0 {
+		t.Fatal("phantom family")
+	}
+}
+
+func TestThroughputAt(t *testing.T) {
+	m := ResNet50()
+	t1 := m.ThroughputAt(1)
+	t16 := m.ThroughputAt(16)
+	if t16 <= t1 {
+		t.Fatalf("batch-16 throughput (%v) should exceed batch-1 (%v)", t16, t1)
+	}
+	// batch 1 at 2.77ms → ≈361 r/s.
+	if t1 < 350 || t1 > 375 {
+		t.Fatalf("batch-1 throughput = %v, want ≈361", t1)
+	}
+}
+
+// Property (paper's batching premise): for every model, execution latency
+// is monotone increasing in batch size, while per-request latency is
+// (almost) monotone non-increasing — batching buys throughput. The real
+// Table 1 contains two rows (mobile_pose_mobilenetv3 at B16, resnest50 at
+// B8) where per-request latency creeps up by <5%, so the property allows
+// that much slack.
+func TestBatchingMonotoneProperty(t *testing.T) {
+	for _, m := range All() {
+		prevLat := time.Duration(0)
+		prevPerReq := float64(1 << 62)
+		for _, b := range BatchSizes {
+			lat := m.ExecLatency(b)
+			if lat <= prevLat {
+				t.Errorf("%s: latency not increasing at batch %d (%v ≤ %v)", m.Name, b, lat, prevLat)
+			}
+			perReq := float64(lat) / float64(b)
+			if perReq > prevPerReq*1.05 {
+				t.Errorf("%s: per-request latency increased >5%% at batch %d", m.Name, b)
+			}
+			prevLat, prevPerReq = lat, perReq
+		}
+	}
+}
+
+// Property: interpolation is monotone for arbitrary batch sizes in [1,64].
+func TestInterpolationMonotoneProperty(t *testing.T) {
+	f := func(idx uint8, rawA, rawB uint8) bool {
+		m := All()[int(idx)%Count()]
+		a := int(rawA%64) + 1
+		b := int(rawB%64) + 1
+		if a > b {
+			a, b = b, a
+		}
+		return m.ExecLatency(a) <= m.ExecLatency(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All catalogue rows must be sane: positive sizes and latencies,
+// transfer time roughly proportional to weight size (shared PCIe link).
+func TestCatalogueSanity(t *testing.T) {
+	for _, m := range All() {
+		if m.Name == "" || m.Family == "" {
+			t.Fatalf("unnamed row: %+v", m)
+		}
+		if m.WeightsMB <= 0 || m.TransferMs <= 0 || m.InputKB <= 0 || m.OutputKB <= 0 {
+			t.Fatalf("%s: non-positive size", m.Name)
+		}
+		for i, v := range m.ExecMs {
+			if v <= 0 {
+				t.Fatalf("%s: non-positive exec at index %d", m.Name, i)
+			}
+		}
+		// Effective PCIe bandwidth per row should be ≈12.3 GB/s ± 15%.
+		gbps := m.WeightsMB / 1024 / (m.TransferMs / 1000)
+		if gbps < 10 || gbps > 14 {
+			t.Errorf("%s: implied PCIe bandwidth %.1f GB/s out of range", m.Name, gbps)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if ResNet50().String() == "" {
+		t.Fatal("empty String")
+	}
+}

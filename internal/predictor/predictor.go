@@ -1,0 +1,161 @@
+// Package predictor implements Clockwork's action-duration estimation
+// (§5.3): a rolling window of the most recent measurements per
+// (operation, model, batch size), whose estimate is the window maximum —
+// the paper's "rolling 99th percentile" over a window of 10, which biases
+// towards slight overprediction (idle GPU time) rather than
+// underprediction (SLO violations).
+package predictor
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/telemetry"
+)
+
+// DefaultWindow is the paper's measurement window ("past 10 actions").
+const DefaultWindow = 10
+
+// Estimator tracks a rolling window of durations for one key.
+type Estimator struct {
+	window []time.Duration
+	idx    int
+	n      int
+	seeded bool
+	seed   time.Duration
+}
+
+// NewEstimator returns an estimator over the given window size.
+func NewEstimator(windowSize int) *Estimator {
+	if windowSize <= 0 {
+		panic("predictor: non-positive window")
+	}
+	return &Estimator{window: make([]time.Duration, windowSize)}
+}
+
+// Seed installs a profiling-derived initial estimate, used until real
+// measurements arrive (Clockwork profiles each model at load time, §5.1).
+func (e *Estimator) Seed(d time.Duration) {
+	e.seeded = true
+	e.seed = d
+}
+
+// Observe records a measured duration.
+func (e *Estimator) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.window[e.idx] = d
+	e.idx = (e.idx + 1) % len(e.window)
+	if e.n < len(e.window) {
+		e.n++
+	}
+}
+
+// Count returns the number of measurements in the window.
+func (e *Estimator) Count() int { return e.n }
+
+// Estimate returns the current prediction: the maximum over the window
+// (a p99-style upper estimate), or the profiling seed before any
+// measurement, or 0 if neither exists.
+func (e *Estimator) Estimate() time.Duration {
+	if e.n == 0 {
+		if e.seeded {
+			return e.seed
+		}
+		return 0
+	}
+	var max time.Duration
+	for i := 0; i < e.n; i++ {
+		if e.window[i] > max {
+			max = e.window[i]
+		}
+	}
+	// Until the window has filled, stay conservative: never estimate
+	// below the profiling seed.
+	if e.n < len(e.window) && e.seeded && e.seed > max {
+		return e.seed
+	}
+	return max
+}
+
+// Key identifies one estimator: an operation ("exec", "load"), the model,
+// and the batch size (0 for non-batched operations).
+type Key struct {
+	Op    string
+	Model string
+	Batch int
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string {
+	if k.Batch > 0 {
+		return fmt.Sprintf("%s/%s/b%d", k.Op, k.Model, k.Batch)
+	}
+	return fmt.Sprintf("%s/%s", k.Op, k.Model)
+}
+
+// Profile is the controller's collection of estimators, one per key.
+type Profile struct {
+	window int
+	m      map[Key]*Estimator
+}
+
+// NewProfile returns an empty profile using the given window size per key.
+func NewProfile(windowSize int) *Profile {
+	if windowSize <= 0 {
+		windowSize = DefaultWindow
+	}
+	return &Profile{window: windowSize, m: make(map[Key]*Estimator)}
+}
+
+func (p *Profile) get(k Key) *Estimator {
+	e, ok := p.m[k]
+	if !ok {
+		e = NewEstimator(p.window)
+		p.m[k] = e
+	}
+	return e
+}
+
+// Seed installs a profiling-derived estimate for k.
+func (p *Profile) Seed(k Key, d time.Duration) { p.get(k).Seed(d) }
+
+// Observe records a measurement for k.
+func (p *Profile) Observe(k Key, d time.Duration) { p.get(k).Observe(d) }
+
+// Estimate returns the prediction for k (0 when nothing is known).
+func (p *Profile) Estimate(k Key) time.Duration {
+	if e, ok := p.m[k]; ok {
+		return e.Estimate()
+	}
+	return 0
+}
+
+// Len returns the number of keys tracked.
+func (p *Profile) Len() int { return len(p.m) }
+
+// ErrorTracker accumulates prediction-error telemetry for Fig 9:
+// overpredictions (actual < predicted) and underpredictions
+// (actual > predicted), for both action durations and completion times.
+type ErrorTracker struct {
+	Over  *telemetry.Histogram
+	Under *telemetry.Histogram
+}
+
+// NewErrorTracker returns an empty tracker.
+func NewErrorTracker() *ErrorTracker {
+	return &ErrorTracker{Over: telemetry.NewHistogram(), Under: telemetry.NewHistogram()}
+}
+
+// Record files the signed error of one prediction.
+func (t *ErrorTracker) Record(predicted, actual time.Duration) {
+	if actual < predicted {
+		t.Over.Observe(predicted - actual)
+	} else {
+		t.Under.Observe(actual - predicted)
+	}
+}
+
+// Count returns the total number of recorded predictions.
+func (t *ErrorTracker) Count() uint64 { return t.Over.Count() + t.Under.Count() }

@@ -1,0 +1,150 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEstimatorEmpty(t *testing.T) {
+	e := NewEstimator(10)
+	if e.Estimate() != 0 || e.Count() != 0 {
+		t.Fatal("empty estimator should estimate 0")
+	}
+}
+
+func TestEstimatorSeedUsedUntilMeasured(t *testing.T) {
+	e := NewEstimator(10)
+	e.Seed(5 * time.Millisecond)
+	if e.Estimate() != 5*time.Millisecond {
+		t.Fatal("seed not used")
+	}
+	// A measurement below the seed: stay conservative while the window
+	// is not full.
+	e.Observe(3 * time.Millisecond)
+	if e.Estimate() != 5*time.Millisecond {
+		t.Fatalf("partial window should not drop below seed: %v", e.Estimate())
+	}
+	// Fill the window with real measurements; the seed no longer caps.
+	for i := 0; i < 10; i++ {
+		e.Observe(3 * time.Millisecond)
+	}
+	if e.Estimate() != 3*time.Millisecond {
+		t.Fatalf("full window should use measurements: %v", e.Estimate())
+	}
+}
+
+func TestEstimatorIsWindowMax(t *testing.T) {
+	e := NewEstimator(3)
+	e.Observe(1 * time.Millisecond)
+	e.Observe(9 * time.Millisecond)
+	e.Observe(2 * time.Millisecond)
+	if e.Estimate() != 9*time.Millisecond {
+		t.Fatalf("estimate = %v", e.Estimate())
+	}
+	// The 9ms sample ages out after 3 more observations.
+	e.Observe(2 * time.Millisecond)
+	if e.Estimate() != 9*time.Millisecond {
+		t.Fatal("9ms should still be in window")
+	}
+	e.Observe(2 * time.Millisecond)
+	if e.Estimate() != 2*time.Millisecond {
+		t.Fatalf("9ms should have aged out: %v", e.Estimate())
+	}
+}
+
+func TestEstimatorNegativeClamped(t *testing.T) {
+	e := NewEstimator(2)
+	e.Observe(-time.Second)
+	if e.Estimate() != 0 {
+		t.Fatal("negative observation should clamp")
+	}
+}
+
+func TestEstimatorPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEstimator(0)
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Op: "exec", Model: "resnet50", Batch: 4}
+	if k.String() != "exec/resnet50/b4" {
+		t.Fatalf("got %q", k.String())
+	}
+	k2 := Key{Op: "load", Model: "resnet50"}
+	if k2.String() != "load/resnet50" {
+		t.Fatalf("got %q", k2.String())
+	}
+}
+
+func TestProfileRouting(t *testing.T) {
+	p := NewProfile(0) // 0 → DefaultWindow
+	ka := Key{Op: "exec", Model: "a", Batch: 1}
+	kb := Key{Op: "exec", Model: "b", Batch: 1}
+	p.Observe(ka, 2*time.Millisecond)
+	p.Observe(kb, 7*time.Millisecond)
+	if p.Estimate(ka) != 2*time.Millisecond || p.Estimate(kb) != 7*time.Millisecond {
+		t.Fatal("keys not isolated")
+	}
+	if p.Estimate(Key{Op: "load", Model: "c"}) != 0 {
+		t.Fatal("unknown key should estimate 0")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	p.Seed(Key{Op: "load", Model: "c"}, time.Millisecond)
+	if p.Estimate(Key{Op: "load", Model: "c"}) != time.Millisecond {
+		t.Fatal("seed through profile failed")
+	}
+}
+
+func TestErrorTracker(t *testing.T) {
+	et := NewErrorTracker()
+	et.Record(10*time.Millisecond, 8*time.Millisecond)  // over by 2ms
+	et.Record(10*time.Millisecond, 11*time.Millisecond) // under by 1ms
+	et.Record(10*time.Millisecond, 10*time.Millisecond) // exact → under bucket with 0
+	if et.Over.Count() != 1 || et.Under.Count() != 2 {
+		t.Fatalf("over=%d under=%d", et.Over.Count(), et.Under.Count())
+	}
+	if et.Count() != 3 {
+		t.Fatalf("count=%d", et.Count())
+	}
+	if et.Over.Max() != 2*time.Millisecond {
+		t.Fatalf("over max = %v", et.Over.Max())
+	}
+}
+
+// Property: the estimate is always ≥ every duration still in the window
+// (never underpredicts the recent past), and equals one of the observed
+// values once the window is full.
+func TestEstimateDominatesWindowProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEstimator(10)
+		for _, v := range raw {
+			e.Observe(time.Duration(v) * time.Microsecond)
+		}
+		// Recompute expected max over last ≤10 observations.
+		start := len(raw) - 10
+		if start < 0 {
+			start = 0
+		}
+		var max time.Duration
+		for _, v := range raw[start:] {
+			d := time.Duration(v) * time.Microsecond
+			if d > max {
+				max = d
+			}
+		}
+		return e.Estimate() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

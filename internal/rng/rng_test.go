@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	a := NewSource(42).Stream("gpu0")
+	b := NewSource(42).Stream("gpu0")
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsAreIndependentByName(t *testing.T) {
+	src := NewSource(42)
+	a := src.Stream("gpu0")
+	b := src.Stream("gpu1")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different names look identical (%d collisions)", same)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := NewSource(1).Stream("x")
+	b := NewSource(2).Stream("x")
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewStream(7)
+	const n = 200_000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("std = %v", std)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewStream(7)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3.5)
+	}
+	if got := sum / n; math.Abs(got-3.5) > 0.08 {
+		t.Fatalf("exp mean = %v, want ≈3.5", got)
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	s := NewStream(7)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Poisson(2.5))
+	}
+	if got := sum / n; math.Abs(got-2.5) > 0.05 {
+		t.Fatalf("poisson mean = %v, want ≈2.5", got)
+	}
+}
+
+func TestPoissonLargeMeanUsesApproximation(t *testing.T) {
+	s := NewStream(7)
+	const n = 50_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Poisson(500))
+	}
+	if got := sum / n; math.Abs(got-500) > 2 {
+		t.Fatalf("poisson(500) mean = %v", got)
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	s := NewStream(7)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	s := NewStream(7)
+	z := s.Zipf(1.2, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 100_000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] < counts[500]*10 {
+		t.Fatalf("rank 0 (%d) should dominate rank 500 (%d)", counts[0], counts[500])
+	}
+}
+
+func TestZipfClampsSkew(t *testing.T) {
+	s := NewStream(7)
+	z := s.Zipf(0.5, 10) // invalid skew is clamped, must not panic
+	for i := 0; i < 100; i++ {
+		if v := z.Draw(); v < 0 || v >= 10 {
+			t.Fatalf("draw out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStream(7).Zipf(1.1, 0)
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	s := NewStream(7)
+	hits := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("bernoulli rate = %v", p)
+	}
+}
+
+// Property: Intn always lands in range; Perm is a permutation.
+func TestIntnPermProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		s := NewStream(seed)
+		for i := 0; i < 32; i++ {
+			if v := s.Intn(n); v < 0 || v >= n {
+				return false
+			}
+		}
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSeedStream(t *testing.T) {
+	s := NewStream(0) // must not panic; remapped internally
+	_ = s.Float64()
+}

@@ -1,0 +1,197 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a deterministic discrete-event executor. Events scheduled for
+// the same instant fire in scheduling order (FIFO), which makes whole-system
+// runs reproducible. Engine is not safe for concurrent use; the entire
+// simulated system runs on one goroutine. Use RealtimeDriver to bridge a
+// live process onto an Engine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stepped uint64
+	stopped bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It returns false if the event already fired or
+// was already stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event is still scheduled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// When returns the instant the timer is scheduled for.
+func (t *Timer) When() Time { return t.ev.at }
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// NewEngine returns an engine whose clock reads the epoch (Time 0).
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the total number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// Len returns the number of queued events. Cancelled events still occupy
+// the queue until popped, so Len is an upper bound on live events.
+func (e *Engine) Len() int { return len(e.pq) }
+
+// At schedules fn to run at instant t. Scheduling in the past (or at the
+// current instant) is allowed and fires on the next step, preserving FIFO
+// order among same-instant events. It panics on a nil fn, since a nil
+// event is always a bug in the caller.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("simclock: At with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current instant. Negative d is
+// clamped to "now".
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Step processes the single earliest event. It returns false if the queue
+// is empty. Cancelled events are skipped (and not counted as a step).
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		e.stepped++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil processes all events scheduled at or before t, then advances
+// the clock to exactly t. It stops early if Stop is called.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		next := e.peek()
+		if next == nil || next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d, processing every event due in that span.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *event {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancelled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return e.pq[0]
+	}
+	return nil
+}
+
+// NextEventAt returns the instant of the next live event, or MaxTime if
+// the queue is empty.
+func (e *Engine) NextEventAt() Time {
+	ev := e.peek()
+	if ev == nil {
+		return MaxTime
+	}
+	return ev.at
+}
+
+// String summarises engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("simclock.Engine{now=%v queued=%d stepped=%d}", e.now, len(e.pq), e.stepped)
+}

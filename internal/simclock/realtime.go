@@ -1,0 +1,94 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// RealtimeDriver paces an Engine against the wall clock so that a system
+// built for simulation can also serve live traffic (demos, examples).
+// External goroutines inject work with Inject; the driver serialises all
+// event execution on its own goroutine, so engine users still never need
+// locks.
+type RealtimeDriver struct {
+	eng   *Engine
+	speed float64
+
+	mu     sync.Mutex
+	wake   chan struct{}
+	closed bool
+}
+
+// NewRealtimeDriver wraps eng. speed scales virtual time against wall
+// time: 1.0 is real time, 10.0 runs ten times faster than the wall clock.
+// Speeds ≤ 0 are treated as 1.0.
+func NewRealtimeDriver(eng *Engine, speed float64) *RealtimeDriver {
+	if speed <= 0 {
+		speed = 1.0
+	}
+	return &RealtimeDriver{eng: eng, speed: speed, wake: make(chan struct{}, 1)}
+}
+
+// Inject schedules fn onto the engine from any goroutine. It runs at the
+// engine's current instant (i.e. "as soon as possible").
+func (d *RealtimeDriver) Inject(fn func()) {
+	d.mu.Lock()
+	if !d.closed {
+		d.eng.At(d.eng.Now(), fn)
+	}
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run executes events, sleeping between them so virtual time tracks wall
+// time. It returns when stop is closed. Run must be called from exactly
+// one goroutine.
+func (d *RealtimeDriver) Run(stop <-chan struct{}) {
+	start := time.Now()
+	virtualStart := d.eng.Now()
+	for {
+		d.mu.Lock()
+		next := d.eng.NextEventAt()
+		d.mu.Unlock()
+
+		if next == MaxTime {
+			select {
+			case <-stop:
+				d.close()
+				return
+			case <-d.wake:
+				continue
+			}
+		}
+
+		// Wall-clock instant at which `next` is due.
+		due := start.Add(time.Duration(float64(next-virtualStart) / d.speed))
+		delay := time.Until(due)
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-stop:
+				timer.Stop()
+				d.close()
+				return
+			case <-d.wake:
+				timer.Stop()
+				continue
+			case <-timer.C:
+			}
+		}
+
+		d.mu.Lock()
+		d.eng.Step()
+		d.mu.Unlock()
+	}
+}
+
+func (d *RealtimeDriver) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+package simclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealtimeDriverRunsEvents(t *testing.T) {
+	e := NewEngine()
+	var fired atomic.Int32
+	e.After(time.Microsecond, func() { fired.Add(1) })
+	e.After(2*time.Microsecond, func() { fired.Add(1) })
+
+	d := NewRealtimeDriver(e, 1000) // fast
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(stop); close(done) }()
+
+	deadline := time.After(2 * time.Second)
+	for fired.Load() != 2 {
+		select {
+		case <-deadline:
+			t.Fatal("events did not fire in time")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func TestRealtimeDriverInject(t *testing.T) {
+	e := NewEngine()
+	d := NewRealtimeDriver(e, 0) // 0 → treated as 1.0
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(stop); close(done) }()
+
+	var hit atomic.Bool
+	d.Inject(func() { hit.Store(true) })
+
+	deadline := time.After(2 * time.Second)
+	for !hit.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("injected event never ran")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+
+	// Injection after close must not panic and must be ignored.
+	d.Inject(func() { t.Error("ran after close") })
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,198 @@
+// Package tracelog implements the paper's "performance clarity" benefit
+// (§7): because every performance-relevant decision flows through the
+// controller, the controller is a single point of explanation. This
+// package captures that decision stream — requests, actions, results,
+// responses — as structured events, serialises it as JSONL, and answers
+// "where did this request's time go?" with a queue/load/execute/deliver
+// breakdown.
+package tracelog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindRequest  Kind = "request"  // client request arrived at controller
+	KindAction   Kind = "action"   // controller issued an action
+	KindResult   Kind = "result"   // worker result arrived at controller
+	KindResponse Kind = "response" // controller responded to the client
+)
+
+// Event is one entry of the controller's decision stream. Times are
+// virtual-clock offsets from the experiment epoch.
+type Event struct {
+	At   time.Duration `json:"t"`
+	Kind Kind          `json:"kind"`
+
+	// Request/response fields.
+	RequestID uint64        `json:"req,omitempty"`
+	Model     string        `json:"model,omitempty"`
+	SLO       time.Duration `json:"slo,omitempty"`
+	Success   *bool         `json:"ok,omitempty"`
+	Reason    string        `json:"reason,omitempty"`
+
+	// Action/result fields.
+	ActionID   uint64        `json:"action,omitempty"`
+	ActionType string        `json:"type,omitempty"`
+	Batch      int           `json:"batch,omitempty"`
+	RequestIDs []uint64      `json:"reqs,omitempty"`
+	Worker     int           `json:"worker,omitempty"`
+	GPU        int           `json:"gpu,omitempty"`
+	Start      time.Duration `json:"start,omitempty"`
+	End        time.Duration `json:"end,omitempty"`
+	Duration   time.Duration `json:"dur,omitempty"`
+	Status     string        `json:"status,omitempty"`
+}
+
+// Log is an in-memory event capture. It is single-goroutine like the
+// rest of the simulator.
+type Log struct {
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append records an event.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Len returns the number of captured events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the captured events; callers must not mutate.
+func (l *Log) Events() []Event { return l.events }
+
+// WriteTo serialises the log as JSON Lines.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	enc := json.NewEncoder(bw)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Read parses a JSONL stream back into a log.
+func Read(r io.Reader) (*Log, error) {
+	l := New()
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return l, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("tracelog: %w", err)
+		}
+		l.Append(e)
+	}
+}
+
+// Breakdown explains one request's end-to-end time in the stages the
+// paper reasons about: controller queueing, weight loading (cold starts
+// only), execution, and delivery (output copy + network + response).
+type Breakdown struct {
+	RequestID uint64
+	Model     string
+	Success   bool
+	Reason    string
+
+	Arrival  time.Duration
+	Complete time.Duration
+
+	// Queue is arrival → EXEC start (includes any LOAD wait).
+	Queue time.Duration
+	// Exec is the on-GPU execution span.
+	Exec time.Duration
+	// Deliver is EXEC end → client response.
+	Deliver time.Duration
+	// Batch is the batch size the request executed in.
+	Batch int
+}
+
+// Total returns the end-to-end latency.
+func (b Breakdown) Total() time.Duration { return b.Complete - b.Arrival }
+
+// String implements fmt.Stringer.
+func (b Breakdown) String() string {
+	if !b.Success {
+		return fmt.Sprintf("req %d (%s): failed:%s after %v", b.RequestID, b.Model, b.Reason, b.Total())
+	}
+	return fmt.Sprintf("req %d (%s): %v total = queue %v + exec %v (b%d) + deliver %v",
+		b.RequestID, b.Model, b.Total(), b.Queue, b.Exec, b.Batch, b.Deliver)
+}
+
+// Explain reconstructs a request's timeline from the log. It returns
+// false if the request never appears.
+func (l *Log) Explain(requestID uint64) (Breakdown, bool) {
+	var b Breakdown
+	found := false
+	var execStart, execEnd time.Duration
+	for _, e := range l.events {
+		switch e.Kind {
+		case KindRequest:
+			if e.RequestID == requestID {
+				b.RequestID = requestID
+				b.Model = e.Model
+				b.Arrival = e.At
+				found = true
+			}
+		case KindResult:
+			if e.Status == "success" && e.ActionType == "INFER" && containsID(e.RequestIDs, requestID) {
+				execStart, execEnd = e.Start, e.End
+				b.Batch = e.Batch
+			}
+		case KindResponse:
+			if e.RequestID == requestID {
+				b.Complete = e.At
+				if e.Success != nil {
+					b.Success = *e.Success
+				}
+				b.Reason = e.Reason
+			}
+		}
+	}
+	if !found {
+		return Breakdown{}, false
+	}
+	if b.Success && execEnd > 0 {
+		b.Queue = execStart - b.Arrival
+		b.Exec = execEnd - execStart
+		b.Deliver = b.Complete - execEnd
+	}
+	return b, true
+}
+
+// Summary aggregates the log: events per kind and per action status.
+func (l *Log) Summary() map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.events {
+		out[string(e.Kind)]++
+		if e.Kind == KindResult && e.Status != "" {
+			out["result:"+e.Status]++
+		}
+	}
+	return out
+}
+
+func containsID(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

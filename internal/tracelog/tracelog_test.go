@@ -1,0 +1,118 @@
+package tracelog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	l := New()
+	ok := true
+	l.Append(Event{At: 1 * time.Millisecond, Kind: KindRequest, RequestID: 7, Model: "m", SLO: 100 * time.Millisecond})
+	l.Append(Event{At: 2 * time.Millisecond, Kind: KindAction, ActionID: 1, ActionType: "LOAD", Model: "m"})
+	l.Append(Event{At: 10 * time.Millisecond, Kind: KindResult, ActionID: 1, ActionType: "LOAD", Model: "m", Status: "success"})
+	l.Append(Event{At: 10 * time.Millisecond, Kind: KindAction, ActionID: 2, ActionType: "INFER", Model: "m", Batch: 1, RequestIDs: []uint64{7}})
+	l.Append(Event{
+		At: 14 * time.Millisecond, Kind: KindResult, ActionID: 2, ActionType: "INFER",
+		Model: "m", Batch: 1, RequestIDs: []uint64{7},
+		Start: 11 * time.Millisecond, End: 13 * time.Millisecond,
+		Duration: 2 * time.Millisecond, Status: "success",
+	})
+	l.Append(Event{At: 15 * time.Millisecond, Kind: KindResponse, RequestID: 7, Model: "m", Success: &ok, Batch: 1})
+	return l
+}
+
+func TestExplainBreakdown(t *testing.T) {
+	l := sampleLog()
+	b, ok := l.Explain(7)
+	if !ok {
+		t.Fatal("request not found")
+	}
+	if !b.Success || b.Model != "m" {
+		t.Fatalf("breakdown: %+v", b)
+	}
+	if b.Total() != 14*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.Queue != 10*time.Millisecond { // arrival 1ms → exec start 11ms
+		t.Fatalf("queue = %v", b.Queue)
+	}
+	if b.Exec != 2*time.Millisecond {
+		t.Fatalf("exec = %v", b.Exec)
+	}
+	if b.Deliver != 2*time.Millisecond { // exec end 13ms → response 15ms
+		t.Fatalf("deliver = %v", b.Deliver)
+	}
+	if s := b.String(); !strings.Contains(s, "queue") || !strings.Contains(s, "exec") {
+		t.Fatalf("explanation: %q", s)
+	}
+}
+
+func TestExplainMissingRequest(t *testing.T) {
+	if _, ok := sampleLog().Explain(99); ok {
+		t.Fatal("phantom request explained")
+	}
+}
+
+func TestExplainFailedRequest(t *testing.T) {
+	l := New()
+	failed := false
+	l.Append(Event{At: time.Millisecond, Kind: KindRequest, RequestID: 3, Model: "m"})
+	l.Append(Event{At: 5 * time.Millisecond, Kind: KindResponse, RequestID: 3, Model: "m", Success: &failed, Reason: "cancelled"})
+	b, ok := l.Explain(3)
+	if !ok || b.Success {
+		t.Fatalf("breakdown: %+v", b)
+	}
+	if !strings.Contains(b.String(), "failed:cancelled") {
+		t.Fatalf("explanation: %q", b.String())
+	}
+}
+
+func TestRoundTripJSONL(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != l.Len() {
+		t.Fatalf("%d lines for %d events", lines, l.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Len(), l.Len())
+	}
+	// And the reconstructed log explains identically.
+	a, _ := l.Explain(7)
+	b, _ := back.Explain(7)
+	if a != b {
+		t.Fatalf("explanations diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sampleLog().Summary()
+	if s["request"] != 1 || s["action"] != 2 || s["result"] != 2 || s["response"] != 1 {
+		t.Fatalf("summary: %v", s)
+	}
+	if s["result:success"] != 2 {
+		t.Fatalf("status counts: %v", s)
+	}
+}
+
+func TestEventsAccessor(t *testing.T) {
+	l := sampleLog()
+	if len(l.Events()) != l.Len() {
+		t.Fatal("Events length mismatch")
+	}
+}

@@ -1,0 +1,106 @@
+// Package worker implements Clockwork's predictable DNN worker (§4.4,
+// §5.2). A worker owns one or more GPUs; for each GPU it runs a dedicated
+// executor per action type that dequeues actions chronologically by
+// earliest start time, waits until the window opens, rejects actions
+// whose window has closed, and otherwise executes exactly as instructed —
+// no work-conserving improvisation, so the controller's predictions stay
+// valid even when something slips.
+package worker
+
+import (
+	"container/heap"
+
+	"clockwork/internal/action"
+	"clockwork/internal/simclock"
+)
+
+// executor serialises actions of one type on one GPU. It dequeues by
+// earliest timestamp, sleeps until the window opens, and rejects actions
+// whose latest start time has passed (§5.2 "Actions").
+type executor struct {
+	eng  *simclock.Engine
+	name string
+	pq   actionHeap
+	busy bool
+	wake *simclock.Timer
+
+	// start begins executing a; it must eventually call done exactly
+	// once, at which point the executor proceeds to the next action.
+	start func(a *action.Action, done func())
+	// reject disposes of an action whose window closed before it
+	// could begin.
+	reject func(a *action.Action)
+}
+
+func newExecutor(eng *simclock.Engine, name string,
+	start func(*action.Action, func()), reject func(*action.Action)) *executor {
+	return &executor{eng: eng, name: name, start: start, reject: reject}
+}
+
+// enqueue adds an action and re-evaluates the schedule.
+func (x *executor) enqueue(a *action.Action) {
+	heap.Push(&x.pq, a)
+	x.maybeStart()
+}
+
+// pending returns the number of queued (not yet started) actions.
+func (x *executor) pending() int { return x.pq.Len() }
+
+// idle reports whether the executor has neither running nor queued work.
+func (x *executor) idle() bool { return !x.busy && x.pq.Len() == 0 }
+
+func (x *executor) maybeStart() {
+	if x.busy {
+		return
+	}
+	for x.pq.Len() > 0 {
+		next := x.pq[0]
+		now := x.eng.Now()
+		if now < next.Earliest {
+			// Sleep until the window opens; a newly enqueued
+			// earlier action re-evaluates via enqueue().
+			if x.wake == nil || !x.wake.Pending() || x.wake.When() > next.Earliest {
+				if x.wake != nil {
+					x.wake.Stop()
+				}
+				x.wake = x.eng.At(next.Earliest, x.maybeStart)
+			}
+			return
+		}
+		a := heap.Pop(&x.pq).(*action.Action)
+		if now > a.Latest {
+			// Too late to begin: cancel and move on, letting the
+			// worker get back on schedule (§4.4).
+			x.reject(a)
+			continue
+		}
+		x.busy = true
+		x.start(a, func() {
+			x.busy = false
+			x.maybeStart()
+		})
+		return
+	}
+}
+
+// actionHeap orders actions by (earliest, ID) so equal-earliest actions
+// run in controller submission order.
+type actionHeap []*action.Action
+
+func (h actionHeap) Len() int { return len(h) }
+func (h actionHeap) Less(i, j int) bool {
+	if h[i].Earliest != h[j].Earliest {
+		return h[i].Earliest < h[j].Earliest
+	}
+	return h[i].ID < h[j].ID
+}
+func (h actionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *actionHeap) Push(x any)   { *h = append(*h, x.(*action.Action)) }
+func (h *actionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return a
+}

@@ -1,0 +1,425 @@
+package worker
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/gpu"
+	"clockwork/internal/memory"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/rng"
+	"clockwork/internal/simclock"
+)
+
+// Config parameterises a worker. Zero-valued fields take the paper's
+// defaults (2×32GB v100 GPUs, 16MB pages, 512MB IOCache and Workspace).
+type Config struct {
+	ID             int
+	GPUs           int
+	DeviceMemBytes int64 // total GPU memory per device
+	PageSize       int64
+	IOCacheBytes   int64
+	WorkspaceBytes int64
+	// PageCacheBytes, if > 0, overrides the derived page cache size
+	// (device memory minus IOCache and Workspace).
+	PageCacheBytes int64
+	Noise          gpu.Noise
+
+	// BestEffort switches the worker into the baseline mode the paper
+	// compares against (§6.1): EXECs are submitted to the GPU
+	// concurrently (thread-pool style) instead of one at a time, and
+	// the workspace one-at-a-time invariant is waived. Used by the
+	// Clipper-like baseline; Clockwork itself never sets this.
+	BestEffort bool
+}
+
+// Default hardware parameters (Tesla v100, §6 testbed).
+const (
+	DefaultGPUs           = 2
+	DefaultDeviceMemBytes = 32 * 1024 * 1024 * 1024
+)
+
+// Resolved fills unset fields with the paper's defaults and derives the
+// page cache size. The cluster layer uses it to configure the
+// controller's mirrors with exactly the worker's geometry.
+func (c Config) Resolved() Config {
+	if c.GPUs <= 0 {
+		c.GPUs = DefaultGPUs
+	}
+	if c.DeviceMemBytes <= 0 {
+		c.DeviceMemBytes = DefaultDeviceMemBytes
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = memory.DefaultPageSize
+	}
+	if c.IOCacheBytes <= 0 {
+		c.IOCacheBytes = memory.DefaultIOCacheBytes
+	}
+	if c.WorkspaceBytes <= 0 {
+		c.WorkspaceBytes = memory.DefaultWorkspaceBytes
+	}
+	if c.PageCacheBytes <= 0 {
+		c.PageCacheBytes = c.DeviceMemBytes - c.IOCacheBytes - c.WorkspaceBytes
+	}
+	return c
+}
+
+// Worker is a predictable Clockwork worker process. All models are
+// pre-loaded into host RAM (RegisterModel); GPU memory is managed as a
+// page cache under exclusive controller direction.
+type Worker struct {
+	cfg    Config
+	eng    *simclock.Engine
+	gpus   []*GPU
+	models map[string]*modelzoo.Model
+
+	// OnResult receives every action result; the cluster layer wires it
+	// to the controller's network link.
+	OnResult func(action.Result)
+
+	inferStates map[uint64]*inferState
+	stats       Stats
+}
+
+// Stats counts worker-side action outcomes.
+type Stats struct {
+	LoadsOK, LoadsRejected     uint64
+	InfersOK, InfersRejected   uint64
+	UnloadsOK, UnloadsRejected uint64
+}
+
+// GPU bundles the per-device execution resources.
+type GPU struct {
+	Index int
+	Dev   *gpu.Device
+	// H2D carries weight transfers (LOAD); InputH2D carries inference
+	// inputs on a separate DMA engine (v100s have multiple copy
+	// engines, and Clockwork issues LOAD and INFER work on distinct
+	// CUDA streams precisely so they do not queue behind each other —
+	// §5.2: "each executor is bottlenecked by a different resource").
+	H2D      *gpu.Link
+	InputH2D *gpu.Link
+	D2H      *gpu.Link // device→host: outputs
+	Pages    *memory.PageCache
+	IO       *memory.IOCache
+	WS       *memory.Workspace
+
+	loadExec  *executor
+	inferExec *executor
+
+	// ready marks models whose weights finished transferring; pages may
+	// be allocated before the transfer completes, and an EXEC that
+	// arrives in that gap is rejected rather than stalled.
+	ready map[string]bool
+}
+
+// New constructs a worker on eng. Random streams derive from src so every
+// worker/GPU pair has independent deterministic noise.
+func New(eng *simclock.Engine, src *rng.Source, cfg Config) *Worker {
+	cfg = cfg.Resolved()
+	w := &Worker{
+		cfg:         cfg,
+		eng:         eng,
+		models:      make(map[string]*modelzoo.Model),
+		inferStates: make(map[uint64]*inferState),
+	}
+	for i := 0; i < cfg.GPUs; i++ {
+		g := &GPU{
+			Index:    i,
+			Dev:      gpu.NewDevice(eng, src.Stream(fmt.Sprintf("w%d.g%d.exec", cfg.ID, i)), cfg.Noise),
+			H2D:      gpu.NewLink(eng, src.Stream(fmt.Sprintf("w%d.g%d.h2d", cfg.ID, i)), cfg.Noise),
+			InputH2D: gpu.NewLink(eng, src.Stream(fmt.Sprintf("w%d.g%d.in", cfg.ID, i)), cfg.Noise),
+			D2H:      gpu.NewLink(eng, src.Stream(fmt.Sprintf("w%d.g%d.d2h", cfg.ID, i)), cfg.Noise),
+			Pages:    memory.NewPageCache(cfg.PageCacheBytes, cfg.PageSize),
+			IO:       memory.NewIOCache(cfg.IOCacheBytes),
+			WS:       memory.NewWorkspace(cfg.WorkspaceBytes),
+			ready:    make(map[string]bool),
+		}
+		gi := g
+		g.loadExec = newExecutor(eng, fmt.Sprintf("w%d.g%d.load", cfg.ID, i),
+			func(a *action.Action, done func()) { w.runLoad(gi, a, done) },
+			func(a *action.Action) { w.rejectAction(gi, a, action.RejectedLate) })
+		g.inferExec = newExecutor(eng, fmt.Sprintf("w%d.g%d.infer", cfg.ID, i),
+			func(a *action.Action, done func()) { w.runExec(gi, a, done) },
+			func(a *action.Action) { w.rejectInfer(gi, a, action.RejectedLate) })
+		w.gpus = append(w.gpus, g)
+	}
+	return w
+}
+
+// ID returns the worker's cluster-wide identifier.
+func (w *Worker) ID() int { return w.cfg.ID }
+
+// NumGPUs returns the number of devices.
+func (w *Worker) NumGPUs() int { return len(w.gpus) }
+
+// GPU returns device i for telemetry wiring.
+func (w *Worker) GPU(i int) *GPU { return w.gpus[i] }
+
+// Stats returns a copy of the outcome counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// RegisterModel places a model instance in host RAM under the given
+// instance name (workers pre-load all models from disk on startup, §5.1).
+func (w *Worker) RegisterModel(name string, m *modelzoo.Model) {
+	if m == nil {
+		panic("worker: nil model")
+	}
+	w.models[name] = m
+}
+
+// HasModel reports whether the instance name is registered.
+func (w *Worker) HasModel(name string) bool {
+	_, ok := w.models[name]
+	return ok
+}
+
+// ModelCount returns the number of registered instances.
+func (w *Worker) ModelCount() int { return len(w.models) }
+
+// PageCapacity returns the page cache size (pages) of GPU i.
+func (w *Worker) PageCapacity(i int) int { return w.gpus[i].Pages.TotalPages() }
+
+// Submit delivers one action from the controller.
+func (w *Worker) Submit(a *action.Action) {
+	if a.GPU < 0 || a.GPU >= len(w.gpus) {
+		panic(fmt.Sprintf("worker %d: action %v targets GPU %d of %d", w.cfg.ID, a, a.GPU, len(w.gpus)))
+	}
+	g := w.gpus[a.GPU]
+	switch a.Type {
+	case action.Load:
+		g.loadExec.enqueue(a)
+	case action.Unload:
+		// UNLOAD only updates metadata and runs immediately (§5.2).
+		w.runUnload(g, a)
+	case action.Infer:
+		w.admitInfer(g, a)
+	default:
+		panic(fmt.Sprintf("worker: unknown action type %v", a.Type))
+	}
+}
+
+// emit fills the common result fields and hands the result to OnResult.
+func (w *Worker) emit(g *GPU, a *action.Action, st action.Status, start, end simclock.Time, dur time.Duration) {
+	r := action.Result{
+		ActionID:           a.ID,
+		Type:               a.Type,
+		Status:             st,
+		WorkerID:           w.cfg.ID,
+		GPU:                g.Index,
+		Model:              a.Model,
+		Batch:              a.Batch,
+		RequestIDs:         a.RequestIDs,
+		Start:              start,
+		End:                end,
+		Duration:           dur,
+		ExpectedDuration:   a.ExpectedDuration,
+		ExpectedCompletion: a.ExpectedCompletion,
+	}
+	switch {
+	case a.Type == action.Load && st.IsSuccess():
+		w.stats.LoadsOK++
+	case a.Type == action.Load:
+		w.stats.LoadsRejected++
+	case a.Type == action.Infer && st.IsSuccess():
+		w.stats.InfersOK++
+	case a.Type == action.Infer:
+		w.stats.InfersRejected++
+	case a.Type == action.Unload && st.IsSuccess():
+		w.stats.UnloadsOK++
+	case a.Type == action.Unload:
+		w.stats.UnloadsRejected++
+	}
+	if w.OnResult != nil {
+		w.OnResult(r)
+	}
+}
+
+func (w *Worker) rejectAction(g *GPU, a *action.Action, st action.Status) {
+	w.emit(g, a, st, 0, 0, 0)
+}
+
+// ---- LOAD ----
+
+func (w *Worker) runLoad(g *GPU, a *action.Action, done func()) {
+	m, ok := w.models[a.Model]
+	if !ok {
+		w.rejectAction(g, a, action.RejectedNotLoaded)
+		done()
+		return
+	}
+	if g.Pages.Has(a.Model) {
+		w.rejectAction(g, a, action.RejectedAlreadyLoaded)
+		done()
+		return
+	}
+	pages := m.Pages(g.Pages.PageSize())
+	if err := g.Pages.Alloc(a.Model, pages); err != nil {
+		w.rejectAction(g, a, action.RejectedNoPages)
+		done()
+		return
+	}
+	start := w.eng.Now()
+	g.H2D.Transfer(m.Transfer(), func(tStart, tEnd simclock.Time, actual time.Duration) {
+		g.ready[a.Model] = true
+		g.Pages.Touch(a.Model)
+		w.emit(g, a, action.Success, start, tEnd, actual)
+		done()
+	})
+}
+
+// ---- UNLOAD ----
+
+func (w *Worker) runUnload(g *GPU, a *action.Action) {
+	if !g.Pages.Has(a.Model) {
+		w.rejectAction(g, a, action.RejectedNotResident)
+		return
+	}
+	if g.Pages.Pinned(a.Model) > 0 {
+		w.rejectAction(g, a, action.RejectedBusy)
+		return
+	}
+	if err := g.Pages.Free(a.Model); err != nil {
+		w.rejectAction(g, a, action.RejectedBusy)
+		return
+	}
+	delete(g.ready, a.Model)
+	now := w.eng.Now()
+	w.emit(g, a, action.Success, now, now, 0)
+}
+
+// ---- INFER: INPUT / EXEC / OUTPUT ----
+
+// inferState tracks the asynchronous INPUT stage of one INFER action.
+type inferState struct {
+	ioBytes   int64
+	inputDone bool
+	// execWaiting, when non-nil, resumes a window-approved EXEC that is
+	// stalled on the input transfer.
+	execWaiting func()
+	rejected    bool
+}
+
+// admitInfer performs the INPUT stage immediately on receipt (§5.2):
+// reserve IO memory, start the input copy, enqueue the EXEC stage.
+func (w *Worker) admitInfer(g *GPU, a *action.Action) {
+	m, ok := w.models[a.Model]
+	if !ok {
+		w.rejectAction(g, a, action.RejectedNotLoaded)
+		return
+	}
+	_ = m
+	st := &inferState{ioBytes: a.InputBytes + a.OutputBytes}
+	if err := g.IO.Alloc(st.ioBytes); err != nil {
+		w.rejectAction(g, a, action.RejectedIO)
+		return
+	}
+	w.inferStates[a.ID] = st
+	g.InputH2D.TransferBytes(a.InputBytes, func(_, _ simclock.Time, _ time.Duration) {
+		if st.rejected {
+			return
+		}
+		st.inputDone = true
+		if st.execWaiting != nil {
+			resume := st.execWaiting
+			st.execWaiting = nil
+			resume()
+		}
+	})
+	g.inferExec.enqueue(a)
+}
+
+// rejectInfer cleans up the INPUT-stage resources of a cancelled INFER.
+func (w *Worker) rejectInfer(g *GPU, a *action.Action, status action.Status) {
+	if st, ok := w.inferStates[a.ID]; ok {
+		st.rejected = true
+		delete(w.inferStates, a.ID)
+		if err := g.IO.Free(st.ioBytes); err != nil {
+			panic(fmt.Sprintf("worker: io free: %v", err))
+		}
+	}
+	w.rejectAction(g, a, status)
+}
+
+// runExec is the EXEC stage: the only stage that occupies the GPU, run
+// strictly one at a time.
+func (w *Worker) runExec(g *GPU, a *action.Action, done func()) {
+	st, ok := w.inferStates[a.ID]
+	if !ok {
+		w.rejectAction(g, a, action.RejectedIO)
+		done()
+		return
+	}
+	m := w.models[a.Model]
+	if !g.Pages.Has(a.Model) {
+		w.rejectInfer(g, a, action.RejectedNotLoaded)
+		done()
+		return
+	}
+	if !g.ready[a.Model] {
+		// Pages allocated but the LOAD transfer has not landed: this is
+		// an error, not something to ride out (§4.2). Stalling here
+		// would hold the executor hostage and cascade lateness into
+		// unrelated requests; the controller's earliest ≥ load-ETA
+		// scheduling makes this a rare misprediction.
+		w.rejectInfer(g, a, action.RejectedNotLoaded)
+		done()
+		return
+	}
+	if !st.inputDone {
+		// Stall until the (tiny) input copy lands; the window was
+		// already validated when the executor picked this action.
+		st.execWaiting = func() { w.execNow(g, a, st, m, done) }
+		return
+	}
+	w.execNow(g, a, st, m, done)
+}
+
+func (w *Worker) execNow(g *GPU, a *action.Action, st *inferState, m *modelzoo.Model, done func()) {
+	if err := g.Pages.Pin(a.Model); err != nil {
+		w.rejectInfer(g, a, action.RejectedNotLoaded)
+		done()
+		return
+	}
+	if !w.cfg.BestEffort {
+		if err := g.WS.Acquire(fmt.Sprintf("infer-%d", a.ID)); err != nil {
+			panic(fmt.Sprintf("worker: workspace: %v (one-at-a-time EXEC violated)", err))
+		}
+	}
+	g.Pages.Touch(a.Model)
+	start := w.eng.Now()
+	complete := func(actual time.Duration) {
+		execEnd := w.eng.Now()
+		if !w.cfg.BestEffort {
+			if err := g.WS.Release(); err != nil {
+				panic(fmt.Sprintf("worker: workspace release: %v", err))
+			}
+		}
+		if err := g.Pages.Unpin(a.Model); err != nil {
+			panic(fmt.Sprintf("worker: unpin: %v", err))
+		}
+		// OUTPUT stage: copy results back, then release IO and report.
+		g.D2H.TransferBytes(a.OutputBytes, func(_, _ simclock.Time, _ time.Duration) {
+			delete(w.inferStates, a.ID)
+			if err := g.IO.Free(st.ioBytes); err != nil {
+				panic(fmt.Sprintf("worker: io free: %v", err))
+			}
+			w.emit(g, a, action.Success, start, execEnd, actual)
+		})
+	}
+	if w.cfg.BestEffort {
+		// Baseline mode: hand the kernel to the hardware scheduler and
+		// immediately accept the next action — the thread-pool design
+		// whose tail behaviour Fig 2b quantifies.
+		g.Dev.Submit(m.ExecLatency(a.Batch), complete)
+		done()
+		return
+	}
+	g.Dev.Exec(m.ExecLatency(a.Batch), func(actual time.Duration) {
+		complete(actual)
+		// The GPU is free as soon as EXEC ends; OUTPUT overlaps the
+		// next EXEC (§4.4 "steps may coincide").
+		done()
+	})
+}
