@@ -8,11 +8,13 @@ package clockwork
 // alongside the usual ns/op of one whole experiment run.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"clockwork/internal/experiments"
 	"clockwork/internal/modelzoo"
+	"clockwork/internal/runner"
 )
 
 // BenchmarkFig2a regenerates Fig 2a (isolated inference latency CDF).
@@ -215,6 +217,34 @@ func BenchmarkAblationPaging(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkRunnerSweep measures scenario-runner throughput: a 16-cell
+// sweep of small Fig 2a experiments executed serially (workers=1, the
+// reference the parallel path must reproduce bit-identically) versus on
+// the full worker pool. On a multi-core machine the parallel variant's
+// ns/op should approach serial divided by core count; EXPERIMENTS.md
+// records measured numbers.
+func BenchmarkRunnerSweep(b *testing.B) {
+	cells := make([]int, 16)
+	for i := range cells {
+		cells[i] = i
+	}
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner.MapN(workers, cells, func(c int) time.Duration {
+					r := experiments.RunFig2a(experiments.Fig2aConfig{
+						Inferences: 20_000,
+						Seed:       runner.Seed(uint64(i), fmt.Sprintf("cell-%d", c)),
+					})
+					return r.Median
+				})
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
 }
 
 // BenchmarkEngineThroughput measures raw event throughput of the

@@ -1,5 +1,8 @@
 // Command clockwork regenerates the paper's tables and figures on the
-// simulated cluster and prints their data.
+// simulated cluster and prints their data. Independent experiments and
+// sweep cells fan out across cores via internal/runner; output is
+// printed in a fixed order regardless of completion order, so a run's
+// output is identical to a serial one.
 //
 // Examples:
 //
@@ -15,9 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"clockwork/internal/experiments"
+	"clockwork/internal/runner"
 )
 
 func main() {
@@ -40,15 +45,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	var run func(name string)
-	run = func(name string) {
+	// render produces one experiment's full output; every case is a
+	// pure function of the flags, so "all" can run them concurrently
+	// and still print in catalogue order.
+	var render func(name string) string
+	render = func(name string) string {
 		switch name {
 		case "fig2a":
-			fmt.Println(experiments.RunFig2a(experiments.Fig2aConfig{Seed: *seed}))
+			return fmt.Sprintln(experiments.RunFig2a(experiments.Fig2aConfig{Seed: *seed}))
 		case "fig2b":
-			fmt.Println(experiments.RunFig2b(experiments.Fig2bConfig{Seed: *seed, Duration: *dur}))
+			return fmt.Sprintln(experiments.RunFig2b(experiments.Fig2bConfig{Seed: *seed, Duration: *dur}))
 		case "fig5":
-			fmt.Println(experiments.RunFig5(experiments.Fig5Config{
+			return fmt.Sprintln(experiments.RunFig5(experiments.Fig5Config{
 				Seed: *seed, Duration: *dur, Models: *models,
 			}))
 		case "fig6":
@@ -56,12 +64,19 @@ func main() {
 			if *minutes > 0 {
 				cfg.Duration = time.Duration(*minutes) * time.Minute
 			}
-			fmt.Println(experiments.RunFig6(cfg))
+			return fmt.Sprintln(experiments.RunFig6(cfg))
 		case "fig7":
-			for _, nr := range []struct {
+			sweep := []struct {
 				n int
 				r float64
-			}{{12, 600}, {12, 1200}, {12, 2400}, {48, 600}, {48, 1200}, {48, 2400}} {
+			}{{12, 600}, {12, 1200}, {12, 2400}, {48, 600}, {48, 1200}, {48, 2400}}
+			if *models > 0 || *rate > 0 {
+				sweep = sweep[:1] // single custom configuration
+			}
+			outs := runner.Map(sweep, func(nr struct {
+				n int
+				r float64
+			}) string {
 				cfg := experiments.Fig7Config{Seed: *seed, Models: nr.n, TotalRate: nr.r, Workers: *workers}
 				if *models > 0 {
 					cfg.Models = *models
@@ -69,42 +84,45 @@ func main() {
 				if *rate > 0 {
 					cfg.TotalRate = *rate
 				}
-				fmt.Println(experiments.RunFig7(cfg))
-				if *models > 0 || *rate > 0 {
-					break // single custom configuration
-				}
-			}
+				return fmt.Sprintln(experiments.RunFig7(cfg))
+			})
+			return strings.Join(outs, "")
 		case "fig7iso":
-			for _, mc := range []struct{ m, c int }{{0, 0}, {12, 16}, {48, 4}} {
-				fmt.Println(experiments.RunFig7Isolation(experiments.Fig7IsoConfig{
+			sweep := []struct{ m, c int }{{0, 0}, {12, 16}, {48, 4}}
+			outs := runner.Map(sweep, func(mc struct{ m, c int }) string {
+				return fmt.Sprintln(experiments.RunFig7Isolation(experiments.Fig7IsoConfig{
 					Seed: *seed, BCModels: mc.m, BCConc: mc.c, Workers: *workers,
 				}))
-			}
+			})
+			return strings.Join(outs, "")
 		case "fig8":
-			fmt.Println(experiments.RunFig8(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
+			return fmt.Sprintln(experiments.RunFig8(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
 		case "fig9":
-			fmt.Println(experiments.RunFig9(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
+			return fmt.Sprintln(experiments.RunFig9(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
 		case "scale":
-			fmt.Println(experiments.RunScale(experiments.ScaleConfig{
+			return fmt.Sprintln(experiments.RunScale(experiments.ScaleConfig{
 				Seed: *seed, Workers: *workers, GPUsPerWorker: *gpus,
 				Functions: *functions, Minutes: *minutes, Copies: *copies,
 				RateScale: *rateScale,
 			}))
 		case "ablations":
-			fmt.Println(experiments.RunAblationLookahead(*dur, *seed))
-			fmt.Println(experiments.RunAblationPredictor(*dur, *seed))
-			fmt.Println(experiments.RunAblationLoadPolicy(*dur, *seed))
-			fmt.Println(experiments.RunAblationPaging(0, *seed))
+			outs := runner.Run([]func() string{
+				func() string { return fmt.Sprintln(experiments.RunAblationLookahead(*dur, *seed)) },
+				func() string { return fmt.Sprintln(experiments.RunAblationPredictor(*dur, *seed)) },
+				func() string { return fmt.Sprintln(experiments.RunAblationLoadPolicy(*dur, *seed)) },
+				func() string { return fmt.Sprintln(experiments.RunAblationPaging(0, *seed)) },
+			})
+			return strings.Join(outs, "")
 		case "all":
-			for _, n := range []string{"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "scale", "ablations"} {
-				run(n)
-			}
+			names := []string{"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "scale", "ablations"}
+			return strings.Join(runner.Map(names, render), "")
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
+			return ""
 		}
 	}
-	run(*exp)
+	fmt.Print(render(*exp))
 }
 
 func fig8Config(seed uint64, workers, gpus, copies, functions, minutes int, rateScale float64) experiments.Fig8Config {

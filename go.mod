@@ -1,0 +1,3 @@
+module clockwork
+
+go 1.22

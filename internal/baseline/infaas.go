@@ -155,9 +155,14 @@ func (s *INFaaS) variantBatch(mi *core.ModelInfo) int {
 // pump dispatches FIFO work to g while its pipeline has room.
 func (s *INFaaS) pump(g *core.GPUMirror) {
 	for s.outstanding[g] < infaasPipelineDepth {
-		// Oldest-arrival-first across the models placed on g.
+		// Oldest-arrival-first across the models placed on g, with
+		// request ID as the tie-break: closed-loop clients routinely
+		// submit at the same instant, and without the tie-break this
+		// pick depended on Go map iteration order — the one source of
+		// run-to-run nondeterminism the determinism harness found.
 		var pick *core.ModelInfo
 		var pickReady simclock.Time
+		var pickID uint64
 		var oldest simclock.Time = simclock.MaxTime
 		for mi := range g.ModelsWithWork() {
 			r := mi.PeekOldest()
@@ -168,10 +173,11 @@ func (s *INFaaS) pump(g *core.GPUMirror) {
 			if !resident {
 				continue
 			}
-			if r.Arrival < oldest {
+			if r.Arrival < oldest || (r.Arrival == oldest && (pick == nil || r.ID < pickID)) {
 				oldest = r.Arrival
 				pick = mi
 				pickReady = readyAt
+				pickID = r.ID
 			}
 		}
 		if pick == nil {

@@ -102,6 +102,20 @@ type Controller struct {
 	// request (Appendix B's demand tracking works over this set).
 	activeModels map[*ModelInfo]bool
 
+	// demandIdx orders active models by demand (descending) and
+	// deadlineIdx by earliest queued deadline (ascending); together
+	// with the per-GPU strategy heaps they replace the seed's
+	// O(models) scans (see index.go). deadlineIdx is maintained only
+	// when a scheduler opts in via enableDeadlineIndex.
+	demandIdx     modelTreap
+	deadlineIdx   modelTreap
+	deadlineIdxOn bool
+
+	// testOnInfer, when non-nil, observes every dispatched INFER with
+	// the requests it carries; tests install it to audit scheduler
+	// invariants at the moment of decision.
+	testOnInfer func(a *action.Action, reqs []*Request)
+
 	profile *predictor.Profile
 
 	nextRequestID uint64
@@ -132,6 +146,7 @@ func NewController(eng *simclock.Engine, cfg Config, schd Scheduler) *Controller
 		InferCompletion: predictor.NewErrorTracker(),
 		LoadCompletion:  predictor.NewErrorTracker(),
 	}
+	c.demandIdx.desc = true
 	c.profile = predictor.NewProfile(c.cfg.ProfileWindow)
 	schd.Attach(c)
 	return c
@@ -179,7 +194,7 @@ func (c *Controller) RegisterModel(name string, zoo *modelzoo.Model) {
 	if _, dup := c.models[name]; dup {
 		panic("core: duplicate model " + name)
 	}
-	mi := &ModelInfo{name: name, zoo: zoo, residentOn: make(map[*GPUMirror]bool)}
+	mi := &ModelInfo{name: name, zoo: zoo, residentOn: make(map[*GPUMirror]bool), seq: uint64(len(c.models))}
 	c.models[name] = mi
 	for _, b := range modelzoo.BatchSizes {
 		c.profile.Seed(predictor.Key{Op: "exec", Model: name, Batch: b}, zoo.ExecLatency(b))
@@ -251,6 +266,7 @@ func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Res
 			g.withWork[mi] = true
 		}
 	}
+	c.reindexModel(mi)
 
 	// Cancel in advance at the last instant a batch-1 warm execution
 	// could still begin (§4.1: "cancels the request before performing
@@ -274,6 +290,7 @@ func (c *Controller) cancelRequest(mi *ModelInfo, r *Request) {
 	}
 	mi.demand -= r.execEst
 	c.noteQueueMaybeEmpty(mi)
+	c.reindexModel(mi)
 	r.state = stateDone
 	c.stats.Cancelled++
 	c.respond(r, Response{
@@ -376,6 +393,10 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	g.Pages.Touch(mi.name)
 	c.pendingInfers[a.ID] = reqs
 	c.stats.ActionsInfer++
+	c.reindexModel(mi)
+	if c.testOnInfer != nil {
+		c.testOnInfer(a, reqs)
+	}
 	c.workers[g.WorkerID].submit(a, inputs)
 	return a
 }
@@ -415,6 +436,7 @@ func (c *Controller) SendLoad(g *GPUMirror, mi *ModelInfo, earliest, latest simc
 		g.withWork[mi] = true
 	}
 	c.stats.ActionsLoad++
+	c.reindexModel(mi)
 	c.workers[g.WorkerID].submit(a, 0)
 	return a
 }
@@ -438,6 +460,7 @@ func (c *Controller) SendUnload(g *GPUMirror, mi *ModelInfo) *action.Action {
 		Latest:   simclock.MaxTime,
 	}
 	c.stats.ActionsUnload++
+	c.reindexModel(mi)
 	c.workers[g.WorkerID].submit(a, 0)
 	return a
 }
@@ -476,6 +499,9 @@ func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 		c.profile.Observe(predictor.Key{Op: "load", Model: res.Model}, res.Duration)
 		c.LoadDuration.Record(res.ExpectedDuration, res.Duration)
 		c.LoadCompletion.Record(absTimeError(res.ExpectedCompletion, res.End))
+		// The model's readiness instant just dropped from the LOAD's
+		// padded ETA to "now"; re-key its strategies.
+		c.reindexModel(mi)
 		return
 	}
 	// Rejected LOAD: roll the mirror back.
@@ -487,6 +513,7 @@ func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 			delete(g.withWork, mi)
 		}
 	}
+	c.reindexModel(mi)
 }
 
 func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
@@ -502,6 +529,9 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 		c.profile.Observe(predictor.Key{Op: "exec", Model: res.Model, Batch: res.Batch}, res.Duration)
 		c.InferDuration.Record(res.ExpectedDuration, res.Duration)
 		c.InferCompletion.Record(absTimeError(res.ExpectedCompletion, res.End))
+		// The observation may have moved this model's execution
+		// estimates, which re-keys its strategies everywhere.
+		c.reindexModel(mi)
 		for _, r := range reqs {
 			if r.state != stateInFlight {
 				continue // already timed out at its deadline
@@ -513,7 +543,6 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 				Batch: res.Batch, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 			})
 		}
-		_ = mi
 		return
 	}
 	// The worker cancelled the action; fail its requests (§4.2: no

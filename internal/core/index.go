@@ -1,0 +1,356 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/simclock"
+)
+
+// This file holds the scheduler's hot-path indexes. The paper's
+// scheduler conceptually maintains "a single queue of strategies ordered
+// by required start time" and a load-priority order over models
+// (Appendix B); the seed implementation recomputed both orders by
+// scanning every active model on every pass, which is O(models) per GPU
+// per pass and collapses at Fig 8 scale. The controller now maintains:
+//
+//   - per-GPU strategy heaps: for every model with queued work on a GPU,
+//     one entry keyed by the required start time of its best feasible
+//     (model, batch) strategy. Entries are invalidated by a per-model
+//     stamp that the controller bumps on every event that can change a
+//     strategy (queue mutation, estimate observation, residency change),
+//     and lazily re-keyed on pop, so a scheduling decision is O(log n)
+//     amortised instead of O(models-with-work).
+//   - a demand-ordered treap over active models: since a model's load
+//     priority p_m is bounded above by its demand d_m, descending the
+//     treap in demand order lets bestLoad stop as soon as the next
+//     model's demand cannot beat the best exact priority found
+//     (branch-and-bound), while per-GPU allocated demand ℓ_g is
+//     maintained incrementally instead of being rebuilt per call.
+//   - a deadline-ordered treap (enabled only for the LoadOldestFirst
+//     ablation policy) over active models keyed by earliest queued
+//     deadline.
+//
+// Determinism: all index orders break ties by model registration
+// sequence, which makes selection deterministic where the seed's map
+// iteration made equal-key choices depend on Go's map order.
+
+// ---- per-model invalidation ----
+
+// reindexModel re-synchronises every index with mi's current state. The
+// controller calls it after any mutation that can affect scheduling:
+// request enqueue, batch pop, cancellation, estimate observation, and
+// residency changes. Cost: O(replicas + log models).
+func (c *Controller) reindexModel(mi *ModelInfo) {
+	mi.stamp++
+
+	// ℓ_g maintenance: retract mi's previous per-GPU allocated-demand
+	// contribution and apply the current one (Appendix B computes
+	// ℓ_g = Σ_m a_{m,g} with a_{m,g} = d_m / |replicas(m)| over active
+	// models; shares use the same integer division as the seed's scan).
+	for _, g := range mi.sharedOn {
+		g.allocDemand -= mi.loadShare
+	}
+	mi.sharedOn = mi.sharedOn[:0]
+	mi.loadShare = 0
+	active := c.activeModels[mi]
+	if active && mi.demand > 0 && len(mi.residentOn) > 0 {
+		mi.loadShare = mi.demand / time.Duration(len(mi.residentOn))
+		for g := range mi.residentOn {
+			g.allocDemand += mi.loadShare
+			mi.sharedOn = append(mi.sharedOn, g)
+		}
+	}
+
+	// Demand index membership: exactly the active models.
+	if active {
+		c.demandIdx.update(mi, &mi.demandNode, int64(mi.demand))
+	} else {
+		c.demandIdx.remove(&mi.demandNode)
+	}
+
+	// Deadline index (ablation load policy only).
+	if c.deadlineIdxOn {
+		if active {
+			c.deadlineIdx.update(mi, &mi.deadlineNode, int64(mi.MinDeadline()))
+		} else {
+			c.deadlineIdx.remove(&mi.deadlineNode)
+		}
+	}
+
+	// Strategy entries: one fresh entry per GPU where mi has work. Old
+	// entries for mi (previous stamps) become garbage and are discarded
+	// lazily when popped, or swept by compaction.
+	if mi.QueuedCount() > 0 {
+		now := c.eng.Now()
+		for g := range mi.residentOn {
+			if !g.withWork[mi] {
+				continue
+			}
+			batch, _, rs := c.inferCandidate(g, mi, now)
+			if batch == 0 {
+				continue // infeasible until the next stamp bump
+			}
+			g.pushStrategy(stratEntry{mi: mi, key: rs, stamp: mi.stamp})
+		}
+	}
+}
+
+// inferCandidate picks mi's best feasible (batch, earliest, requiredStart)
+// strategy on g at instant now: the largest compiled batch not exceeding
+// the queue whose execution estimate still meets the oldest request's
+// deadline — exactly the seed scheduler's per-model inner loop, factored
+// out so the indexed and linear selection paths share it.
+func (c *Controller) inferCandidate(g *GPUMirror, mi *ModelInfo, now simclock.Time) (batch int, earliest, requiredStart simclock.Time) {
+	readyAt, ok := g.Resident(mi.name)
+	if !ok || mi.QueuedCount() == 0 {
+		return 0, 0, simclock.MaxTime
+	}
+	start := simclock.Max(now, g.ExecFreeAt)
+	start = simclock.Max(start, readyAt)
+	for _, b := range descBatches {
+		if b > mi.QueuedCount() {
+			continue
+		}
+		est := c.EstimateExec(mi, b)
+		deadline := mi.MinDeadlineOfOldest(b)
+		if start.Add(est) > deadline {
+			continue // batch too slow for its oldest request
+		}
+		return b, start, deadline.Add(-est)
+	}
+	return 0, 0, simclock.MaxTime
+}
+
+// descBatches holds the compiled batch sizes, largest first.
+var descBatches = func() []int {
+	n := len(modelzoo.BatchSizes)
+	desc := make([]int, n)
+	for i, b := range modelzoo.BatchSizes {
+		desc[n-1-i] = b
+	}
+	return desc
+}()
+
+// enableDeadlineIndex turns on MinDeadline-ordered indexing of active
+// models; the LoadOldestFirst ablation policy opts in at Attach time so
+// the default path never pays the O(queue) MinDeadline recomputation.
+func (c *Controller) enableDeadlineIndex() { c.deadlineIdxOn = true }
+
+// ---- per-GPU strategy heap ----
+
+// stratEntry is one model's candidate strategy on one GPU. key is the
+// strategy's required start time as computed when the entry was pushed;
+// required start only grows between stamp bumps (estimates and deadlines
+// are fixed within a stamp epoch and the start lower bound max(now,
+// ExecFreeAt, readyAt) is monotone — the one event that lowers it, LOAD
+// completion, bumps the stamp), so a stored key is always a lower bound
+// on the entry's current required start. That makes the classic lazy
+// re-keying heap exact: pop the minimum, recompute, and either the key
+// is unchanged (global minimum found) or the entry is pushed back with
+// its larger key.
+type stratEntry struct {
+	mi    *ModelInfo
+	key   simclock.Time
+	stamp uint64
+}
+
+// stratHeap orders entries by (required start, model registration
+// sequence) — deterministic where the seed's map scan was not.
+type stratHeap []stratEntry
+
+func (h stratHeap) Len() int { return len(h) }
+func (h stratHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].mi.seq < h[j].mi.seq
+}
+func (h stratHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *stratHeap) Push(x any)   { *h = append(*h, x.(stratEntry)) }
+func (h *stratHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = stratEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// pushStrategy adds a fresh entry, compacting the heap first when stale
+// entries (stamp-mismatched leftovers of earlier pushes) dominate. At
+// most one entry per model carries the current stamp, so live entries
+// are bounded by |withWork|.
+func (g *GPUMirror) pushStrategy(e stratEntry) {
+	if len(g.stratQ) > 64 && len(g.stratQ) > 4*(len(g.withWork)+1) {
+		g.compactStrategies()
+	}
+	heap.Push(&g.stratQ, e)
+}
+
+// compactStrategies rebuilds the heap keeping only current-stamp entries.
+func (g *GPUMirror) compactStrategies() {
+	live := g.stratQ[:0]
+	for _, e := range g.stratQ {
+		if e.stamp == e.mi.stamp {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(g.stratQ); i++ {
+		g.stratQ[i] = stratEntry{}
+	}
+	g.stratQ = live
+	heap.Init(&g.stratQ)
+}
+
+// ---- ordered model index (treap) ----
+
+// modelTreap is a balanced ordered index over models, keyed by an int64
+// with model registration sequence as tie-break. Node priorities are a
+// deterministic hash of the sequence, so the tree shape — and therefore
+// iteration order and timing — is identical across runs.
+type modelTreap struct {
+	root *treapNode
+	size int
+	// desc iterates keys high-to-low when true (demand order); low-to-
+	// high otherwise (deadline order).
+	desc bool
+}
+
+type treapNode struct {
+	mi   *ModelInfo
+	key  int64
+	prio uint64
+	l, r *treapNode
+}
+
+func (t *modelTreap) less(a, b *treapNode) bool {
+	if a.key != b.key {
+		if t.desc {
+			return a.key > b.key
+		}
+		return a.key < b.key
+	}
+	return a.mi.seq < b.mi.seq
+}
+
+// update inserts mi (or re-keys it) so the index reflects newKey.
+// *slot is the per-model node handle owned by this index.
+func (t *modelTreap) update(mi *ModelInfo, slot **treapNode, newKey int64) {
+	if n := *slot; n != nil {
+		if n.key == newKey {
+			return
+		}
+		t.remove(slot)
+	}
+	n := &treapNode{mi: mi, key: newKey, prio: splitmix64(mi.seq)}
+	*slot = n
+	t.root = t.insert(t.root, n)
+	t.size++
+}
+
+// remove detaches the node held in *slot, if any.
+func (t *modelTreap) remove(slot **treapNode) {
+	n := *slot
+	if n == nil {
+		return
+	}
+	t.root = t.delete(t.root, n)
+	n.l, n.r = nil, nil
+	*slot = nil
+	t.size--
+}
+
+func (t *modelTreap) insert(root, n *treapNode) *treapNode {
+	if root == nil {
+		return n
+	}
+	if t.less(n, root) {
+		root.l = t.insert(root.l, n)
+		if root.l.prio < root.prio {
+			root = rotateRight(root)
+		}
+	} else {
+		root.r = t.insert(root.r, n)
+		if root.r.prio < root.prio {
+			root = rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func (t *modelTreap) delete(root, n *treapNode) *treapNode {
+	if root == nil {
+		return nil
+	}
+	if root == n {
+		return t.merge(root.l, root.r)
+	}
+	if t.less(n, root) {
+		root.l = t.delete(root.l, n)
+	} else {
+		root.r = t.delete(root.r, n)
+	}
+	return root
+}
+
+func (t *modelTreap) merge(l, r *treapNode) *treapNode {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio < r.prio {
+		l.r = t.merge(l.r, r)
+		return l
+	}
+	r.l = t.merge(l, r.l)
+	return r
+}
+
+func rotateRight(n *treapNode) *treapNode {
+	l := n.l
+	n.l = l.r
+	l.r = n
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.r
+	n.r = r.l
+	r.l = n
+	return r
+}
+
+// Len returns the number of indexed models.
+func (t *modelTreap) Len() int { return t.size }
+
+// Scan visits models in index order (descending key for demand order,
+// ascending for deadline order) until cb returns false.
+func (t *modelTreap) Scan(cb func(mi *ModelInfo) bool) {
+	t.walk(t.root, cb)
+}
+
+func (t *modelTreap) walk(n *treapNode, cb func(mi *ModelInfo) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.walk(n.l, cb) {
+		return false
+	}
+	if !cb(n.mi) {
+		return false
+	}
+	return t.walk(n.r, cb)
+}
+
+// splitmix64 is the standard 64-bit mixer; used for deterministic treap
+// priorities derived from model registration order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/rng"
+	"clockwork/internal/simclock"
+)
+
+// randomWorkload drives a cluster with a randomized open-loop workload:
+// nModels models with Zipf-skewed popularity, exponential inter-arrival
+// gaps, and SLOs drawn from a small menu, for the given span.
+func randomWorkload(cl *Cluster, seed uint64, nModels int, rate float64, span time.Duration) {
+	names := cl.RegisterCopies("m", modelzoo.ResNet50(), nModels)
+	stream := rng.NewSource(seed).Stream("index-test")
+	zipf := stream.Zipf(1.2, len(names))
+	slos := []time.Duration{
+		15 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 250 * time.Millisecond,
+	}
+	stop := simclock.Time(span)
+	var arrival func()
+	arrival = func() {
+		gap := time.Duration(stream.Exp(1.0/rate) * float64(time.Second))
+		cl.Eng.After(gap, func() {
+			if cl.Eng.Now() >= stop {
+				return
+			}
+			cl.Submit(names[zipf.Draw()], slos[stream.Intn(len(slos))], nil)
+			arrival()
+		})
+	}
+	arrival()
+}
+
+// TestSchedulerNeverDispatchesLateInfer asserts the paper's core
+// guarantee at the moment of decision: the Clockwork scheduler never
+// dispatches an INFER whose estimated completion misses the deadline of
+// any request in the batch (§4.1 — workers do no fruitless work).
+func TestSchedulerNeverDispatchesLateInfer(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cl := NewCluster(ClusterConfig{
+				Workers: 1, GPUsPerWorker: 2, Seed: seed,
+				// Small cache forces load/unload churn under deadline
+				// pressure, the hardest regime for the invariant.
+				PageCacheBytes: 12 * 7 * 16 * 1024 * 1024,
+			})
+			dispatched := 0
+			cl.Ctl.testOnInfer = func(a *action.Action, reqs []*Request) {
+				dispatched++
+				for _, r := range reqs {
+					if a.ExpectedCompletion > r.deadline {
+						t.Fatalf("INFER %d (%s b%d) predicted to complete at %v, after request %d's deadline %v",
+							a.ID, a.Model, a.Batch, a.ExpectedCompletion, r.ID, r.deadline)
+					}
+				}
+			}
+			randomWorkload(cl, seed, 24, 800, 3*time.Second)
+			cl.RunFor(4 * time.Second)
+			if dispatched == 0 {
+				t.Fatal("workload dispatched no INFERs; invariant never exercised")
+			}
+		})
+	}
+}
+
+// TestIndexedSelectionMatchesLinear replays randomized workloads and, at
+// every engine step, compares the index-based strategy/load/victim
+// selection against the seed's linear scans on identical state. Key
+// equality (required start, priority) is asserted rather than pointer
+// identity because the linear scans break exact ties by Go map order.
+func TestIndexedSelectionMatchesLinear(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := NewClockworkScheduler()
+			cl := NewCluster(ClusterConfig{
+				Workers: 1, GPUsPerWorker: 2, Seed: seed, Scheduler: s,
+				PageCacheBytes: 10 * 7 * 16 * 1024 * 1024,
+			})
+			randomWorkload(cl, seed, 16, 600, 2*time.Second)
+			stop := simclock.Time(3 * time.Second)
+			steps, compared := 0, 0
+			for cl.Eng.Now() < stop && cl.Eng.Step() {
+				steps++
+				if steps%7 != 0 {
+					continue
+				}
+				compared++
+				now := cl.Eng.Now()
+				for _, g := range cl.Ctl.GPUs() {
+					compareSelections(t, cl, s, g, now)
+				}
+			}
+			if compared == 0 {
+				t.Fatal("no comparison points")
+			}
+		})
+	}
+}
+
+func compareSelections(t *testing.T, cl *Cluster, s *ClockworkScheduler, g *GPUMirror, now simclock.Time) {
+	t.Helper()
+
+	// Strategy selection: identical required start; identical batch and
+	// earliest when the same model wins.
+	mi1, b1, e1, rs1 := s.bestStrategy(g, now)
+	mi2, b2, e2, rs2 := s.bestStrategyLinear(g, now)
+	if (mi1 == nil) != (mi2 == nil) {
+		t.Fatalf("t=%v: indexed strategy %v vs linear %v", now, name(mi1), name(mi2))
+	}
+	if mi1 != nil {
+		if rs1 != rs2 {
+			t.Fatalf("t=%v: required start %v (indexed %s) vs %v (linear %s)", now, rs1, name(mi1), rs2, name(mi2))
+		}
+		if mi1 == mi2 && (b1 != b2 || e1 != e2) {
+			t.Fatalf("t=%v: same model %s but batch/earliest diverge: (%d,%v) vs (%d,%v)",
+				now, name(mi1), b1, e1, b2, e2)
+		}
+	}
+
+	// Load selection: identical priority under the exact linear
+	// computation (also cross-checks ℓ_g maintenance below).
+	l1 := s.bestLoad(g, now)
+	l2 := s.bestLoadLinear(g, now)
+	if (l1 == nil) != (l2 == nil) {
+		t.Fatalf("t=%v: indexed load %v vs linear %v", now, name(l1), name(l2))
+	}
+	if l1 != nil {
+		cfg := cl.Ctl.Config()
+		p1 := s.loadPriority(cfg, l1)
+		p2 := s.loadPriority(cfg, l2)
+		if p1 != p2 {
+			t.Fatalf("t=%v: load priority %v (%s) vs %v (%s)", now, p1, name(l1), p2, name(l2))
+		}
+	}
+
+	// Incremental ℓ_g must equal a from-scratch rebuild.
+	rebuilt := make(map[*GPUMirror]time.Duration)
+	for mi := range cl.Ctl.ActiveModels() {
+		n := len(mi.residentOn)
+		if n == 0 || mi.demand <= 0 {
+			continue
+		}
+		share := mi.demand / time.Duration(n)
+		for g2 := range mi.residentOn {
+			rebuilt[g2] += share
+		}
+	}
+	for _, g2 := range cl.Ctl.GPUs() {
+		if g2.allocDemand != rebuilt[g2] {
+			t.Fatalf("t=%v: allocDemand[w%d.g%d] = %v, rebuild = %v",
+				now, g2.WorkerID, g2.GPU, g2.allocDemand, rebuilt[g2])
+		}
+	}
+
+	// Victim selection is fully deterministic (LRU order): identical.
+	v1 := s.nextVictim(g)
+	v2 := s.nextVictimLinear(g)
+	if v1 != v2 {
+		t.Fatalf("t=%v: victim %v vs %v", now, name(v1), name(v2))
+	}
+}
+
+func name(mi *ModelInfo) string {
+	if mi == nil {
+		return "<none>"
+	}
+	return mi.name
+}
+
+// TestOldestFirstIndexMatchesLinear covers the ablation load policy's
+// deadline index.
+func TestOldestFirstIndexMatchesLinear(t *testing.T) {
+	s := NewClockworkScheduler()
+	s.LoadSelection = LoadOldestFirst
+	cl := NewCluster(ClusterConfig{
+		Workers: 1, GPUsPerWorker: 1, Seed: 11, Scheduler: s,
+		PageCacheBytes: 6 * 7 * 16 * 1024 * 1024,
+	})
+	randomWorkload(cl, 11, 16, 500, 2*time.Second)
+	stop := simclock.Time(3 * time.Second)
+	steps := 0
+	for cl.Eng.Now() < stop && cl.Eng.Step() {
+		steps++
+		if steps%11 != 0 {
+			continue
+		}
+		now := cl.Eng.Now()
+		for _, g := range cl.Ctl.GPUs() {
+			o1 := s.bestLoadOldest(g, now)
+			o2 := s.bestLoadOldestLinear(g, now)
+			if (o1 == nil) != (o2 == nil) {
+				t.Fatalf("t=%v: indexed oldest %v vs linear %v", now, name(o1), name(o2))
+			}
+			if o1 != nil && o1.MinDeadline() != o2.MinDeadline() {
+				t.Fatalf("t=%v: oldest deadline %v (%s) vs %v (%s)",
+					now, o1.MinDeadline(), name(o1), o2.MinDeadline(), name(o2))
+			}
+		}
+	}
+}
+
+// TestModelTreapOrdering exercises the treap directly under random
+// insert/re-key/remove churn against a sorted reference.
+func TestModelTreapOrdering(t *testing.T) {
+	for _, desc := range []bool{true, false} {
+		tr := &modelTreap{desc: desc}
+		stream := rng.NewStream(99)
+		models := make([]*ModelInfo, 64)
+		keys := make(map[*ModelInfo]int64)
+		for i := range models {
+			models[i] = &ModelInfo{name: fmt.Sprintf("m%d", i), seq: uint64(i)}
+		}
+		slot := func(mi *ModelInfo) **treapNode { return &mi.demandNode }
+		for op := 0; op < 5000; op++ {
+			mi := models[stream.Intn(len(models))]
+			switch stream.Intn(3) {
+			case 0, 1: // insert or re-key
+				k := int64(stream.Intn(40)) // narrow range to force ties
+				tr.update(mi, slot(mi), k)
+				keys[mi] = k
+			case 2:
+				tr.remove(slot(mi))
+				delete(keys, mi)
+			}
+		}
+		if tr.Len() != len(keys) {
+			t.Fatalf("treap size %d, want %d", tr.Len(), len(keys))
+		}
+		type kv struct {
+			mi  *ModelInfo
+			key int64
+		}
+		want := make([]kv, 0, len(keys))
+		for mi, k := range keys {
+			want = append(want, kv{mi, k})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				if desc {
+					return want[i].key > want[j].key
+				}
+				return want[i].key < want[j].key
+			}
+			return want[i].mi.seq < want[j].mi.seq
+		})
+		got := make([]kv, 0, len(keys))
+		tr.Scan(func(mi *ModelInfo) bool {
+			got = append(got, kv{mi, keys[mi]})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("scan visited %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].mi != want[i].mi {
+				t.Fatalf("desc=%v: position %d: got %s(key %d), want %s(key %d)",
+					desc, i, got[i].mi.name, got[i].key, want[i].mi.name, want[i].key)
+			}
+		}
+		// Early exit stops the walk.
+		visited := 0
+		tr.Scan(func(*ModelInfo) bool { visited++; return visited < 3 })
+		if visited != 3 && tr.Len() >= 3 {
+			t.Fatalf("early exit visited %d", visited)
+		}
+	}
+}

@@ -38,6 +38,15 @@ type GPUMirror struct {
 	// that currently have queued requests — the scheduler's candidate
 	// set for the next INFER.
 	withWork map[*ModelInfo]bool
+
+	// stratQ is the strategy heap for this GPU: one lazily re-keyed
+	// entry per model with work, ordered by required start time (see
+	// index.go). Maintained by Controller.reindexModel.
+	stratQ stratHeap
+
+	// allocDemand is ℓ_g, the incrementally maintained sum of active
+	// models' per-replica demand shares on this GPU (Appendix B).
+	allocDemand time.Duration
 }
 
 func newGPUMirror(workerID, gpu int, pageCacheBytes, pageSize int64) *GPUMirror {
@@ -130,6 +139,25 @@ type ModelInfo struct {
 	// residentOn tracks which GPU mirrors hold (or are loading) this
 	// model.
 	residentOn map[*GPUMirror]bool
+
+	// ---- index bookkeeping (see index.go) ----
+
+	// seq is the registration order, used as the deterministic
+	// tie-break in every index.
+	seq uint64
+	// stamp is bumped by Controller.reindexModel on every event that
+	// can change this model's strategies; strategy-heap entries carry
+	// the stamp they were pushed with and are stale when it differs.
+	stamp uint64
+	// loadShare and sharedOn record the demand-share contribution this
+	// model currently makes to each GPU's allocDemand, so reindexModel
+	// can retract it exactly before applying the new share.
+	loadShare time.Duration
+	sharedOn  []*GPUMirror
+	// demandNode/deadlineNode are this model's handles in the
+	// controller's ordered indexes.
+	demandNode   *treapNode
+	deadlineNode *treapNode
 }
 
 // Name returns the model instance name.

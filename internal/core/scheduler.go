@@ -1,10 +1,10 @@
 package core
 
 import (
+	"container/heap"
 	"time"
 
 	"clockwork/internal/action"
-	"clockwork/internal/modelzoo"
 	"clockwork/internal/simclock"
 )
 
@@ -30,9 +30,6 @@ type ClockworkScheduler struct {
 	// LoadSelection switches between Appendix B's priority policy
 	// (default) and the naive ablation policy. Set before first use.
 	LoadSelection LoadPolicy
-
-	// descBatches caches the compiled batch sizes, largest first.
-	descBatches []int
 }
 
 // LoadPolicy selects how the scheduler chooses LOAD targets.
@@ -47,16 +44,18 @@ const (
 
 // NewClockworkScheduler returns the paper's scheduler.
 func NewClockworkScheduler() *ClockworkScheduler {
-	n := len(modelzoo.BatchSizes)
-	desc := make([]int, n)
-	for i, b := range modelzoo.BatchSizes {
-		desc[n-1-i] = b
-	}
-	return &ClockworkScheduler{wakes: make(map[*GPUMirror]*simclock.Timer), descBatches: desc}
+	return &ClockworkScheduler{wakes: make(map[*GPUMirror]*simclock.Timer)}
 }
 
 // Attach implements Scheduler.
-func (s *ClockworkScheduler) Attach(c *Controller) { s.c = c }
+func (s *ClockworkScheduler) Attach(c *Controller) {
+	s.c = c
+	if s.LoadSelection == LoadOldestFirst {
+		// The ablation policy selects by earliest queued deadline; have
+		// the controller keep the deadline-ordered index for it.
+		c.enableDeadlineIndex()
+	}
+}
 
 // OnRequest implements Scheduler: new demand may enable an INFER on any
 // GPU holding the model, or justify a LOAD anywhere.
@@ -115,29 +114,53 @@ func (s *ClockworkScheduler) scheduleInfers(g *GPUMirror) {
 // among models with queued work resident on g, the largest batch that
 // meets its oldest request's deadline, preferring the earliest required
 // start time (Appendix B's strategy-queue order).
+//
+// It reads g's strategy heap instead of scanning every model with work.
+// The heap's stored keys are lower bounds on each entry's current
+// required start (see stratEntry), so popping proceeds: stale entries
+// (stamp mismatch) are dropped, entries whose model has become
+// infeasible are dropped (within a stamp epoch infeasibility is
+// permanent — the start bound only grows — and every event that could
+// restore feasibility bumps the stamp and pushes a fresh entry), and
+// entries whose recomputed key grew are pushed back re-keyed. The first
+// entry whose recomputed key equals its stored key is the global
+// minimum, because every other stored key is a lower bound.
 func (s *ClockworkScheduler) bestStrategy(g *GPUMirror, now simclock.Time) (best *ModelInfo, batch int, earliest, requiredStart simclock.Time) {
-	requiredStart = simclock.MaxTime
-	for mi := range g.ModelsWithWork() {
-		readyAt, ok := g.Resident(mi.name)
-		if !ok || mi.QueuedCount() == 0 {
+	for len(g.stratQ) > 0 {
+		e := g.stratQ[0]
+		mi := e.mi
+		if e.stamp != mi.stamp || !g.withWork[mi] {
+			heap.Pop(&g.stratQ)
 			continue
 		}
-		start := simclock.Max(now, g.ExecFreeAt)
-		start = simclock.Max(start, readyAt)
-		for _, b := range s.descBatches {
-			if b > mi.QueuedCount() {
-				continue
-			}
-			est := s.c.EstimateExec(mi, b)
-			deadline := mi.MinDeadlineOfOldest(b)
-			if start.Add(est) > deadline {
-				continue // batch too slow for its oldest request
-			}
-			rs := deadline.Add(-est)
-			if rs < requiredStart {
-				best, batch, earliest, requiredStart = mi, b, start, rs
-			}
-			break // largest feasible batch for this model found
+		b, start, rs := s.c.inferCandidate(g, mi, now)
+		if b == 0 {
+			heap.Pop(&g.stratQ) // infeasible until the next stamp bump
+			continue
+		}
+		if rs != e.key {
+			g.stratQ[0].key = rs
+			heap.Fix(&g.stratQ, 0)
+			continue
+		}
+		return mi, b, start, rs
+	}
+	return nil, 0, 0, simclock.MaxTime
+}
+
+// bestStrategyLinear is the seed's O(models-with-work) scan, kept as the
+// reference implementation: property tests assert the indexed path picks
+// an identical (model, batch) on identical state, and benchmarks measure
+// the gap.
+func (s *ClockworkScheduler) bestStrategyLinear(g *GPUMirror, now simclock.Time) (best *ModelInfo, batch int, earliest, requiredStart simclock.Time) {
+	requiredStart = simclock.MaxTime
+	for mi := range g.ModelsWithWork() {
+		b, start, rs := s.c.inferCandidate(g, mi, now)
+		if b == 0 {
+			continue
+		}
+		if rs < requiredStart {
+			best, batch, earliest, requiredStart = mi, b, start, rs
 		}
 	}
 	return best, batch, earliest, requiredStart
@@ -167,14 +190,76 @@ func (s *ClockworkScheduler) scheduleLoads(g *GPUMirror) {
 
 // bestLoad returns the non-resident model with the highest positive load
 // priority whose LOAD would still be useful, or nil.
+//
+// It descends the controller's demand-ordered index instead of scanning
+// every active model: a model's priority p_m = d_m − Σ fulfilled is
+// bounded above by its demand d_m, so once the next model's demand
+// cannot exceed the best exact priority found, no later model can win
+// and the descent stops. ℓ_g comes from the incrementally maintained
+// per-GPU allocated demand rather than a per-call rebuild.
 func (s *ClockworkScheduler) bestLoad(g *GPUMirror, now simclock.Time) *ModelInfo {
+	cfg := s.c.Config()
+	if len(s.c.activeModels) == 0 {
+		return nil
+	}
+	if s.LoadSelection == LoadOldestFirst {
+		return s.bestLoadOldest(g, now)
+	}
+	var best *ModelInfo
+	var bestP time.Duration
+	s.c.demandIdx.Scan(func(mi *ModelInfo) bool {
+		if mi.demand <= 0 {
+			return false // demand-descending: nothing below can qualify
+		}
+		if best != nil && mi.demand <= bestP {
+			return false // upper bound: p_m ≤ d_m cannot beat bestP
+		}
+		if _, resident := g.Resident(mi.name); resident {
+			return true
+		}
+		if p := s.loadPriority(cfg, mi); p > 0 && (best == nil || p > bestP) {
+			best, bestP = mi, p
+		}
+		return true
+	})
+	return best
+}
+
+// loadPriority computes Appendix B's p_m = d_m − Σ_g a_{m,g} ·
+// capacity_g / ℓ_g from the incrementally maintained per-GPU loads.
+//
+// No "will the load land before the current deadlines" filter: demand
+// is a *rate* signal. Under a tight SLO every queued request may expire
+// before the transfer lands, yet sustained demand means the load pays
+// off for the arrivals right behind them — filtering here deadlocks
+// cold models forever.
+func (s *ClockworkScheduler) loadPriority(cfg Config, mi *ModelInfo) time.Duration {
+	p := mi.demand
+	if n := len(mi.residentOn); n > 0 {
+		share := mi.demand / time.Duration(n)
+		for g2 := range mi.residentOn {
+			l := g2.allocDemand
+			if l <= 0 {
+				l = time.Nanosecond
+			}
+			fulfilled := time.Duration(float64(share) * float64(cfg.LoadHorizon) / float64(l))
+			p -= fulfilled
+		}
+	}
+	return p
+}
+
+// bestLoadLinear is the seed's O(active models) scan with a per-call
+// ℓ_g rebuild, kept as the reference implementation for property tests
+// and benchmarks.
+func (s *ClockworkScheduler) bestLoadLinear(g *GPUMirror, now simclock.Time) *ModelInfo {
 	cfg := s.c.Config()
 	active := s.c.ActiveModels()
 	if len(active) == 0 {
 		return nil
 	}
 	if s.LoadSelection == LoadOldestFirst {
-		return s.bestLoadOldest(g, now)
+		return s.bestLoadOldestLinear(g, now)
 	}
 	// ℓ_g: per-GPU allocated demand (Appendix B), over active models.
 	loads := make(map[*GPUMirror]time.Duration, len(s.c.GPUs()))
@@ -213,11 +298,6 @@ func (s *ClockworkScheduler) bestLoad(g *GPUMirror, now simclock.Time) *ModelInf
 		if p <= 0 {
 			continue
 		}
-		// No "will the load land before the current deadlines" filter:
-		// demand is a *rate* signal. Under a tight SLO every queued
-		// request may expire before the transfer lands, yet sustained
-		// demand means the load pays off for the arrivals right behind
-		// them — filtering here deadlocks cold models forever.
 		if best == nil || p > bestP {
 			best, bestP = mi, p
 		}
@@ -227,8 +307,31 @@ func (s *ClockworkScheduler) bestLoad(g *GPUMirror, now simclock.Time) *ModelInf
 
 // bestLoadOldest is the ablation load policy: load the not-yet-resident
 // model whose oldest queued request has the earliest deadline, ignoring
-// demand volume and existing replicas.
+// demand volume and existing replicas. It ascends the deadline-ordered
+// index, so the first model passing the residency and usefulness filters
+// is the answer; the linear scan remains as a fallback when the index
+// was not enabled (a scheduler whose LoadSelection changed after Attach).
 func (s *ClockworkScheduler) bestLoadOldest(g *GPUMirror, now simclock.Time) *ModelInfo {
+	if !s.c.deadlineIdxOn {
+		return s.bestLoadOldestLinear(g, now)
+	}
+	var best *ModelInfo
+	s.c.deadlineIdx.Scan(func(mi *ModelInfo) bool {
+		if _, resident := g.Resident(mi.name); resident {
+			return true
+		}
+		eta := simclock.Max(now, g.LoadFreeAt).Add(s.c.EstimateLoad(mi))
+		if eta.Add(s.c.EstimateExec(mi, 1)) > mi.MaxDeadline() {
+			return true
+		}
+		best = mi
+		return false // deadline-ascending: first hit is the earliest
+	})
+	return best
+}
+
+// bestLoadOldestLinear is the seed's scan for the ablation policy.
+func (s *ClockworkScheduler) bestLoadOldestLinear(g *GPUMirror, now simclock.Time) *ModelInfo {
 	var best *ModelInfo
 	bestDeadline := simclock.MaxTime
 	for mi := range s.c.ActiveModels() {
@@ -265,8 +368,27 @@ func (s *ClockworkScheduler) evictFor(g *GPUMirror, mi *ModelInfo) bool {
 	return true
 }
 
-// nextVictim returns the least-recently-used evictable model on g.
+// nextVictim returns the least-recently-used evictable model on g,
+// walking the page cache's LRU list in place instead of materialising
+// every resident key per eviction.
 func (s *ClockworkScheduler) nextVictim(g *GPUMirror) *ModelInfo {
+	var victim *ModelInfo
+	g.Pages.ScanLRU(func(name string) bool {
+		if g.IsLoading(name) || g.InFlight(name) > 0 {
+			return true
+		}
+		if mi, ok := s.c.Model(name); ok {
+			victim = mi
+			return false
+		}
+		return true
+	})
+	return victim
+}
+
+// nextVictimLinear is the seed's materialise-and-scan implementation,
+// kept as the reference for property tests.
+func (s *ClockworkScheduler) nextVictimLinear(g *GPUMirror) *ModelInfo {
 	keys := g.Pages.Keys() // MRU first
 	for i := len(keys) - 1; i >= 0; i-- {
 		name := keys[i]

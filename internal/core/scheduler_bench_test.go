@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clockwork/internal/action"
+	"clockwork/internal/modelzoo"
+	"clockwork/internal/simclock"
+)
+
+// nopSched lets benchmarks build controller state without a scheduler
+// reacting to it.
+type nopSched struct{}
+
+func (nopSched) Attach(*Controller)     {}
+func (nopSched) OnRequest(*Request)     {}
+func (nopSched) OnResult(action.Result) {}
+func (nopSched) OnCancel(*Request)      {}
+
+// benchState builds a controller with nModels active models (reqsPer
+// queued requests each), the first `resident` of them GPU-resident, and
+// a Clockwork scheduler attached for direct decision calls.
+func benchState(nModels, resident, reqsPer int) (*ClockworkScheduler, *GPUMirror, simclock.Time) {
+	eng := simclock.NewEngine()
+	ctl := NewController(eng, Config{}, nopSched{})
+	zoo := modelzoo.ResNet50()
+	pageSize := int64(16 * 1024 * 1024)
+	cacheBytes := int64(resident+8) * int64(zoo.Pages(pageSize)) * pageSize
+	ctl.AddWorker(0, 1, cacheBytes, pageSize, func(*action.Action, int64) {})
+	g := ctl.GPUs()[0]
+
+	names := make([]string, nModels)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-m%d", i)
+		ctl.RegisterModel(names[i], zoo)
+	}
+	now := eng.Now()
+	for i := 0; i < resident; i++ {
+		mi, _ := ctl.Model(names[i])
+		a := ctl.SendLoad(g, mi, now, now.Add(time.Second))
+		ctl.HandleResult(action.Result{
+			ActionID: a.ID, Type: action.Load, Status: action.Success,
+			WorkerID: 0, GPU: 0, Model: names[i],
+			Duration:           a.ExpectedDuration,
+			ExpectedDuration:   a.ExpectedDuration,
+			ExpectedCompletion: a.ExpectedCompletion,
+			Start:              a.Earliest, End: a.ExpectedCompletion,
+		})
+	}
+	for _, n := range names {
+		for j := 0; j < reqsPer; j++ {
+			ctl.Submit(n, 100*time.Millisecond, nil)
+		}
+	}
+	s := NewClockworkScheduler()
+	s.Attach(ctl)
+	return s, g, eng.Now()
+}
+
+// BenchmarkSchedulerPass measures one scheduling decision — the strategy
+// pick plus the load pick for one GPU — against the number of active
+// models, for the indexed hot path and the seed's linear scans. The
+// linear load scan rebuilds ℓ_g over every active model per call, which
+// is the term that collapses at Fig 8 scale (thousands of models).
+func BenchmarkSchedulerPass(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		resident := 100
+		if n < resident {
+			resident = n
+		}
+		b.Run(fmt.Sprintf("indexed-%d", n), func(b *testing.B) {
+			s, g, now := benchState(n, resident, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.bestStrategy(g, now)
+				s.bestLoad(g, now)
+			}
+		})
+		b.Run(fmt.Sprintf("linear-%d", n), func(b *testing.B) {
+			s, g, now := benchState(n, resident, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.bestStrategyLinear(g, now)
+				s.bestLoadLinear(g, now)
+			}
+		})
+	}
+}
+
+// BenchmarkReindexModel measures the incremental index-maintenance cost
+// paid per controller event (the price of the fast pass).
+func BenchmarkReindexModel(b *testing.B) {
+	s, g, _ := benchState(1000, 100, 4)
+	_ = g
+	mi, _ := s.c.Model("bench-m50")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.c.reindexModel(mi)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
+	"clockwork/internal/runner"
 	"clockwork/internal/simclock"
 	"clockwork/internal/workload"
 )
@@ -81,15 +82,17 @@ func RunAblationLookahead(dur time.Duration, seed uint64) *AblationResult {
 	if dur <= 0 {
 		dur = 10 * time.Second
 	}
-	res := &AblationResult{Name: "scheduler lookahead"}
-	for _, la := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
-		cl := core.NewCluster(core.ClusterConfig{
-			Workers: 1, GPUsPerWorker: 1, Seed: seed,
-			Controller: core.Config{Lookahead: la},
-		})
-		res.Rows = append(res.Rows, ablationWorkload(la.String(), cl, dur))
+	sweep := []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	return &AblationResult{
+		Name: "scheduler lookahead",
+		Rows: runner.Map(sweep, func(la time.Duration) AblationRow {
+			cl := core.NewCluster(core.ClusterConfig{
+				Workers: 1, GPUsPerWorker: 1, Seed: seed,
+				Controller: core.Config{Lookahead: la},
+			})
+			return ablationWorkload(la.String(), cl, dur)
+		}),
 	}
-	return res
 }
 
 // RunAblationPredictor sweeps the rolling profile window (§5.3 uses the
@@ -99,15 +102,16 @@ func RunAblationPredictor(dur time.Duration, seed uint64) *AblationResult {
 	if dur <= 0 {
 		dur = 10 * time.Second
 	}
-	res := &AblationResult{Name: "predictor window"}
-	for _, w := range []int{1, 10, 100} {
-		cl := core.NewCluster(core.ClusterConfig{
-			Workers: 1, GPUsPerWorker: 1, Seed: seed,
-			Controller: core.Config{ProfileWindow: w},
-		})
-		res.Rows = append(res.Rows, ablationWorkload(fmt.Sprintf("window=%d", w), cl, dur))
+	return &AblationResult{
+		Name: "predictor window",
+		Rows: runner.Map([]int{1, 10, 100}, func(w int) AblationRow {
+			cl := core.NewCluster(core.ClusterConfig{
+				Workers: 1, GPUsPerWorker: 1, Seed: seed,
+				Controller: core.Config{ProfileWindow: w},
+			})
+			return ablationWorkload(fmt.Sprintf("window=%d", w), cl, dur)
+		}),
 	}
-	return res
 }
 
 // RunAblationLoadPolicy compares Appendix B's demand-priority LOAD
@@ -117,50 +121,52 @@ func RunAblationLoadPolicy(dur time.Duration, seed uint64) *AblationResult {
 	if dur <= 0 {
 		dur = 10 * time.Second
 	}
-	res := &AblationResult{Name: "LOAD selection policy"}
-	for _, policy := range []core.LoadPolicy{core.LoadByPriority, core.LoadOldestFirst} {
-		label := "priority (paper)"
-		if policy == core.LoadOldestFirst {
-			label = "oldest-first"
-		}
-		sched := core.NewClockworkScheduler()
-		sched.LoadSelection = policy
-		cl := core.NewCluster(core.ClusterConfig{
-			Workers: 1, GPUsPerWorker: 1, Seed: seed,
-			Scheduler:      sched,
-			PageCacheBytes: 10 * 7 * 16 * 1024 * 1024,
-		})
-		names := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), 32)
-		src := rng.NewSource(seed)
-		stop := simclock.Time(dur)
-		const slo = 100 * time.Millisecond
-		// Zipf-skewed open-loop load across 32 models at 600 r/s.
-		stream := src.Stream("ablation.load")
-		zipf := stream.Zipf(1.3, len(names))
-		var arrival func()
-		arrival = func() {
-			gap := time.Duration(stream.Exp(1.0/600) * float64(time.Second))
-			cl.Eng.After(gap, func() {
-				if cl.Eng.Now() >= stop {
-					return
-				}
-				cl.Submit(names[zipf.Draw()], slo, nil)
-				arrival()
+	policies := []core.LoadPolicy{core.LoadByPriority, core.LoadOldestFirst}
+	return &AblationResult{
+		Name: "LOAD selection policy",
+		Rows: runner.Map(policies, func(policy core.LoadPolicy) AblationRow {
+			label := "priority (paper)"
+			if policy == core.LoadOldestFirst {
+				label = "oldest-first"
+			}
+			sched := core.NewClockworkScheduler()
+			sched.LoadSelection = policy
+			cl := core.NewCluster(core.ClusterConfig{
+				Workers: 1, GPUsPerWorker: 1, Seed: seed,
+				Scheduler:      sched,
+				PageCacheBytes: 10 * 7 * 16 * 1024 * 1024,
 			})
-		}
-		arrival()
-		cl.RunUntil(stop.Add(time.Second))
-		st := cl.Ctl.Stats()
-		res.Rows = append(res.Rows, AblationRow{
-			Label:     label,
-			Goodput:   float64(cl.Metrics.Goodput.TotalCount()) / dur.Seconds(),
-			P99:       cl.Metrics.LatencyAll.Percentile(99),
-			Max:       cl.Metrics.LatencyAll.Max(),
-			Rejected:  st.Rejected,
-			Cancelled: st.Cancelled,
-		})
+			names := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), 32)
+			src := rng.NewSource(seed)
+			stop := simclock.Time(dur)
+			const slo = 100 * time.Millisecond
+			// Zipf-skewed open-loop load across 32 models at 600 r/s.
+			stream := src.Stream("ablation.load")
+			zipf := stream.Zipf(1.3, len(names))
+			var arrival func()
+			arrival = func() {
+				gap := time.Duration(stream.Exp(1.0/600) * float64(time.Second))
+				cl.Eng.After(gap, func() {
+					if cl.Eng.Now() >= stop {
+						return
+					}
+					cl.Submit(names[zipf.Draw()], slo, nil)
+					arrival()
+				})
+			}
+			arrival()
+			cl.RunUntil(stop.Add(time.Second))
+			st := cl.Ctl.Stats()
+			return AblationRow{
+				Label:     label,
+				Goodput:   float64(cl.Metrics.Goodput.TotalCount()) / dur.Seconds(),
+				P99:       cl.Metrics.LatencyAll.Percentile(99),
+				Max:       cl.Metrics.LatencyAll.Max(),
+				Rejected:  st.Rejected,
+				Cancelled: st.Cancelled,
+			}
+		}),
 	}
-	return res
 }
 
 // --- paging vs first-fit allocation ---
@@ -251,13 +257,15 @@ func RunAblationPaging(operations int, seed uint64) *PagingResult {
 	const pageSize = int64(16) * 1024 * 1024
 
 	models := modelzoo.All()
-	stream := rng.NewSource(seed).Stream("ablation.paging")
 
 	type resident struct {
 		key string
 		zoo *modelzoo.Model
 	}
 	run := func(usePaging bool) PagingRow {
+		// Each allocator's churn sequence draws from its own stream so
+		// the two scenarios are independent (and can run concurrently).
+		stream := rng.NewSource(seed).Stream(fmt.Sprintf("ablation.paging.%v", usePaging))
 		pageCache := newPagedCounter(capacity, pageSize)
 		ff := newFirstFit(capacity)
 		var live []resident
@@ -323,7 +331,7 @@ func RunAblationPaging(operations int, seed uint64) *PagingResult {
 			OccupancyPct: 100 * occSum / float64(occN),
 		}
 	}
-	return &PagingResult{Rows: []PagingRow{run(true), run(false)}}
+	return &PagingResult{Rows: runner.Map([]bool{true, false}, run)}
 }
 
 // pagedCounter is a minimal page-count allocator (the controller's view

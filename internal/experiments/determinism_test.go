@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParallelSweepMatchesSerial guards the virtual-clock
+// reproducibility promise (clockwork.go: "bit-identically for a given
+// seed") across the parallel scenario runner: the same sweep run twice
+// through the runner, and once as a plain serial loop over the same
+// cells, must render byte-identical telemetry/goodput output.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	t.Parallel()
+	cfg := Fig5Config{
+		Systems:  Systems,
+		SLOs:     []time.Duration{25 * time.Millisecond, 250 * time.Millisecond},
+		Duration: 2 * time.Second,
+		Warmup:   time.Second,
+		Seed:     7,
+	}
+
+	// Serial reference: the exact loop the seed implementation ran.
+	scfg := cfg.withDefaults()
+	serial := &Fig5Result{}
+	for _, system := range scfg.Systems {
+		for _, slo := range scfg.SLOs {
+			serial.Cells = append(serial.Cells, runFig5Cell(scfg, system, slo))
+		}
+	}
+
+	first := RunFig5(cfg).String()
+	second := RunFig5(cfg).String()
+	if first != second {
+		t.Fatalf("two parallel runs diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if first != serial.String() {
+		t.Fatalf("parallel run diverged from serial reference:\n--- parallel ---\n%s\n--- serial ---\n%s", first, serial.String())
+	}
+}
+
+// TestAblationDeterminism covers the runner conversion of the ablation
+// sweeps: repeated runs must be bit-identical.
+func TestAblationDeterminism(t *testing.T) {
+	t.Parallel()
+	a := RunAblationLookahead(2*time.Second, 3).String()
+	b := RunAblationLookahead(2*time.Second, 3).String()
+	if a != b {
+		t.Fatalf("lookahead ablation not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	p1 := RunAblationPaging(4000, 3).String()
+	p2 := RunAblationPaging(4000, 3).String()
+	if p1 != p2 {
+		t.Fatalf("paging ablation not deterministic:\n%s\nvs\n%s", p1, p2)
+	}
+}

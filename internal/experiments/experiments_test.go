@@ -7,6 +7,7 @@ import (
 )
 
 func TestFig2aPredictability(t *testing.T) {
+	t.Parallel()
 	r := RunFig2a(Fig2aConfig{Inferences: 50_000, Seed: 1})
 	if r.Median < 2700*time.Microsecond || r.Median > 2900*time.Microsecond {
 		t.Fatalf("median = %v, want ≈2.77ms", r.Median)
@@ -21,6 +22,7 @@ func TestFig2aPredictability(t *testing.T) {
 }
 
 func TestFig2bShape(t *testing.T) {
+	t.Parallel()
 	r := RunFig2b(Fig2bConfig{Duration: 10 * time.Second, Seed: 1})
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -39,6 +41,7 @@ func TestFig2bShape(t *testing.T) {
 }
 
 func TestFig5ClockworkBeatsBaselinesAtTightSLO(t *testing.T) {
+	t.Parallel()
 	r := RunFig5(Fig5Config{
 		SLOs:     []time.Duration{25 * time.Millisecond, 500 * time.Millisecond},
 		Duration: 6 * time.Second,
@@ -74,6 +77,7 @@ func TestFig5ClockworkBeatsBaselinesAtTightSLO(t *testing.T) {
 }
 
 func TestFig6ShiftingBottleneck(t *testing.T) {
+	t.Parallel()
 	r := RunFig6(Fig6Config{
 		TotalModels:      400,
 		ActivationPeriod: time.Second,
@@ -109,6 +113,7 @@ func TestFig6ShiftingBottleneck(t *testing.T) {
 }
 
 func TestFig7SatisfactionRises(t *testing.T) {
+	t.Parallel()
 	r := RunFig7(Fig7Config{
 		Workers: 2, Models: 4, TotalRate: 400,
 		Epoch: 4 * time.Second, Seed: 1,
@@ -146,6 +151,7 @@ func TestFig7SatisfactionRises(t *testing.T) {
 }
 
 func TestFig7IsolationLSUnaffectedByBC(t *testing.T) {
+	t.Parallel()
 	mult := []float64{11.4, 25.6, 86.5}
 	base := RunFig7Isolation(Fig7IsoConfig{
 		Workers: 3, LSModels: 3, LSRate: 100,
@@ -175,6 +181,7 @@ func TestFig7IsolationLSUnaffectedByBC(t *testing.T) {
 }
 
 func TestFig8TraceReplay(t *testing.T) {
+	t.Parallel()
 	r := RunFig8(Fig8Config{
 		Workers: 1, GPUsPerWorker: 2,
 		Copies: 2, Functions: 400, Minutes: 6, Seed: 1,
@@ -200,6 +207,7 @@ func TestFig8TraceReplay(t *testing.T) {
 }
 
 func TestFig9PredictionErrorsSmall(t *testing.T) {
+	t.Parallel()
 	r := RunFig9(Fig8Config{
 		Workers: 1, GPUsPerWorker: 2,
 		Copies: 2, Functions: 300, Minutes: 5, Seed: 1,
@@ -221,6 +229,7 @@ func TestFig9PredictionErrorsSmall(t *testing.T) {
 }
 
 func TestScaleTable(t *testing.T) {
+	t.Parallel()
 	r := RunScale(ScaleConfig{
 		Workers: 2, GPUsPerWorker: 2,
 		Functions: 400, Minutes: 4, Copies: 2, Seed: 1,

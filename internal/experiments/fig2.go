@@ -8,6 +8,7 @@ import (
 	"clockwork/internal/gpu"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
+	"clockwork/internal/runner"
 	"clockwork/internal/simclock"
 	"clockwork/internal/telemetry"
 )
@@ -121,8 +122,9 @@ func RunFig2b(cfg Fig2bConfig) *Fig2bResult {
 		cfg.Duration = 30 * time.Second
 	}
 	base := modelzoo.ResNet50().ExecLatency(1)
-	res := &Fig2bResult{}
-	for _, conc := range cfg.Concurrencies {
+	// Each concurrency level is a self-contained simulation with its own
+	// engine and rng stream; run the sweep on the scenario runner.
+	return &Fig2bResult{Rows: runner.Map(cfg.Concurrencies, func(conc int) Fig2bRow {
 		eng := simclock.NewEngine()
 		dev := gpu.NewDevice(eng, rng.NewSource(cfg.Seed).Stream(fmt.Sprintf("fig2b-%d", conc)), gpu.DefaultNoise)
 		hist := telemetry.NewHistogram()
@@ -142,15 +144,14 @@ func RunFig2b(cfg Fig2bConfig) *Fig2bResult {
 			submit()
 		}
 		eng.RunUntil(horizon)
-		res.Rows = append(res.Rows, Fig2bRow{
+		return Fig2bRow{
 			Concurrency: conc,
 			Throughput:  float64(completed) / cfg.Duration.Seconds(),
 			P50:         hist.Percentile(50),
 			P99:         hist.Percentile(99),
 			Max:         hist.Max(),
-		})
-	}
-	return res
+		}
+	})}
 }
 
 // String implements fmt.Stringer.

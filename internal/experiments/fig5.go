@@ -7,6 +7,7 @@ import (
 
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
+	"clockwork/internal/runner"
 	"clockwork/internal/simclock"
 	"clockwork/internal/telemetry"
 	"clockwork/internal/workload"
@@ -69,16 +70,25 @@ type Fig5Result struct {
 }
 
 // RunFig5 reproduces Fig 5: goodput and latency CDFs for Clockwork,
-// Clipper-like, and INFaaS-like serving under tightening SLOs.
+// Clipper-like, and INFaaS-like serving under tightening SLOs. Every
+// (system, SLO) cell is an independent simulation, so the sweep fans
+// out across cores; the runner returns cells in sweep order, keeping
+// the output identical to a serial run.
 func RunFig5(cfg Fig5Config) *Fig5Result {
 	cfg = cfg.withDefaults()
-	res := &Fig5Result{}
+	type cellKey struct {
+		system string
+		slo    time.Duration
+	}
+	keys := make([]cellKey, 0, len(cfg.Systems)*len(cfg.SLOs))
 	for _, system := range cfg.Systems {
 		for _, slo := range cfg.SLOs {
-			res.Cells = append(res.Cells, runFig5Cell(cfg, system, slo))
+			keys = append(keys, cellKey{system, slo})
 		}
 	}
-	return res
+	return &Fig5Result{Cells: runner.Map(keys, func(k cellKey) Fig5Cell {
+		return runFig5Cell(cfg, k.system, k.slo)
+	})}
 }
 
 func runFig5Cell(cfg Fig5Config, system string, slo time.Duration) Fig5Cell {

@@ -8,6 +8,7 @@ import (
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
+	"clockwork/internal/runner"
 	"clockwork/internal/simclock"
 	"clockwork/internal/telemetry"
 	"clockwork/internal/workload"
@@ -292,11 +293,11 @@ type ScaleResult struct {
 	Rows   []ScaleRow
 }
 
-// RunScale reproduces the §6.5 scale table.
+// RunScale reproduces the §6.5 scale table; each SLO's replay is an
+// independent simulation and runs concurrently.
 func RunScale(cfg ScaleConfig) *ScaleResult {
 	cfg = cfg.withDefaults()
-	res := &ScaleResult{Config: cfg}
-	for _, slo := range cfg.SLOs {
+	return &ScaleResult{Config: cfg, Rows: runner.Map(cfg.SLOs, func(slo time.Duration) ScaleRow {
 		f8 := RunFig8(Fig8Config{
 			Workers:          cfg.Workers,
 			GPUsPerWorker:    cfg.GPUsPerWorker,
@@ -309,7 +310,7 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 			ZeroLengthInputs: true,
 		})
 		h := f8.Cluster.Metrics.LatencyGood
-		res.Rows = append(res.Rows, ScaleRow{
+		return ScaleRow{
 			SLO:       slo,
 			Goodput:   f8.Goodput,
 			MissedSLO: f8.SLOExceeded,
@@ -317,9 +318,8 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 			P50:       h.Percentile(50),
 			P9999:     h.Percentile(99.99),
 			Max:       f8.MaxLatency,
-		})
-	}
-	return res
+		}
+	})}
 }
 
 // String implements fmt.Stringer.

@@ -175,6 +175,17 @@ func (c *PageCache) LRUVictim() (string, bool) {
 	return "", false
 }
 
+// ScanLRU visits resident keys from least- to most-recently-used until
+// f returns false — eviction selection without materialising the whole
+// key list.
+func (c *PageCache) ScanLRU(f func(key string) bool) {
+	for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
+		if !f(elem.Value.(*cacheEntry).key) {
+			return
+		}
+	}
+}
+
 // Keys returns resident keys in most-recently-used-first order.
 func (c *PageCache) Keys() []string {
 	out := make([]string, 0, len(c.entries))

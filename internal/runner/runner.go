@@ -1,0 +1,142 @@
+// Package runner executes independent simulation scenarios concurrently
+// on a bounded worker pool while keeping output deterministic.
+//
+// Every experiment in this repository is a sweep: the same scenario shape
+// evaluated at many points (SLOs, concurrency levels, systems,
+// configurations). Each point builds its own simclock.Engine and derives
+// its own rng streams, so points share no mutable state and can run on
+// any OS thread in any order. The runner exploits that: it fans a sweep
+// out across cores and collects the typed results back in submission
+// order, so a parallel sweep's output is bit-identical to a serial run.
+//
+// Determinism contract (see DESIGN.md):
+//
+//  1. A scenario function must not read or write state shared with any
+//     other scenario — it constructs every engine, cluster, and rng
+//     stream it uses, seeded only from its input value.
+//  2. Scenario randomness must come from rng streams derived from the
+//     scenario's own seed (use Seed to derive per-run seeds), never from
+//     global sources, time.Now, or map iteration order.
+//  3. Results are returned in input order, regardless of completion
+//     order. Under these rules Map(items, fn) with any worker count
+//     returns exactly what a serial loop would.
+package runner
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn over every item on a worker pool sized to the machine
+// (GOMAXPROCS, capped at len(items)) and returns the results in item
+// order. It blocks until every scenario finishes. If any scenario
+// panics, Map re-panics with the original panic value of the
+// lowest-indexed failing item after all workers have stopped — the
+// same value a serial loop would have surfaced, so a parallel failure
+// is as reproducible (and as recoverable) as a serial one.
+func Map[In, Out any](items []In, fn func(In) Out) []Out {
+	return MapN(0, items, fn)
+}
+
+// MapN is Map with an explicit worker count: 1 forces a serial run (the
+// reference behaviour parallel runs must reproduce), 0 or negative
+// selects GOMAXPROCS.
+func MapN[In, Out any](workers int, items []In, fn func(In) Out) []Out {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]Out, n)
+	if workers == 1 {
+		for i, item := range items {
+			out[i] = fn(item)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed item index
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked []scenarioPanic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if p, ok := runOne(&out[i], items[i], fn); !ok {
+					panicMu.Lock()
+					panicked = append(panicked, scenarioPanic{index: i, value: p})
+					panicMu.Unlock()
+					// Keep draining: other workers may be mid-scenario
+					// and the caller needs the lowest failing index.
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(panicked) > 0 {
+		first := panicked[0]
+		for _, p := range panicked[1:] {
+			if p.index < first.index {
+				first = p
+			}
+		}
+		panic(first.value)
+	}
+	return out
+}
+
+// Run executes a slice of heterogeneous scenario thunks concurrently and
+// returns their results in slice order — the same contract as Map for
+// sweeps whose per-point setup differs by more than a config value.
+func Run[Out any](tasks []func() Out) []Out {
+	return Map(tasks, func(t func() Out) Out { return t() })
+}
+
+// scenarioPanic records a panic raised inside a scenario function.
+type scenarioPanic struct {
+	index int
+	value any
+}
+
+// runOne invokes fn for one item, converting a panic into a value so the
+// pool can keep claiming work deterministically.
+func runOne[In, Out any](dst *Out, item In, fn func(In) Out) (p any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok = r, false
+		}
+	}()
+	*dst = fn(item)
+	return nil, true
+}
+
+// Seed derives a per-run seed from a base seed and a scenario label,
+// using the same FNV mixing as rng.Source so equal (base, label) pairs
+// always yield the same seed and distinct labels yield independent ones.
+// Sweeps that run many instances of one scenario should seed instance i
+// from Seed(base, fmt.Sprintf("name-%d", i)) rather than base+i, so
+// adding sweep points never shifts the draws of existing ones.
+func Seed(base uint64, label string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	mixed := h.Sum64() ^ base*0x9E3779B97F4A7C15
+	if mixed == 0 {
+		mixed = 1
+	}
+	return mixed
+}
