@@ -1,0 +1,539 @@
+package clockwork_test
+
+// Public-API round-trip coverage: every registered policy served
+// through clockwork.System only, per-request options, the runtime
+// control plane, and a determinism test for mid-run reconfiguration.
+// Deliberately imports nothing from clockwork/internal.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"clockwork"
+)
+
+func mustSys(t *testing.T, cfg clockwork.Config) *clockwork.System {
+	t.Helper()
+	sys, err := clockwork.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestEveryRegisteredPolicyServes round-trips one request through every
+// policy in the registry — the paper's scheduler, its ablation variant,
+// both baselines, and anything registered by other tests.
+func TestEveryRegisteredPolicyServes(t *testing.T) {
+	policies := clockwork.Policies()
+	if len(policies) < 4 {
+		t.Fatalf("registry too small: %v", policies)
+	}
+	for _, p := range policies {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			sys := mustSys(t, clockwork.Config{Policy: p, ExactTiming: true, Seed: 1})
+			if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+				t.Fatal(err)
+			}
+			var got clockwork.Result
+			if _, err := sys.SubmitRequest(clockwork.Request{
+				Model: "m", SLO: 500 * time.Millisecond, Tenant: "t0",
+			}, func(r clockwork.Result) { got = r }); err != nil {
+				t.Fatal(err)
+			}
+			sys.RunFor(time.Second)
+			if !got.Success {
+				t.Fatalf("policy %s failed to serve: %+v", p, got)
+			}
+			if got.Tenant != "t0" || got.Model != "m" {
+				t.Fatalf("result lost request labels: %+v", got)
+			}
+			if _, ok := clockwork.PolicyDescription(p); !ok {
+				t.Fatalf("policy %s has no registry entry", p)
+			}
+		})
+	}
+}
+
+// fifoScheduler is a deliberately naive external policy: one
+// outstanding batch-1 INFER at a time on GPU 0, loading on demand. It
+// exists to prove third-party schedulers can be written and registered
+// against the public surface alone.
+type fifoScheduler struct {
+	c *clockwork.Controller
+}
+
+func (s *fifoScheduler) Attach(c *clockwork.Controller)           { s.c = c }
+func (s *fifoScheduler) OnCancel(*clockwork.ControllerRequest)    {}
+func (s *fifoScheduler) OnResult(res clockwork.ActionResult)      { s.pump() }
+func (s *fifoScheduler) OnRequest(r *clockwork.ControllerRequest) { s.pump() }
+
+func (s *fifoScheduler) pump() {
+	g := s.c.GPUs()[0]
+	for mi := range s.c.ActiveModels() {
+		readyAt, resident := g.Resident(mi.Name())
+		if !resident {
+			s.c.SendLoad(g, mi, s.c.Now(), clockwork.MaxVirtualTime)
+			continue
+		}
+		if g.InFlight(mi.Name()) > 0 || mi.QueuedCount() == 0 {
+			continue
+		}
+		earliest := s.c.Now()
+		if readyAt > earliest {
+			earliest = readyAt
+		}
+		reqs := mi.PopBatch(1)
+		s.c.SendInfer(g, mi, 1, reqs, earliest, clockwork.MaxVirtualTime)
+	}
+}
+
+func TestRegisterExternalPolicy(t *testing.T) {
+	err := clockwork.RegisterPolicy("test-fifo", clockwork.PolicySpec{
+		New:                     func() clockwork.Scheduler { return &fifoScheduler{} },
+		DisableAdmissionControl: true,
+		Description:             "test-only naive FIFO scheduler",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clockwork.RegisterPolicy("test-fifo", clockwork.PolicySpec{
+		New: func() clockwork.Scheduler { return &fifoScheduler{} },
+	}); !errors.Is(err, clockwork.ErrDuplicatePolicy) {
+		t.Fatalf("want ErrDuplicatePolicy, got %v", err)
+	}
+
+	sys := mustSys(t, clockwork.Config{Policy: "test-fifo", ExactTiming: true})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for i := 0; i < 5; i++ {
+		if err := sys.Submit("m", time.Second, func(r clockwork.Result) {
+			if r.Success {
+				served++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.RunFor(2 * time.Second)
+	if served != 5 {
+		t.Fatalf("external policy served %d/5", served)
+	}
+}
+
+func TestMaxBatchSizeCapsBatches(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{ExactTiming: true, Seed: 2})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the model so the burst has latitude to batch.
+	sys.Submit("m", 100*time.Millisecond, nil)
+	sys.RunFor(100 * time.Millisecond)
+
+	batches := map[int]int{}
+	for i := 0; i < 8; i++ {
+		if _, err := sys.SubmitRequest(clockwork.Request{
+			Model: "m", SLO: 100 * time.Millisecond, MaxBatchSize: 1,
+		}, func(r clockwork.Result) {
+			if r.Success {
+				batches[r.Batch]++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.RunFor(300 * time.Millisecond)
+	if batches[1] != 8 || len(batches) != 1 {
+		t.Fatalf("MaxBatchSize=1 violated: batches=%v", batches)
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{ExactTiming: true, Seed: 3})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Submit("m", 100*time.Millisecond, nil) // warm
+	sys.RunFor(100 * time.Millisecond)
+
+	var order []string
+	submit := func(tag string, prio int) {
+		if _, err := sys.SubmitRequest(clockwork.Request{
+			Model: "m", SLO: 200 * time.Millisecond, Priority: prio,
+		}, func(r clockwork.Result) {
+			if r.Success {
+				order = append(order, tag)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A filler to occupy the GPU, then low-priority before high-priority
+	// in submission order; the high-priority requests must jump the
+	// queue ahead of still-queued low-priority ones.
+	submit("filler", 0)
+	for i := 0; i < 4; i++ {
+		submit(fmt.Sprintf("low%d", i), 0)
+	}
+	for i := 0; i < 4; i++ {
+		submit(fmt.Sprintf("high%d", i), 5)
+	}
+	sys.RunFor(time.Second)
+	if len(order) != 9 {
+		t.Fatalf("served %d/9: %v", len(order), order)
+	}
+	lastHigh := 0
+	lowAfter := 0
+	for i, tag := range order {
+		if strings.HasPrefix(tag, "high") {
+			lastHigh = i
+		}
+	}
+	for _, tag := range order[lastHigh+1:] {
+		if strings.HasPrefix(tag, "low") {
+			lowAfter++
+		}
+	}
+	// At least two of the four low-priority requests must have been
+	// overtaken by every high-priority request (the first low ones may
+	// have been dispatched before the high ones arrived).
+	if lowAfter < 2 {
+		t.Fatalf("priority had no effect: completion order %v", order)
+	}
+}
+
+func TestHandleCancelAndOutcome(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{ExactTiming: true, Seed: 4})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	var got clockwork.Result
+	h, err := sys.SubmitRequest(clockwork.Request{Model: "m", SLO: 100 * time.Millisecond},
+		func(r clockwork.Result) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Done() {
+		t.Fatal("handle done before the clock moved")
+	}
+	if !h.Cancel() {
+		t.Fatal("in-transit cancel should be accepted")
+	}
+	sys.RunFor(200 * time.Millisecond)
+	if got.Success || got.Reason != clockwork.ReasonCancelled {
+		t.Fatalf("want cancelled, got %+v", got)
+	}
+	res, ok := h.Outcome()
+	if !ok || res.Reason != clockwork.ReasonCancelled {
+		t.Fatalf("handle outcome: %+v ok=%v", res, ok)
+	}
+	if h.Cancel() {
+		t.Fatal("cancelling a finished request should report false")
+	}
+
+	// A completed request's handle reports its outcome.
+	h2, err := sys.SubmitRequest(clockwork.Request{Model: "m", SLO: 100 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(200 * time.Millisecond)
+	res2, ok := h2.Outcome()
+	if !ok || !res2.Success || res2.Latency <= 0 || h2.ID() == 0 {
+		t.Fatalf("handle outcome: %+v ok=%v id=%d", res2, ok, h2.ID())
+	}
+}
+
+func TestControlPlaneWorkerLifecycle(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true, Seed: 5})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	// Serve once on worker 0.
+	ok := false
+	sys.Submit("m", 100*time.Millisecond, func(r clockwork.Result) { ok = r.Success })
+	sys.RunFor(100 * time.Millisecond)
+	if !ok {
+		t.Fatal("baseline serve failed")
+	}
+
+	// Scale out, then drain worker 0: traffic must continue on the new
+	// worker, which received every registered model at AddWorker time.
+	id := sys.AddWorker()
+	if id != 1 || sys.Workers() != 2 {
+		t.Fatalf("AddWorker id=%d workers=%d", id, sys.Workers())
+	}
+	if err := sys.DrainWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sys.WorkerStateOf(0); st != clockwork.WorkerDraining {
+		t.Fatalf("worker 0 state = %v", st)
+	}
+	if err := sys.DrainWorker(0); !errors.Is(err, clockwork.ErrWorkerDown) {
+		t.Fatalf("double drain: want ErrWorkerDown, got %v", err)
+	}
+	served := 0
+	for i := 0; i < 10; i++ {
+		sys.Submit("m", 100*time.Millisecond, func(r clockwork.Result) {
+			if r.Success {
+				served++
+			}
+		})
+		sys.RunFor(20 * time.Millisecond)
+	}
+	if served != 10 {
+		t.Fatalf("served %d/10 after drain+scale-out", served)
+	}
+
+	// Error paths.
+	if err := sys.DrainWorker(99); !errors.Is(err, clockwork.ErrNoSuchWorker) {
+		t.Fatalf("want ErrNoSuchWorker, got %v", err)
+	}
+	if err := sys.InjectDisturbance(0, 7, time.Millisecond); !errors.Is(err, clockwork.ErrNoSuchWorker) {
+		t.Fatalf("want ErrNoSuchWorker for bad GPU, got %v", err)
+	}
+	if err := sys.InjectDisturbance(1, 0, time.Millisecond); err != nil {
+		t.Fatalf("valid disturbance injection failed: %v", err)
+	}
+}
+
+func TestFailWorkerFailsInFlight(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true, Seed: 6})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Submit("m", 100*time.Millisecond, nil) // warm
+	sys.RunFor(100 * time.Millisecond)
+
+	outcomes := map[clockwork.Reason]int{}
+	for i := 0; i < 6; i++ {
+		sys.Submit("m", 50*time.Millisecond, func(r clockwork.Result) {
+			outcomes[r.Reason]++
+		})
+	}
+	// Let the first action(s) reach the worker, then kill it.
+	sys.RunFor(time.Millisecond)
+	if err := sys.FailWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sys.WorkerStateOf(0); st != clockwork.WorkerFailed {
+		t.Fatalf("worker state = %v", st)
+	}
+	sys.RunFor(time.Second)
+
+	if outcomes[clockwork.ReasonNone] != 0 {
+		t.Fatalf("requests succeeded on a failed worker: %v", outcomes)
+	}
+	if outcomes[clockwork.ReasonWorkerFailed] == 0 {
+		t.Fatalf("no in-flight work was lost to the failure: %v", outcomes)
+	}
+	total := 0
+	for _, n := range outcomes {
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("only %d/6 requests reached an outcome: %v", total, outcomes)
+	}
+}
+
+func TestUnregisterModel(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true, Seed: 7})
+	if err := sys.RegisterModel("keep", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterModel("drop", "googlenet"); err != nil {
+		t.Fatal(err)
+	}
+	// Serve both, then retire "drop" at quiescence.
+	for _, m := range []string{"keep", "drop"} {
+		sys.Submit(m, 100*time.Millisecond, nil)
+	}
+	sys.RunFor(200 * time.Millisecond)
+
+	if err := sys.UnregisterModel("ghost"); !errors.Is(err, clockwork.ErrUnknownModel) {
+		t.Fatalf("want ErrUnknownModel, got %v", err)
+	}
+	if err := sys.UnregisterModel("drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Submit("drop", time.Second, nil); !errors.Is(err, clockwork.ErrUnknownModel) {
+		t.Fatalf("submitting to an unregistered model: want ErrUnknownModel, got %v", err)
+	}
+	// "keep" is unaffected.
+	ok := false
+	sys.Submit("keep", 100*time.Millisecond, func(r clockwork.Result) { ok = r.Success })
+	sys.RunFor(100 * time.Millisecond)
+	if !ok {
+		t.Fatal("surviving model stopped serving")
+	}
+	// The name can be reused.
+	if err := sys.RegisterModel("drop", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	ok = false
+	sys.Submit("drop", 100*time.Millisecond, func(r clockwork.Result) { ok = r.Success })
+	sys.RunFor(100 * time.Millisecond)
+	if !ok {
+		t.Fatal("re-registered model failed to serve")
+	}
+}
+
+func TestUnregisterFailsQueuedRequests(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true, Seed: 8})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	// With the only worker drained, requests queue with nowhere to go.
+	if err := sys.DrainWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	var got clockwork.Result
+	sys.Submit("m", 10*time.Second, func(r clockwork.Result) { got = r })
+	sys.RunFor(10 * time.Millisecond) // request reaches the controller queue
+	if err := sys.UnregisterModel("m"); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(100 * time.Millisecond)
+	if got.Success || got.Reason != clockwork.ReasonUnregistered {
+		t.Fatalf("queued request: want ReasonUnregistered, got %+v", got)
+	}
+}
+
+// TestUnregisterBusyOnDrainedWorker: drain promises that in-flight
+// results are honoured, so a model with work in flight on a drained
+// worker must refuse to unregister until that work drains.
+func TestUnregisterBusyOnDrainedWorker(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true, Seed: 11})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Submit("m", 100*time.Millisecond, nil) // warm
+	sys.RunFor(100 * time.Millisecond)
+
+	var got clockwork.Result
+	sys.Submit("m", 100*time.Millisecond, func(r clockwork.Result) { got = r })
+	sys.RunFor(time.Millisecond) // INFER now in flight
+	if err := sys.DrainWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.UnregisterModel("m"); !errors.Is(err, clockwork.ErrModelBusy) {
+		t.Fatalf("unregister with in-flight work on a drained worker: want ErrModelBusy, got %v", err)
+	}
+	sys.RunFor(200 * time.Millisecond)
+	if !got.Success {
+		t.Fatalf("drained worker's in-flight result was not honoured: %+v", got)
+	}
+	if err := sys.UnregisterModel("m"); err != nil {
+		t.Fatalf("unregister after drain quiesced: %v", err)
+	}
+}
+
+// TestCancelInTransitBeatsDispatch: a cancel issued while the request
+// is on the wire must win even when a warm model and a free GPU would
+// let the scheduler dispatch the request the instant it arrives.
+func TestCancelInTransitBeatsDispatch(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{ExactTiming: true, Seed: 12})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Submit("m", 100*time.Millisecond, nil) // warm; GPU idle afterwards
+	sys.RunFor(100 * time.Millisecond)
+
+	var got clockwork.Result
+	h, err := sys.SubmitRequest(clockwork.Request{Model: "m", SLO: 100 * time.Millisecond},
+		func(r clockwork.Result) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Cancel() {
+		t.Fatal("in-transit cancel should be accepted")
+	}
+	sys.RunFor(200 * time.Millisecond)
+	if got.Success || got.Reason != clockwork.ReasonCancelled {
+		t.Fatalf("in-transit cancel lost to dispatch: %+v", got)
+	}
+}
+
+func TestModelAndTenantStats(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{ExactTiming: true, Seed: 9})
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sys.SubmitRequest(clockwork.Request{
+			Model: "m", SLO: 100 * time.Millisecond, Tenant: "acme",
+		}, nil)
+		sys.RunFor(50 * time.Millisecond)
+	}
+	// One provably unmeetable request for the failure taxonomy.
+	sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Millisecond, Tenant: "acme"}, nil)
+	sys.RunFor(100 * time.Millisecond)
+
+	ms, ok := sys.ModelStats("m")
+	if !ok {
+		t.Fatal("no model stats")
+	}
+	if ms.Requests != 5 || ms.Succeeded != 4 || ms.Cancelled != 1 || ms.ColdStarts != 1 {
+		t.Fatalf("model stats: %+v", ms)
+	}
+	if ms.P50 <= 0 || ms.Max < ms.P50 || ms.GoodputMean <= 0 {
+		t.Fatalf("model latency stats: %+v", ms)
+	}
+	ts, ok := sys.TenantStats("acme")
+	if !ok || ts.Requests != 5 || ts.Succeeded != 4 {
+		t.Fatalf("tenant stats: %+v ok=%v", ts, ok)
+	}
+	if _, ok := sys.ModelStats("ghost"); ok {
+		t.Fatal("stats for unknown model")
+	}
+	if _, ok := sys.TenantStats("ghost"); ok {
+		t.Fatal("stats for unknown tenant")
+	}
+}
+
+// TestControlPlaneDeterminism replays a scenario with mid-run AddWorker
+// and DrainWorker twice and requires bit-identical per-request outcomes
+// — the clock-determinism promise must survive live reconfiguration.
+func TestControlPlaneDeterminism(t *testing.T) {
+	run := func() string {
+		sys := mustSys(t, clockwork.Config{Workers: 1, GPUsPerWorker: 1, Seed: 1234})
+		if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+			t.Fatal(err)
+		}
+		var sig strings.Builder
+		var loop func(i int)
+		loop = func(i int) {
+			if i >= 300 {
+				return
+			}
+			sys.SubmitRequest(clockwork.Request{Model: "m", SLO: 25 * time.Millisecond},
+				func(r clockwork.Result) {
+					fmt.Fprintf(&sig, "%d:%v:%v:%d;", r.RequestID, r.Success, r.Latency, r.Batch)
+				})
+			sys.After(2*time.Millisecond, func() { loop(i + 1) })
+		}
+		loop(0)
+		sys.After(100*time.Millisecond, func() { sys.AddWorker() })
+		sys.After(300*time.Millisecond, func() {
+			if err := sys.DrainWorker(0); err != nil {
+				t.Error(err)
+			}
+		})
+		sys.RunFor(2 * time.Second)
+		s := sys.Summary()
+		fmt.Fprintf(&sig, "|ok=%d fail=%d max=%v", s.Succeeded, s.Failed, s.Max)
+		if s.Succeeded < 200 {
+			t.Fatalf("reconfiguration broke serving: %+v", s)
+		}
+		return sig.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("mid-run AddWorker/DrainWorker is nondeterministic:\n%.200s\nvs\n%.200s", a, b)
+	}
+}

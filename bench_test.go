@@ -1,4 +1,4 @@
-package clockwork
+package clockwork_test
 
 // Benchmark harness: one benchmark per table/figure of the paper's
 // evaluation plus the DESIGN.md ablations. These run scaled-down
@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
-	"clockwork/internal/experiments"
+	"clockwork"
+
+	"clockwork/experiments"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/runner"
 )
@@ -250,7 +252,7 @@ func BenchmarkRunnerSweep(b *testing.B) {
 // BenchmarkEngineThroughput measures raw event throughput of the
 // discrete-event engine — the simulator's own speed limit.
 func BenchmarkEngineThroughput(b *testing.B) {
-	sys := New(Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true})
+	sys, _ := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1, ExactTiming: true})
 	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
 		b.Fatal(err)
 	}

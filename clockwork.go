@@ -12,34 +12,51 @@
 // a given seed. See DESIGN.md for the substitution rationale and
 // EXPERIMENTS.md for paper-vs-measured results.
 //
-// Quick start:
+// # Quick start
 //
-//	sys := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1})
+//	sys, err := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	sys.RegisterModel("my-resnet", "resnet50_v1b")
-//	sys.Submit("my-resnet", 100*time.Millisecond, func(r clockwork.Result) {
-//		fmt.Println(r.Success, r.Latency)
+//	sys.SubmitRequest(clockwork.Request{
+//		Model: "my-resnet",
+//		SLO:   100 * time.Millisecond,
+//	}, func(r clockwork.Result) {
+//		fmt.Println(r.Success, r.Reason, r.Latency)
 //	})
 //	sys.RunFor(time.Second)
+//
+// Requests carry per-request options — Priority, Tenant, and a batch
+// cap (MaxBatchSize) — and report typed outcomes: Result.Reason is a
+// Reason enum (ReasonCancelled, ReasonRejected, ReasonTimeout, …), not
+// a string. SubmitRequest returns a Handle for client-side inspection
+// and best-effort cancellation.
+//
+// # Policies
+//
+// Serving policies are resolved by name through a registry. The paper's
+// scheduler ("clockwork"), its ablation variant
+// ("clockwork-oldest-load"), and the two §6.1 baselines ("clipper",
+// "infaas") self-register; external schedulers plug in with
+// RegisterPolicy without touching New. Unknown policy names make New
+// return an error that lists everything registered.
+//
+// # Runtime control plane
+//
+// A running System can be reconfigured live: AddWorker scales out,
+// DrainWorker stops scheduling onto a worker while in-flight work
+// finishes, FailWorker simulates an abrupt worker loss, and
+// UnregisterModel retires a model. ModelStats and TenantStats expose
+// per-model and per-tenant goodput/latency/cold-start counters, and
+// InjectDisturbance reproduces the paper's §4.3 external slowdowns.
 package clockwork
 
 import (
-	"fmt"
 	"time"
 
-	"clockwork/internal/baseline"
+	_ "clockwork/internal/baseline" // registers the clipper/infaas policies
 	"clockwork/internal/core"
-	"clockwork/internal/modelir"
-	"clockwork/internal/modelzoo"
-)
-
-// Policy selects the serving policy.
-type Policy string
-
-// Available policies: the paper's system and its two baselines (§6.1).
-const (
-	PolicyClockwork Policy = "clockwork"
-	PolicyClipper   Policy = "clipper"
-	PolicyINFaaS    Policy = "infaas"
 )
 
 // Config configures a serving system. The zero value is a single
@@ -49,12 +66,16 @@ type Config struct {
 	Workers int
 	// GPUsPerWorker is the number of GPUs per worker (default 1).
 	GPUsPerWorker int
-	// Policy selects the scheduler (default PolicyClockwork).
+	// Policy selects the scheduler by registry name (default
+	// PolicyClockwork). See RegisterPolicy and Policies.
 	Policy Policy
 	// Seed makes runs reproducible; equal seeds give identical runs.
 	Seed uint64
 	// Lookahead is the controller's scheduling horizon (default 5ms).
 	Lookahead time.Duration
+	// ProfileWindow is the controller's rolling measurement window per
+	// action key (default: the paper's 10 actions).
+	ProfileWindow int
 	// PageCacheBytes overrides per-GPU weight-cache capacity
 	// (default: 32GB device memory minus workspace and IO staging).
 	PageCacheBytes int64
@@ -63,23 +84,9 @@ type Config struct {
 	ExactTiming bool
 	// MetricsInterval buckets the time-series metrics (default 1min).
 	MetricsInterval time.Duration
-}
-
-// Result is the client-observed outcome of one inference request.
-type Result struct {
-	// Success reports whether the inference executed and returned.
-	Success bool
-	// Reason explains failures: "cancelled" (admission control
-	// determined the SLO unmeetable), "rejected" (a worker could not
-	// honour the schedule), or "timeout".
-	Reason string
-	// Latency is the end-to-end client-observed latency.
-	Latency time.Duration
-	// Batch is the batch size the request executed in.
-	Batch int
-	// ColdStart reports whether the model was not GPU-resident when the
-	// request arrived.
-	ColdStart bool
+	// ZeroLengthInputs reproduces the §6.5 scale experiment: clients
+	// send zero-length inputs and workers generate inputs on arrival.
+	ZeroLengthInputs bool
 }
 
 // System is a fully wired serving deployment on a virtual clock.
@@ -87,107 +94,41 @@ type System struct {
 	cluster *core.Cluster
 }
 
-// New constructs a serving system.
-func New(cfg Config) *System {
+// New constructs a serving system. The configured policy is resolved
+// through the registry; an unknown name returns an error listing every
+// registered policy (it does not panic).
+func New(cfg Config) (*System, error) {
 	ccfg := core.ClusterConfig{
-		Workers:         cfg.Workers,
-		GPUsPerWorker:   cfg.GPUsPerWorker,
-		Seed:            cfg.Seed,
-		PageCacheBytes:  cfg.PageCacheBytes,
-		NoNoise:         cfg.ExactTiming,
-		MetricsInterval: cfg.MetricsInterval,
-		Controller:      core.Config{Lookahead: cfg.Lookahead},
+		Workers:          cfg.Workers,
+		GPUsPerWorker:    cfg.GPUsPerWorker,
+		Seed:             cfg.Seed,
+		PageCacheBytes:   cfg.PageCacheBytes,
+		NoNoise:          cfg.ExactTiming,
+		MetricsInterval:  cfg.MetricsInterval,
+		ZeroLengthInputs: cfg.ZeroLengthInputs,
+		Controller: core.Config{
+			Lookahead:     cfg.Lookahead,
+			ProfileWindow: cfg.ProfileWindow,
+		},
 	}
-	switch cfg.Policy {
-	case "", PolicyClockwork:
-		// default scheduler
-	case PolicyClipper, PolicyINFaaS:
-		// The baselines live in internal/baseline; wire through the
-		// same helper the experiments use.
-		return &System{cluster: newBaselineCluster(string(cfg.Policy), ccfg)}
-	default:
-		panic(fmt.Sprintf("clockwork: unknown policy %q", cfg.Policy))
-	}
-	return &System{cluster: core.NewCluster(ccfg)}
-}
-
-// RegisterModel makes a model instance servable. zooModel names an entry
-// of the embedded catalogue (see ZooModels); instanceName is the name
-// requests refer to. It returns an error for unknown catalogue entries.
-func (s *System) RegisterModel(instanceName, zooModel string) error {
-	m, ok := modelzoo.ByName(zooModel)
-	if !ok {
-		return fmt.Errorf("clockwork: unknown zoo model %q", zooModel)
-	}
-	s.cluster.RegisterModel(instanceName, m)
-	return nil
-}
-
-// Graph re-exports the model-definition IR so callers can describe
-// custom architectures (the role ONNX plays in the paper, §5.1) and
-// serve them alongside catalogue models.
-type Graph = modelir.Graph
-
-// Layer constructors for custom Graphs.
-type (
-	// Conv2D is a 2D convolution with "same" padding.
-	Conv2D = modelir.Conv2D
-	// Pool2D is spatial pooling.
-	Pool2D = modelir.Pool2D
-	// Dense is a fully connected layer.
-	Dense = modelir.Dense
-	// Activation is an elementwise nonlinearity.
-	Activation = modelir.Activation
-	// GlobalPool collapses spatial dimensions.
-	GlobalPool = modelir.GlobalPool
-	// TensorShape is a (channels, height, width) shape.
-	TensorShape = modelir.Shape
-	// ModelLayer is the operator interface custom layers implement.
-	ModelLayer = modelir.Layer
-)
-
-// RegisterCustomModel compiles a user-defined graph (§5.1: weights blob,
-// per-batch kernels, memory metadata, profiling seed — all derived from
-// the abstract definition) and registers it under the graph's name.
-func (s *System) RegisterCustomModel(g *Graph) error {
-	m, err := modelir.Compile(g, modelir.DefaultCalibration)
+	cl, err := core.NewClusterWithPolicy(string(cfg.Policy), ccfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.cluster.RegisterModel(m.Name, m)
-	return nil
-}
-
-// RegisterCopies registers n instances of zooModel named "<base>#i" and
-// returns their instance names.
-func (s *System) RegisterCopies(base, zooModel string, n int) ([]string, error) {
-	m, ok := modelzoo.ByName(zooModel)
-	if !ok {
-		return nil, fmt.Errorf("clockwork: unknown zoo model %q", zooModel)
-	}
-	return s.cluster.RegisterCopies(base, m, n), nil
-}
-
-// Submit issues an inference request with the given SLO. onDone (may be
-// nil) runs when the response reaches the client.
-func (s *System) Submit(model string, slo time.Duration, onDone func(Result)) {
-	s.cluster.Submit(model, slo, func(r core.Response, l time.Duration) {
-		if onDone == nil {
-			return
-		}
-		onDone(Result{
-			Success:   r.Success,
-			Reason:    r.Reason,
-			Latency:   l,
-			Batch:     r.Batch,
-			ColdStart: r.ColdStart,
-		})
-	})
+	return &System{cluster: cl}, nil
 }
 
 // RunFor advances virtual time by d, executing everything due in that
 // span.
 func (s *System) RunFor(d time.Duration) { s.cluster.RunFor(d) }
+
+// RunUntil advances virtual time to instant t (measured from the run's
+// start); a t in the past is a no-op.
+func (s *System) RunUntil(t time.Duration) {
+	if d := t - s.Now(); d > 0 {
+		s.cluster.RunFor(d)
+	}
+}
 
 // Now returns the elapsed virtual time.
 func (s *System) Now() time.Duration { return s.cluster.Eng.Now().Duration() }
@@ -248,61 +189,12 @@ func (s *System) LatencyPercentile(p float64) time.Duration {
 	return s.cluster.Metrics.LatencyAll.Percentile(p)
 }
 
-// Cluster exposes the underlying cluster for advanced use (experiment
-// harnesses); most callers never need it.
+// Cluster exposes the underlying cluster.
+//
+// Deprecated: this is an escape hatch for experiment harnesses that
+// need raw telemetry (per-bucket time series, the controller's
+// prediction-error trackers). Application code should use the public
+// surface — Submit/SubmitRequest, the control plane, Summary,
+// ModelStats — which covers everything the paper's API exposes; the
+// accessor will eventually be unexported.
 func (s *System) Cluster() *core.Cluster { return s.cluster }
-
-// ZooModels returns the names of the embedded model catalogue
-// (the paper's Appendix A, Table 1).
-func ZooModels() []string {
-	all := modelzoo.All()
-	names := make([]string, len(all))
-	for i, m := range all {
-		names[i] = m.Name
-	}
-	return names
-}
-
-// ModelSpec describes one catalogue entry.
-type ModelSpec struct {
-	Name       string
-	Family     string
-	WeightsMB  float64
-	InputKB    float64
-	OutputKB   float64
-	TransferMs float64
-	// ExecMs holds execution latency at batch sizes 1, 2, 4, 8, 16.
-	ExecMs [5]float64
-}
-
-// ZooInfo returns the catalogue entry for name.
-func ZooInfo(name string) (ModelSpec, bool) {
-	m, ok := modelzoo.ByName(name)
-	if !ok {
-		return ModelSpec{}, false
-	}
-	return ModelSpec{
-		Name:       m.Name,
-		Family:     m.Family,
-		WeightsMB:  m.WeightsMB,
-		InputKB:    m.InputKB,
-		OutputKB:   m.OutputKB,
-		TransferMs: m.TransferMs,
-		ExecMs:     m.ExecMs,
-	}, true
-}
-
-// newBaselineCluster wires a baseline policy into a cluster: baselines
-// disable admission control, and the Clipper-like system additionally
-// runs workers in best-effort (concurrent EXEC) mode.
-func newBaselineCluster(policy string, cfg core.ClusterConfig) *core.Cluster {
-	cfg.Controller.DisableAdmissionControl = true
-	switch policy {
-	case string(PolicyClipper):
-		cfg.Scheduler = baseline.NewClipper()
-		cfg.WorkerBestEffort = true
-	case string(PolicyINFaaS):
-		cfg.Scheduler = baseline.NewINFaaS()
-	}
-	return core.NewCluster(cfg)
-}

@@ -1,8 +1,9 @@
 // Command clockwork regenerates the paper's tables and figures on the
-// simulated cluster and prints their data. Independent experiments and
-// sweep cells fan out across cores via internal/runner; output is
-// printed in a fixed order regardless of completion order, so a run's
-// output is identical to a serial one.
+// simulated cluster and prints their data, driving the public
+// experiment catalogue (clockwork/experiments). Independent experiments
+// and sweep cells fan out across cores; output is printed in a fixed
+// order regardless of completion order, so a run's output is identical
+// to a serial one.
 //
 // Examples:
 //
@@ -18,11 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
-	"clockwork/internal/experiments"
-	"clockwork/internal/runner"
+	"clockwork/experiments"
 )
 
 func main() {
@@ -45,90 +44,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	// render produces one experiment's full output; every case is a
-	// pure function of the flags, so "all" can run them concurrently
-	// and still print in catalogue order.
-	var render func(name string) string
-	render = func(name string) string {
-		switch name {
-		case "fig2a":
-			return fmt.Sprintln(experiments.RunFig2a(experiments.Fig2aConfig{Seed: *seed}))
-		case "fig2b":
-			return fmt.Sprintln(experiments.RunFig2b(experiments.Fig2bConfig{Seed: *seed, Duration: *dur}))
-		case "fig5":
-			return fmt.Sprintln(experiments.RunFig5(experiments.Fig5Config{
-				Seed: *seed, Duration: *dur, Models: *models,
-			}))
-		case "fig6":
-			cfg := experiments.Fig6Config{Seed: *seed, TotalModels: *models}
-			if *minutes > 0 {
-				cfg.Duration = time.Duration(*minutes) * time.Minute
-			}
-			return fmt.Sprintln(experiments.RunFig6(cfg))
-		case "fig7":
-			sweep := []struct {
-				n int
-				r float64
-			}{{12, 600}, {12, 1200}, {12, 2400}, {48, 600}, {48, 1200}, {48, 2400}}
-			if *models > 0 || *rate > 0 {
-				sweep = sweep[:1] // single custom configuration
-			}
-			outs := runner.Map(sweep, func(nr struct {
-				n int
-				r float64
-			}) string {
-				cfg := experiments.Fig7Config{Seed: *seed, Models: nr.n, TotalRate: nr.r, Workers: *workers}
-				if *models > 0 {
-					cfg.Models = *models
-				}
-				if *rate > 0 {
-					cfg.TotalRate = *rate
-				}
-				return fmt.Sprintln(experiments.RunFig7(cfg))
-			})
-			return strings.Join(outs, "")
-		case "fig7iso":
-			sweep := []struct{ m, c int }{{0, 0}, {12, 16}, {48, 4}}
-			outs := runner.Map(sweep, func(mc struct{ m, c int }) string {
-				return fmt.Sprintln(experiments.RunFig7Isolation(experiments.Fig7IsoConfig{
-					Seed: *seed, BCModels: mc.m, BCConc: mc.c, Workers: *workers,
-				}))
-			})
-			return strings.Join(outs, "")
-		case "fig8":
-			return fmt.Sprintln(experiments.RunFig8(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
-		case "fig9":
-			return fmt.Sprintln(experiments.RunFig9(fig8Config(*seed, *workers, *gpus, *copies, *functions, *minutes, *rateScale)))
-		case "scale":
-			return fmt.Sprintln(experiments.RunScale(experiments.ScaleConfig{
-				Seed: *seed, Workers: *workers, GPUsPerWorker: *gpus,
-				Functions: *functions, Minutes: *minutes, Copies: *copies,
-				RateScale: *rateScale,
-			}))
-		case "ablations":
-			outs := runner.Run([]func() string{
-				func() string { return fmt.Sprintln(experiments.RunAblationLookahead(*dur, *seed)) },
-				func() string { return fmt.Sprintln(experiments.RunAblationPredictor(*dur, *seed)) },
-				func() string { return fmt.Sprintln(experiments.RunAblationLoadPolicy(*dur, *seed)) },
-				func() string { return fmt.Sprintln(experiments.RunAblationPaging(0, *seed)) },
-			})
-			return strings.Join(outs, "")
-		case "all":
-			names := []string{"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "scale", "ablations"}
-			return strings.Join(runner.Map(names, render), "")
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
-			return ""
-		}
+	out, err := experiments.Render(*exp, experiments.CLIFlags{
+		Seed:      *seed,
+		Dur:       time.Duration(*dur),
+		Minutes:   *minutes,
+		Models:    *models,
+		Functions: *functions,
+		Copies:    *copies,
+		Workers:   *workers,
+		GPUs:      *gpus,
+		Rate:      *rate,
+		RateScale: *rateScale,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	fmt.Print(render(*exp))
-}
-
-func fig8Config(seed uint64, workers, gpus, copies, functions, minutes int, rateScale float64) experiments.Fig8Config {
-	return experiments.Fig8Config{
-		Seed: seed, Workers: workers, GPUsPerWorker: gpus,
-		Copies: copies, Functions: functions, Minutes: minutes,
-		RateScale: rateScale,
-	}
+	fmt.Print(out)
 }

@@ -1,5 +1,6 @@
 // Command modelzoo prints the embedded model catalogue — the paper's
-// Appendix A, Table 1 — optionally filtered by family.
+// Appendix A, Table 1 — optionally filtered by family, through the
+// public zoo accessors.
 package main
 
 import (
@@ -8,20 +9,17 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"clockwork/internal/modelzoo"
+	"clockwork"
 )
 
 func main() {
 	family := flag.String("family", "", "print only this model family")
 	flag.Parse()
 
-	models := modelzoo.All()
-	if *family != "" {
-		models = modelzoo.ByFamily(*family)
-		if len(models) == 0 {
-			fmt.Fprintf(os.Stderr, "no models in family %q; families: %v\n", *family, modelzoo.Families())
-			os.Exit(2)
-		}
+	models := clockwork.ZooSpecs(*family)
+	if len(models) == 0 {
+		fmt.Fprintf(os.Stderr, "no models in family %q; families: %v\n", *family, clockwork.ZooFamilies())
+		os.Exit(2)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 1, 4, 2, ' ', 0)
@@ -35,5 +33,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n%d models, %d families\n", len(models), len(modelzoo.Families()))
+	fmt.Printf("\n%d models, %d families\n", len(models), len(clockwork.ZooFamilies()))
 }

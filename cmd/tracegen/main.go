@@ -1,14 +1,14 @@
 // Command tracegen synthesises a Microsoft-Azure-Functions-like trace
-// (the §6.5 workload) and prints its shape: per-class function counts,
-// aggregate request rate per minute, and summary statistics.
+// (the §6.5 workload) through the public workload package and prints
+// its shape: per-class function counts, aggregate request rate per
+// minute, and summary statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
 
-	"clockwork/internal/rng"
-	"clockwork/internal/workload"
+	"clockwork/workload"
 )
 
 func main() {
@@ -20,7 +20,7 @@ func main() {
 	)
 	flag.Parse()
 
-	tr := workload.SynthesizeMAF(rng.NewSource(*seed).Stream("tracegen"), workload.MAFConfig{
+	tr := workload.SynthesizeMAF(*seed, workload.MAFConfig{
 		Functions: *functions,
 		Minutes:   *minutes,
 		RateScale: *scale,

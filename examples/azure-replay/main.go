@@ -21,10 +21,13 @@ const (
 )
 
 func main() {
-	sys := clockwork.New(clockwork.Config{
+	sys, err := clockwork.New(clockwork.Config{
 		Workers: 2, GPUsPerWorker: 1, Seed: 11,
 		MetricsInterval: time.Minute,
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	// Register a couple of instances of every catalogue model.
 	var models []string

@@ -13,7 +13,10 @@ import (
 )
 
 func main() {
-	sys := clockwork.New(clockwork.Config{Workers: 2, GPUsPerWorker: 1, Seed: 7})
+	sys, err := clockwork.New(clockwork.Config{Workers: 2, GPUsPerWorker: 1, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
 	mustRegister(sys, "ls", "resnet50_v1b")
 	mustRegister(sys, "bc-a", "resnet50_v1b")
 	mustRegister(sys, "bc-b", "resnet50_v1b")
@@ -37,7 +40,11 @@ func main() {
 				return
 			}
 			lsSent++
-			sys.Submit("ls", lsSLO, func(r clockwork.Result) {
+			// The LS tenant labels its requests for per-tenant
+			// accounting and runs at elevated priority.
+			sys.SubmitRequest(clockwork.Request{
+				Model: "ls", SLO: lsSLO, Tenant: "latency-sensitive", Priority: 1,
+			}, func(r clockwork.Result) {
 				if r.Success && r.Latency <= lsSLO {
 					lsOK++
 				}
@@ -55,7 +62,9 @@ func main() {
 			if sys.Now() >= runFor {
 				return
 			}
-			sys.Submit(model, bcSLO, func(r clockwork.Result) {
+			sys.SubmitRequest(clockwork.Request{
+				Model: model, SLO: bcSLO, Tenant: "batch",
+			}, func(r clockwork.Result) {
 				if r.Success {
 					bcDone++
 				}
@@ -74,6 +83,12 @@ func main() {
 	fmt.Printf("BC: %d requests completed (%.0f r/s of background throughput)\n",
 		bcDone, float64(bcDone)/runFor.Seconds())
 	fmt.Printf("cluster p99=%v max=%v\n", sys.LatencyPercentile(99), sys.Summary().Max)
+	for _, tenant := range []string{"latency-sensitive", "batch"} {
+		if ts, ok := sys.TenantStats(tenant); ok {
+			fmt.Printf("tenant %-17s %6d requests, %6d within SLO\n",
+				tenant+":", ts.Requests, ts.WithinSLO)
+		}
+	}
 }
 
 func mustRegister(sys *clockwork.System, name, zoo string) {

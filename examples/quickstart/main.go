@@ -1,5 +1,6 @@
 // Quickstart: serve a ResNet50 with a 100ms SLO and watch the cold
-// start, warm latency, and admission control in action.
+// start, warm latency, batching, admission control, and the runtime
+// control plane in action — all through the public API.
 package main
 
 import (
@@ -10,7 +11,10 @@ import (
 )
 
 func main() {
-	sys := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1, Seed: 1})
+	sys, err := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
 	if err := sys.RegisterModel("demo", "resnet50_v1b"); err != nil {
 		panic(err)
 	}
@@ -19,35 +23,65 @@ func main() {
 		return func(r clockwork.Result) {
 			status := "ok"
 			if !r.Success {
-				status = "failed:" + r.Reason
+				status = "failed:" + r.Reason.String()
 			}
 			fmt.Printf("%-22s %-14s latency=%-12v batch=%d cold=%v\n",
 				tag, status, r.Latency, r.Batch, r.ColdStart)
 		}
 	}
+	submit := func(req clockwork.Request, tag string) {
+		if _, err := sys.SubmitRequest(req, report(tag)); err != nil {
+			panic(err)
+		}
+	}
 
 	// 1. The first request is a cold start: the controller schedules a
 	// LOAD (≈8.3ms weight transfer) before the INFER (≈2.8ms).
-	sys.Submit("demo", 100*time.Millisecond, report("cold start"))
+	submit(clockwork.Request{Model: "demo", SLO: 100 * time.Millisecond}, "cold start")
 	sys.RunFor(50 * time.Millisecond)
 
 	// 2. Warm requests skip the transfer.
-	sys.Submit("demo", 100*time.Millisecond, report("warm"))
+	submit(clockwork.Request{Model: "demo", SLO: 100 * time.Millisecond}, "warm")
 	sys.RunFor(50 * time.Millisecond)
 
 	// 3. A burst of eight: Clockwork batches them (larger batch sizes
 	// have earlier required start times, so batching wins).
 	for i := 0; i < 8; i++ {
-		sys.Submit("demo", 100*time.Millisecond, report(fmt.Sprintf("burst[%d]", i)))
+		submit(clockwork.Request{Model: "demo", SLO: 100 * time.Millisecond},
+			fmt.Sprintf("burst[%d]", i))
 	}
 	sys.RunFor(100 * time.Millisecond)
 
-	// 4. An unmeetable SLO (1ms < the 2.8ms execution time) is rejected
-	// in advance — no GPU cycles are wasted on it.
-	sys.Submit("demo", time.Millisecond, report("unmeetable SLO"))
+	// 4. The same burst with a per-request batch cap: MaxBatchSize 1
+	// forces solo execution of each request.
+	for i := 0; i < 4; i++ {
+		submit(clockwork.Request{Model: "demo", SLO: 100 * time.Millisecond, MaxBatchSize: 1},
+			fmt.Sprintf("capped[%d]", i))
+	}
+	sys.RunFor(100 * time.Millisecond)
+
+	// 5. An unmeetable SLO (1ms < the 2.8ms execution time) is rejected
+	// in advance — no GPU cycles are wasted on it. Result.Reason is a
+	// typed enum, not a string.
+	if _, err := sys.SubmitRequest(clockwork.Request{Model: "demo", SLO: time.Millisecond},
+		func(r clockwork.Result) {
+			fmt.Printf("%-22s reason=%v (== ReasonCancelled: %v)\n",
+				"unmeetable SLO", r.Reason, r.Reason == clockwork.ReasonCancelled)
+		}); err != nil {
+		panic(err)
+	}
 	sys.RunFor(50 * time.Millisecond)
+
+	// 6. Submissions are validated: unknown models are a typed error.
+	if _, err := sys.SubmitRequest(clockwork.Request{Model: "ghost", SLO: time.Second}, nil); err != nil {
+		fmt.Printf("%-22s %v\n", "unknown model", err)
+	}
 
 	s := sys.Summary()
 	fmt.Printf("\nsummary: %d requests, %d ok, %d cancelled, p50=%v p99=%v max=%v\n",
 		s.Requests, s.Succeeded, s.Cancelled, s.P50, s.P99, s.Max)
+	if ms, ok := sys.ModelStats("demo"); ok {
+		fmt.Printf("model demo: %d requests, %d within SLO, %d cold starts, p99=%v\n",
+			ms.Requests, ms.WithinSLO, ms.ColdStarts, ms.P99)
+	}
 }

@@ -20,7 +20,10 @@ func main() {
 	)
 	multipliers := []float64{1.0, 1.5, 2.2, 3.4, 5.1, 7.6, 11.4, 17.1, 25.6, 38.4}
 
-	sys := clockwork.New(clockwork.Config{Workers: 2, GPUsPerWorker: 1, Seed: 5})
+	sys, err := clockwork.New(clockwork.Config{Workers: 2, GPUsPerWorker: 1, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
 	names, err := sys.RegisterCopies("sweep", "resnet50_v1b", models)
 	if err != nil {
 		panic(err)

@@ -66,12 +66,17 @@ func (s *Clipper) modelState(name string) *clipperModel {
 	return st
 }
 
-// place statically assigns a model to a GPU round-robin on first use.
+// place statically assigns a model to a GPU round-robin on first use,
+// re-placing it when its GPU has been drained or failed. Returns nil
+// when no schedulable GPU remains.
 func (s *Clipper) place(model string) *core.GPUMirror {
-	if g, ok := s.placement[model]; ok {
+	if g, ok := s.placement[model]; ok && !g.Disabled() {
 		return g
 	}
-	gpus := s.c.GPUs()
+	gpus := enabledGPUs(s.c)
+	if len(gpus) == 0 {
+		return nil
+	}
 	g := gpus[s.nextGPU%len(gpus)]
 	s.nextGPU++
 	s.placement[model] = g
@@ -84,6 +89,9 @@ func (s *Clipper) OnRequest(r *core.Request) {
 	st := s.modelState(r.Model)
 	st.lastSLO = r.SLO
 	g := s.place(r.Model)
+	if g == nil {
+		return
+	}
 	s.ensureLoaded(g, mi)
 	s.pump(g, mi, st)
 }
@@ -114,6 +122,9 @@ func (s *Clipper) OnResult(res action.Result) {
 		}
 	}
 	g := s.place(res.Model)
+	if g == nil {
+		return
+	}
 	s.pump(g, mi, st)
 }
 
@@ -144,6 +155,8 @@ func (s *Clipper) pump(g *core.GPUMirror, mi *core.ModelInfo, st *clipperModel) 
 		if batch > mi.QueuedCount() {
 			batch = compiledBatchAtMost(mi.QueuedCount())
 		}
+		// Per-request batch caps bound the batch further.
+		batch = compiledBatchAtMost(mi.CapBatch(batch))
 		reqs := mi.PopBatch(batch)
 		// The window opens when the (possibly in-flight) LOAD lands.
 		earliest := simclock.Max(s.c.Now(), readyAt)

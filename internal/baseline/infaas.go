@@ -80,11 +80,32 @@ func (s *INFaaS) OnResult(res action.Result) {
 }
 
 // replicasOf returns (creating on first use) the model's replica set.
+// Replicas on drained or failed GPUs are dropped; a model left with no
+// live replica is re-placed on a schedulable GPU.
 func (s *INFaaS) replicasOf(mi *core.ModelInfo) []*core.GPUMirror {
 	if rs, ok := s.placement[mi.Name()]; ok {
-		return rs
+		live := rs
+		for _, g := range rs {
+			if g.Disabled() {
+				live = nil
+				for _, g2 := range rs {
+					if !g2.Disabled() {
+						live = append(live, g2)
+					}
+				}
+				break
+			}
+		}
+		if len(live) > 0 {
+			s.placement[mi.Name()] = live
+			return live
+		}
+		delete(s.placement, mi.Name())
 	}
-	gpus := s.c.GPUs()
+	gpus := enabledGPUs(s.c)
+	if len(gpus) == 0 {
+		return nil
+	}
 	g := gpus[s.nextGPU%len(gpus)]
 	s.nextGPU++
 	s.placement[mi.Name()] = []*core.GPUMirror{g}
@@ -110,6 +131,9 @@ func (s *INFaaS) maybeScale(mi *core.ModelInfo) {
 	// hosting the model.
 	var best *core.GPUMirror
 	for _, g := range gpus {
+		if g.Disabled() {
+			continue
+		}
 		if _, resident := g.Resident(mi.Name()); resident {
 			continue
 		}
@@ -154,6 +178,9 @@ func (s *INFaaS) variantBatch(mi *core.ModelInfo) int {
 
 // pump dispatches FIFO work to g while its pipeline has room.
 func (s *INFaaS) pump(g *core.GPUMirror) {
+	if g.Disabled() {
+		return
+	}
 	for s.outstanding[g] < infaasPipelineDepth {
 		// Oldest-arrival-first across the models placed on g, with
 		// request ID as the tie-break: closed-loop clients routinely
@@ -187,6 +214,8 @@ func (s *INFaaS) pump(g *core.GPUMirror) {
 		if batch > pick.QueuedCount() {
 			batch = compiledBatchAtMost(pick.QueuedCount())
 		}
+		// Per-request batch caps bound the batch further.
+		batch = compiledBatchAtMost(pick.CapBatch(batch))
 		reqs := pick.PopBatch(batch)
 		// The window opens when the (possibly in-flight) LOAD lands.
 		earliest := simclock.Max(s.c.Now(), pickReady)

@@ -33,7 +33,8 @@ type ClusterConfig struct {
 	Seed uint64
 
 	// Controller configuration and scheduler. A nil Scheduler selects
-	// the paper's ClockworkScheduler.
+	// the paper's ClockworkScheduler; NewClusterWithPolicy resolves
+	// schedulers by registry name instead.
 	Controller Config
 	Scheduler  Scheduler
 
@@ -95,6 +96,7 @@ type Cluster struct {
 	Metrics *Metrics
 
 	cfg        ClusterConfig
+	src        *rng.Source
 	clientLink *network.Duplex
 }
 
@@ -103,7 +105,6 @@ type Cluster struct {
 func NewCluster(cfg ClusterConfig) *Cluster {
 	cfg = cfg.withDefaults()
 	eng := simclock.NewEngine()
-	src := rng.NewSource(cfg.Seed)
 
 	sched := cfg.Scheduler
 	if sched == nil {
@@ -115,6 +116,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Eng:        eng,
 		Ctl:        ctl,
 		cfg:        cfg,
+		src:        rng.NewSource(cfg.Seed),
 		clientLink: network.NewDuplex(eng),
 		Metrics:    newMetrics(cfg.MetricsInterval),
 	}
@@ -124,62 +126,76 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	cl.clientLink.BtoA.BytesPerSecond = cfg.ClientBandwidth
 
 	for i := 0; i < cfg.Workers; i++ {
-		wcfg := worker.Config{
-			ID:             i,
-			GPUs:           cfg.GPUsPerWorker,
-			DeviceMemBytes: cfg.DeviceMemBytes,
-			PageCacheBytes: cfg.PageCacheBytes,
-			Noise:          cfg.Noise,
-			BestEffort:     cfg.WorkerBestEffort,
-		}.Resolved()
-		w := worker.New(eng, src, wcfg)
-		link := network.NewDuplex(eng)
-		link.AtoB.Latency = cfg.NetLatency
-		link.BtoA.Latency = cfg.NetLatency
-		link.AtoB.BytesPerSecond = cfg.WorkerBandwidth
-		link.BtoA.BytesPerSecond = cfg.WorkerBandwidth
-
-		wi := w
-		li := link
-		ctl.AddWorker(i, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
-			func(a *action.Action, payloadBytes int64) {
-				if cl.cfg.ZeroLengthInputs {
-					payloadBytes = 0
-				}
-				if cl.cfg.Trace != nil {
-					cl.cfg.Trace.Append(tracelog.Event{
-						At: eng.Now().Duration(), Kind: tracelog.KindAction,
-						ActionID: a.ID, ActionType: a.Type.String(),
-						Model: a.Model, Batch: a.Batch, RequestIDs: a.RequestIDs,
-						Worker: wi.ID(), GPU: a.GPU,
-						Start: a.Earliest.Duration(), End: a.Latest.Duration(),
-					})
-				}
-				li.AtoB.Send(payloadBytes, func() { wi.Submit(a) })
-			})
-		w.OnResult = func(r action.Result) {
-			var bytes int64
-			if r.Type == action.Infer && r.Status.IsSuccess() {
-				bytes = int64(len(r.RequestIDs)) * outputBytesOf(cl, r.Model)
-			}
-			li.BtoA.Send(bytes, func() {
-				if cl.cfg.Trace != nil {
-					cl.cfg.Trace.Append(tracelog.Event{
-						At: eng.Now().Duration(), Kind: tracelog.KindResult,
-						ActionID: r.ActionID, ActionType: r.Type.String(),
-						Model: r.Model, Batch: r.Batch, RequestIDs: r.RequestIDs,
-						Worker: r.WorkerID, GPU: r.GPU,
-						Start: r.Start.Duration(), End: r.End.Duration(),
-						Duration: r.Duration, Status: r.Status.String(),
-					})
-				}
-				ctl.HandleResult(r)
-			})
-		}
-		cl.Workers = append(cl.Workers, w)
-		cl.Metrics.attachGPUs(w)
+		cl.addWorker()
 	}
 	return cl
+}
+
+// addWorker constructs one worker with the cluster's geometry, wires its
+// network link and controller mirrors, and returns its ID. Worker RNG
+// streams derive from the worker ID, so a worker added at runtime gets
+// the same noise stream it would have had at startup.
+func (cl *Cluster) addWorker() int {
+	id := len(cl.Workers)
+	wcfg := worker.Config{
+		ID:             id,
+		GPUs:           cl.cfg.GPUsPerWorker,
+		DeviceMemBytes: cl.cfg.DeviceMemBytes,
+		PageCacheBytes: cl.cfg.PageCacheBytes,
+		Noise:          cl.cfg.Noise,
+		BestEffort:     cl.cfg.WorkerBestEffort,
+	}.Resolved()
+	w := worker.New(cl.Eng, cl.src, wcfg)
+	link := network.NewDuplex(cl.Eng)
+	link.AtoB.Latency = cl.cfg.NetLatency
+	link.BtoA.Latency = cl.cfg.NetLatency
+	link.AtoB.BytesPerSecond = cl.cfg.WorkerBandwidth
+	link.BtoA.BytesPerSecond = cl.cfg.WorkerBandwidth
+
+	eng := cl.Eng
+	wi := w
+	li := link
+	cl.Ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
+		func(a *action.Action, payloadBytes int64) {
+			if cl.cfg.ZeroLengthInputs {
+				payloadBytes = 0
+			}
+			if cl.cfg.Trace != nil {
+				cl.cfg.Trace.Append(tracelog.Event{
+					At: eng.Now().Duration(), Kind: tracelog.KindAction,
+					ActionID: a.ID, ActionType: a.Type.String(),
+					Model: a.Model, Batch: a.Batch, RequestIDs: a.RequestIDs,
+					Worker: wi.ID(), GPU: a.GPU,
+					Start: a.Earliest.Duration(), End: a.Latest.Duration(),
+				})
+			}
+			li.AtoB.Send(payloadBytes, func() { wi.Submit(a) })
+		})
+	w.OnResult = func(r action.Result) {
+		var bytes int64
+		if r.Type == action.Infer && r.Status.IsSuccess() {
+			bytes = int64(len(r.RequestIDs)) * outputBytesOf(cl, r.Model)
+		}
+		li.BtoA.Send(bytes, func() {
+			if cl.cfg.Trace != nil {
+				cl.cfg.Trace.Append(tracelog.Event{
+					At: eng.Now().Duration(), Kind: tracelog.KindResult,
+					ActionID: r.ActionID, ActionType: r.Type.String(),
+					Model: r.Model, Batch: r.Batch, RequestIDs: r.RequestIDs,
+					Worker: r.WorkerID, GPU: r.GPU,
+					Start: r.Start.Duration(), End: r.End.Duration(),
+					Duration: r.Duration, Status: r.Status.String(),
+				})
+			}
+			cl.Ctl.HandleResult(r)
+		})
+	}
+	// Bring the new worker up with every model registered so far
+	// (§5.1: workers pre-load all models into host RAM).
+	cl.Ctl.EachModel(w.RegisterModel)
+	cl.Workers = append(cl.Workers, w)
+	cl.Metrics.attachGPUs(w)
+	return id
 }
 
 func outputBytesOf(cl *Cluster, model string) int64 {
@@ -192,48 +208,200 @@ func outputBytesOf(cl *Cluster, model string) int64 {
 // Config returns the effective cluster configuration.
 func (cl *Cluster) Config() ClusterConfig { return cl.cfg }
 
+// ---- runtime control plane ----
+
+// AddWorker adds one worker (with the cluster's standard geometry) at
+// runtime and returns its ID. The new worker starts with every
+// registered model in host RAM and becomes schedulable immediately.
+func (cl *Cluster) AddWorker() int { return cl.addWorker() }
+
+// DrainWorker stops scheduling new actions on worker id; in-flight
+// actions finish and their results are honoured.
+func (cl *Cluster) DrainWorker(id int) error { return cl.Ctl.DrainWorker(id) }
+
+// FailWorker abruptly fails worker id: scheduling stops, in-flight work
+// is lost (its requests fail with ReasonWorkerFailed) and late results
+// from the worker are dropped.
+func (cl *Cluster) FailWorker(id int) error {
+	if err := cl.Ctl.FailWorker(id); err != nil {
+		return err
+	}
+	cl.Workers[id].Fail()
+	return nil
+}
+
+// InjectDisturbance stalls a GPU's execution engine for d — the §4.3
+// class of external slowdowns (thermal throttling, maintenance tasks)
+// the controller cannot predict, promoted from the fault-injection test
+// harness to a first-class API.
+func (cl *Cluster) InjectDisturbance(workerID, gpuID int, d time.Duration) error {
+	if workerID < 0 || workerID >= len(cl.Workers) {
+		return fmt.Errorf("%w: %d (have %d)", ErrNoSuchWorker, workerID, len(cl.Workers))
+	}
+	w := cl.Workers[workerID]
+	if gpuID < 0 || gpuID >= w.NumGPUs() {
+		return fmt.Errorf("%w: worker %d has no GPU %d", ErrNoSuchWorker, workerID, gpuID)
+	}
+	w.GPU(gpuID).Dev.InjectDisturbance(d)
+	return nil
+}
+
+// UnregisterModel removes a model instance cluster-wide. Queued requests
+// fail with ReasonUnregistered; replicas are unloaded. Models with
+// in-flight actions return ErrModelBusy.
+func (cl *Cluster) UnregisterModel(name string) error {
+	if err := cl.Ctl.UnregisterModel(name); err != nil {
+		return err
+	}
+	for _, w := range cl.Workers {
+		w.UnregisterModel(name)
+	}
+	return nil
+}
+
+// ModelStats returns the per-model metrics slice for name. ok is false
+// when the model is unknown and has never produced a response.
+func (cl *Cluster) ModelStats(name string) (ModelStats, bool) {
+	st, ok := cl.Metrics.ModelStats(name, cl.Eng.Now().Duration())
+	if !ok {
+		if _, known := cl.Ctl.Model(name); !known {
+			return ModelStats{}, false
+		}
+	}
+	return st, true
+}
+
+// TenantStats returns the per-tenant metrics slice for tenant.
+func (cl *Cluster) TenantStats(tenant string) (TenantStats, bool) {
+	return cl.Metrics.TenantStats(tenant)
+}
+
+// ---- registration ----
+
 // RegisterModel announces one model instance to the controller and every
 // worker (workers pre-load all models into host RAM, §5.1).
-func (cl *Cluster) RegisterModel(name string, zoo *modelzoo.Model) {
-	cl.Ctl.RegisterModel(name, zoo)
+func (cl *Cluster) RegisterModel(name string, zoo *modelzoo.Model) error {
+	if err := cl.Ctl.RegisterModel(name, zoo); err != nil {
+		return err
+	}
 	for _, w := range cl.Workers {
 		w.RegisterModel(name, zoo)
 	}
+	return nil
 }
 
 // RegisterCopies registers n independent instances of zoo named
 // "<base>#0" … "<base>#n-1" and returns their names — the paper's
-// "15 separate copies of ResNet50" pattern.
-func (cl *Cluster) RegisterCopies(base string, zoo *modelzoo.Model, n int) []string {
+// "15 separate copies of ResNet50" pattern. A name collision with an
+// existing instance is ErrDuplicateModel (instances registered before
+// the collision stay registered).
+func (cl *Cluster) RegisterCopies(base string, zoo *modelzoo.Model, n int) ([]string, error) {
 	names := make([]string, n)
 	for i := 0; i < n; i++ {
 		names[i] = fmt.Sprintf("%s#%d", base, i)
-		cl.RegisterModel(names[i], zoo)
+		if err := cl.RegisterModel(names[i], zoo); err != nil {
+			return names[:i], err
+		}
 	}
-	return names
+	return names, nil
 }
 
-// Submit issues one client request. The input travels client→controller
-// over the shared client link; the response is delivered back to the
-// client, where latency is measured and recorded. onDone may be nil.
-func (cl *Cluster) Submit(model string, slo time.Duration, onDone func(Response, time.Duration)) {
-	sentAt := cl.Eng.Now()
-	mi, ok := cl.Ctl.Model(model)
-	if !ok {
-		panic("cluster: unregistered model " + model)
+// ---- submission ----
+
+// Handle tracks one submitted request from the client's side. The
+// simulation is single-threaded: inspect or cancel between Run* calls.
+type Handle struct {
+	cl  *Cluster
+	req *Request // nil until the request reaches the controller
+
+	cancelPending bool
+	done          bool
+	resp          Response
+	latency       time.Duration
+}
+
+// ID returns the controller-assigned request ID (0 while the request is
+// still in transit to the controller).
+func (h *Handle) ID() uint64 {
+	if h.req == nil {
+		return 0
 	}
+	return h.req.ID
+}
+
+// Done reports whether the request has a final outcome.
+func (h *Handle) Done() bool { return h.done }
+
+// Outcome returns the final response and client-observed latency; ok is
+// false while the request is still pending.
+func (h *Handle) Outcome() (Response, time.Duration, bool) {
+	return h.resp, h.latency, h.done
+}
+
+// Cancel requests cancellation and reports whether it took effect. A
+// still-queued request is cancelled immediately; a request still in
+// transit to the controller is cancelled deterministically on arrival,
+// before the scheduler can dispatch it. Only a request already handed
+// to a worker cannot be clawed back (§4.2 — workers are never
+// second-guessed mid-action): then Cancel reports false and the
+// request runs to its normal outcome.
+func (h *Handle) Cancel() bool {
+	if h.done {
+		return false
+	}
+	if h.req == nil {
+		h.cancelPending = true
+		return true
+	}
+	return h.cl.Ctl.CancelRequest(h.req)
+}
+
+// Submit issues one client request with default options. The input
+// travels client→controller over the shared client link; the response
+// is delivered back to the client, where latency is measured and
+// recorded. onDone may be nil. Unknown models are a typed error.
+func (cl *Cluster) Submit(model string, slo time.Duration, onDone func(Response, time.Duration)) error {
+	_, err := cl.SubmitRequest(SubmitSpec{Model: model, SLO: slo}, onDone)
+	return err
+}
+
+// SubmitRequest issues one client request with full per-request options
+// and returns a client-side handle. The model must be registered at
+// submission time (ErrUnknownModel otherwise); the controller re-checks
+// on arrival, so a model unregistered mid-transit fails the request
+// rather than corrupting controller state.
+func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Duration)) (*Handle, error) {
+	if spec.Model == "" {
+		return nil, fmt.Errorf("%w: empty model name", ErrInvalidRequest)
+	}
+	if spec.SLO <= 0 {
+		return nil, fmt.Errorf("%w: non-positive SLO %v", ErrInvalidRequest, spec.SLO)
+	}
+	if spec.MaxBatch < 0 {
+		return nil, fmt.Errorf("%w: negative batch cap %d", ErrInvalidRequest, spec.MaxBatch)
+	}
+	sentAt := cl.Eng.Now()
+	mi, ok := cl.Ctl.Model(spec.Model)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, spec.Model)
+	}
+	h := &Handle{cl: cl}
 	inputBytes := mi.Zoo().InputBytes()
 	if cl.cfg.ZeroLengthInputs {
 		inputBytes = 0
 	}
 	cl.clientLink.AtoB.Send(inputBytes, func() {
-		req := cl.Ctl.Submit(model, slo, func(resp Response) {
+		// A Cancel issued while the request was on the wire is applied
+		// inside the controller's submission, before the scheduler can
+		// dispatch — the in-transit cancel is authoritative.
+		spec.preCancelled = h.cancelPending
+		req := cl.Ctl.SubmitSpec(spec, func(resp Response) {
 			if cl.cfg.Trace != nil {
 				ok := resp.Success
 				cl.cfg.Trace.Append(tracelog.Event{
 					At: cl.Eng.Now().Duration(), Kind: tracelog.KindResponse,
 					RequestID: resp.RequestID, Model: resp.Model,
-					Success: &ok, Reason: resp.Reason, Batch: resp.Batch,
+					Success: &ok, Reason: resp.Reason.String(), Batch: resp.Batch,
 				})
 			}
 			outBytes := mi.Zoo().OutputBytes()
@@ -242,19 +410,26 @@ func (cl *Cluster) Submit(model string, slo time.Duration, onDone func(Response,
 			}
 			cl.clientLink.BtoA.Send(outBytes, func() {
 				latency := cl.Eng.Now().Sub(sentAt)
-				cl.Metrics.record(cl.Eng.Now(), resp, latency, slo)
+				cl.Metrics.record(cl.Eng.Now(), resp, latency, spec.SLO)
+				h.done = true
+				h.resp = resp
+				h.latency = latency
 				if onDone != nil {
 					onDone(resp, latency)
 				}
 			})
 		})
-		if cl.cfg.Trace != nil {
-			cl.cfg.Trace.Append(tracelog.Event{
-				At: cl.Eng.Now().Duration(), Kind: tracelog.KindRequest,
-				RequestID: req.ID, Model: req.Model, SLO: req.SLO,
-			})
+		if req != nil {
+			h.req = req
+			if cl.cfg.Trace != nil {
+				cl.cfg.Trace.Append(tracelog.Event{
+					At: cl.Eng.Now().Duration(), Kind: tracelog.KindRequest,
+					RequestID: req.ID, Model: req.Model, SLO: req.SLO,
+				})
+			}
 		}
 	})
+	return h, nil
 }
 
 // RunFor advances the cluster by d.

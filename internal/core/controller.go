@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"clockwork/internal/action"
@@ -61,6 +62,8 @@ func (c Config) withDefaults() Config {
 // Scheduler is the decision-making brain plugged into the controller
 // (§5.3). The controller owns networking, state mirroring, timeouts and
 // response plumbing; the scheduler decides what runs where and when.
+// Schedulers plug into clusters by name through the policy registry
+// (see registry.go).
 type Scheduler interface {
 	// Attach gives the scheduler its controller before any events flow.
 	Attach(c *Controller)
@@ -78,9 +81,13 @@ type Scheduler interface {
 type Stats struct {
 	Requests  uint64 // total received
 	Succeeded uint64
-	Cancelled uint64 // rejected in advance by the controller
+	Cancelled uint64 // rejected in advance by the controller (or client-cancelled)
 	Rejected  uint64 // action cancelled by a worker (misprediction)
 	ColdStart uint64 // requests whose model was not resident on arrival
+
+	// Control-plane outcomes.
+	WorkerLost   uint64 // in-flight requests lost to FailWorker
+	Unregistered uint64 // queued requests failed by UnregisterModel
 
 	ActionsInfer  uint64
 	ActionsLoad   uint64
@@ -97,6 +104,11 @@ type Controller struct {
 	workers []*workerHandle
 	gpus    []*GPUMirror
 	models  map[string]*ModelInfo
+	// modelList holds registered models in registration order — the
+	// deterministic iteration order the control plane uses where the
+	// models map would introduce map-order nondeterminism.
+	modelList []*ModelInfo
+	nextSeq   uint64
 
 	// activeModels is the set of models with at least one queued
 	// request (Appendix B's demand tracking works over this set).
@@ -121,7 +133,7 @@ type Controller struct {
 	nextRequestID uint64
 	nextActionID  uint64
 
-	pendingInfers map[uint64][]*Request
+	pendingInfers map[uint64]pendingInfer
 
 	// Fig 9 telemetry: duration and completion-time prediction errors.
 	InferDuration   *predictor.ErrorTracker
@@ -132,6 +144,14 @@ type Controller struct {
 	stats Stats
 }
 
+// pendingInfer couples an in-flight INFER's requests with the mirror it
+// was dispatched to, so FailWorker can find (and fail) exactly the work
+// lost with a worker.
+type pendingInfer struct {
+	g    *GPUMirror
+	reqs []*Request
+}
+
 // NewController returns a controller driving the given scheduler.
 func NewController(eng *simclock.Engine, cfg Config, schd Scheduler) *Controller {
 	c := &Controller{
@@ -140,7 +160,7 @@ func NewController(eng *simclock.Engine, cfg Config, schd Scheduler) *Controller
 		schd:            schd,
 		models:          make(map[string]*ModelInfo),
 		activeModels:    make(map[*ModelInfo]bool),
-		pendingInfers:   make(map[uint64][]*Request),
+		pendingInfers:   make(map[uint64]pendingInfer),
 		InferDuration:   predictor.NewErrorTracker(),
 		LoadDuration:    predictor.NewErrorTracker(),
 		InferCompletion: predictor.NewErrorTracker(),
@@ -164,12 +184,18 @@ func (c *Controller) Config() Config { return c.cfg }
 // Stats returns a copy of the outcome counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
-// GPUs returns all GPU mirrors across workers.
+// GPUs returns all GPU mirrors across workers, including those of
+// drained or failed workers (check Disabled before scheduling onto one).
 func (c *Controller) GPUs() []*GPUMirror { return c.gpus }
 
+// WorkerCount returns the number of workers ever added (drained and
+// failed workers keep their IDs).
+func (c *Controller) WorkerCount() int { return len(c.workers) }
+
 // AddWorker registers a worker's mirrors and its transport hook. The
-// cluster layer calls this during setup, exchanging page-cache geometry
-// like the startup handshake of §5.3.
+// cluster layer calls this during setup — and at runtime for control-
+// plane scale-out — exchanging page-cache geometry like the startup
+// handshake of §5.3.
 func (c *Controller) AddWorker(id, gpuCount int, pageCacheBytes, pageSize int64,
 	submit func(a *action.Action, payloadBytes int64)) {
 	wh := &workerHandle{id: id, submit: submit}
@@ -185,21 +211,203 @@ func (c *Controller) AddWorker(id, gpuCount int, pageCacheBytes, pageSize int64,
 	c.workers = append(c.workers, wh)
 }
 
+// DrainWorker takes a worker out of scheduling: no new actions are sent
+// to it, in-flight actions run to completion and their results are
+// still honoured. The worker's resident replicas stop counting toward
+// Appendix B demand fulfilment, so the load-priority policy re-creates
+// needed replicas elsewhere.
+func (c *Controller) DrainWorker(id int) error {
+	wh, err := c.worker(id)
+	if err != nil {
+		return err
+	}
+	if wh.draining || wh.failed {
+		return fmt.Errorf("%w: worker %d", ErrWorkerDown, id)
+	}
+	wh.draining = true
+	c.detachWorker(wh)
+	return nil
+}
+
+// FailWorker simulates an abrupt worker loss (the paper's C3 class of
+// external factors, promoted from the fault-injection test harness):
+// scheduling stops as with DrainWorker, but in-flight work is lost —
+// its requests fail immediately with ReasonWorkerFailed and any late
+// results from the worker are dropped.
+func (c *Controller) FailWorker(id int) error {
+	wh, err := c.worker(id)
+	if err != nil {
+		return err
+	}
+	if wh.failed {
+		return fmt.Errorf("%w: worker %d", ErrWorkerDown, id)
+	}
+	wh.failed = true
+	c.detachWorker(wh)
+
+	// Fail the in-flight INFERs dispatched to this worker, in action-ID
+	// order (map iteration order must not leak into response order).
+	var lost []uint64
+	for aid, p := range c.pendingInfers {
+		if p.g.WorkerID == id {
+			lost = append(lost, aid)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, aid := range lost {
+		p := c.pendingInfers[aid]
+		delete(c.pendingInfers, aid)
+		for _, r := range p.reqs {
+			if r.state != stateInFlight {
+				continue
+			}
+			r.state = stateDone
+			c.stats.WorkerLost++
+			c.respond(r, Response{
+				RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: false,
+				Reason: ReasonWorkerFailed, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+			})
+		}
+	}
+	for _, g := range wh.gpus {
+		g.inFlightInfers = make(map[string]int)
+		g.loading = make(map[string]simclock.Time)
+	}
+	return nil
+}
+
+// worker validates a worker ID.
+func (c *Controller) worker(id int) (*workerHandle, error) {
+	if id < 0 || id >= len(c.workers) {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrNoSuchWorker, id, len(c.workers))
+	}
+	return c.workers[id], nil
+}
+
+// detachWorker disables a worker's mirrors and retracts its replicas
+// from the controller's residency and demand accounting. Models are
+// visited in registration order so every index mutation is replayed
+// identically across runs.
+func (c *Controller) detachWorker(wh *workerHandle) {
+	for _, g := range wh.gpus {
+		g.disabled = true
+		for _, mi := range c.modelList {
+			if mi.residentOn[g] {
+				delete(mi.residentOn, g)
+				delete(g.withWork, mi)
+				c.reindexModel(mi)
+			}
+		}
+		g.stratQ = g.stratQ[:0]
+	}
+}
+
+// WorkerState reports a worker's control-plane state.
+type WorkerState uint8
+
+// Worker lifecycle states.
+const (
+	WorkerActive WorkerState = iota
+	WorkerDraining
+	WorkerFailed
+)
+
+// WorkerStateOf returns the lifecycle state of worker id.
+func (c *Controller) WorkerStateOf(id int) (WorkerState, error) {
+	wh, err := c.worker(id)
+	if err != nil {
+		return WorkerActive, err
+	}
+	switch {
+	case wh.failed:
+		return WorkerFailed, nil
+	case wh.draining:
+		return WorkerDraining, nil
+	default:
+		return WorkerActive, nil
+	}
+}
+
 // RegisterModel announces a model instance, seeding its action profiles
-// from offline profiling data (§5.1).
-func (c *Controller) RegisterModel(name string, zoo *modelzoo.Model) {
+// from offline profiling data (§5.1). Duplicate names are an error.
+func (c *Controller) RegisterModel(name string, zoo *modelzoo.Model) error {
 	if zoo == nil {
-		panic("core: nil model")
+		return fmt.Errorf("%w: nil model for %q", ErrInvalidRequest, name)
+	}
+	if name == "" {
+		return fmt.Errorf("%w: empty model name", ErrInvalidRequest)
 	}
 	if _, dup := c.models[name]; dup {
-		panic("core: duplicate model " + name)
+		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
 	}
-	mi := &ModelInfo{name: name, zoo: zoo, residentOn: make(map[*GPUMirror]bool), seq: uint64(len(c.models))}
+	mi := &ModelInfo{name: name, zoo: zoo, residentOn: make(map[*GPUMirror]bool), seq: c.nextSeq}
+	c.nextSeq++
 	c.models[name] = mi
+	c.modelList = append(c.modelList, mi)
 	for _, b := range modelzoo.BatchSizes {
 		c.profile.Seed(predictor.Key{Op: "exec", Model: name, Batch: b}, zoo.ExecLatency(b))
 	}
 	c.profile.Seed(predictor.Key{Op: "load", Model: name}, zoo.Transfer())
+	return nil
+}
+
+// UnregisterModel removes a model instance: its queued requests fail
+// with ReasonUnregistered, its replicas are unloaded, and subsequent
+// submissions return ErrUnknownModel. A model with in-flight actions
+// (a LOAD or INFER somewhere in the cluster) is ErrModelBusy — run the
+// engine until its work drains, then retry.
+func (c *Controller) UnregisterModel(name string) error {
+	mi, ok := c.models[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	// Busy means an in-flight action whose result will still be
+	// honoured — including on draining workers (drain promises exactly
+	// that). Only failed workers are exempt: their results are dropped
+	// and their in-flight requests were already answered.
+	for _, g := range c.gpus {
+		if c.workers[g.WorkerID].failed {
+			continue
+		}
+		if g.IsLoading(name) || g.InFlight(name) > 0 {
+			return fmt.Errorf("%w: %q", ErrModelBusy, name)
+		}
+	}
+
+	// Fail queued requests, oldest first.
+	queued := append([]*Request(nil), mi.queue...)
+	for _, r := range queued {
+		if r.state != stateQueued {
+			continue
+		}
+		mi.removeRequest(r)
+		r.state = stateDone
+		c.stats.Unregistered++
+		c.respond(r, Response{
+			RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: false,
+			Reason: ReasonUnregistered, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+		})
+	}
+	mi.demand = 0
+	c.noteQueueMaybeEmpty(mi)
+
+	// Evict every replica (deterministic GPU order; disabled mirrors
+	// were already detached and their workers keep stale weights).
+	for _, g := range c.gpus {
+		if !g.disabled && mi.residentOn[g] {
+			c.SendUnload(g, mi)
+		}
+	}
+
+	c.reindexModel(mi) // removes mi from the ordered indexes
+	delete(c.models, name)
+	for i, m := range c.modelList {
+		if m == mi {
+			c.modelList = append(c.modelList[:i], c.modelList[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 // Model returns the registry entry for name.
@@ -210,6 +418,13 @@ func (c *Controller) Model(name string) (*ModelInfo, bool) {
 
 // ModelCount returns the number of registered instances.
 func (c *Controller) ModelCount() int { return len(c.models) }
+
+// EachModel visits registered models in registration order.
+func (c *Controller) EachModel(fn func(name string, zoo *modelzoo.Model)) {
+	for _, mi := range c.modelList {
+		fn(mi.name, mi.zoo)
+	}
+}
 
 // ActiveModels returns the set of models with queued requests. The
 // returned map is live; schedulers must not mutate it.
@@ -225,31 +440,53 @@ func (c *Controller) EstimateLoad(mi *ModelInfo) time.Duration {
 	return c.profile.Estimate(predictor.Key{Op: "load", Model: mi.name})
 }
 
-// Submit accepts one client request. The cluster layer invokes this when
-// the request arrives at the controller over the network.
+// Submit accepts one client request with default options — the original
+// submission path, kept for the common case.
 func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Response)) *Request {
-	mi, ok := c.models[model]
+	return c.SubmitSpec(SubmitSpec{Model: model, SLO: slo}, onResponse)
+}
+
+// SubmitSpec accepts one client request. The cluster layer invokes this
+// when the request arrives at the controller over the network. The
+// controller no longer trusts its caller to have validated the model:
+// an unregistered model (e.g. unregistered while the request was in
+// transit) fails the request with ReasonUnregistered rather than
+// panicking, and returns nil.
+func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Request {
+	now := c.eng.Now()
+	mi, ok := c.models[spec.Model]
 	if !ok {
-		panic("core: request for unregistered model " + model)
+		c.nextRequestID++
+		c.stats.Requests++
+		c.stats.Unregistered++
+		if onResponse != nil {
+			onResponse(Response{
+				RequestID: c.nextRequestID, Model: spec.Model, Tenant: spec.Tenant,
+				Success: false, Reason: ReasonUnregistered, CompletedAt: now,
+			})
+		}
+		return nil
 	}
 	c.nextRequestID++
-	now := c.eng.Now()
 	margin := c.cfg.ResponseMargin
 	if margin <= 0 {
 		margin = time.Millisecond
-		if m := slo / 20; m < margin {
+		if m := spec.SLO / 20; m < margin {
 			margin = m
 		}
 	}
 	r := &Request{
 		ID:          c.nextRequestID,
-		Model:       model,
-		SLO:         slo,
+		Model:       spec.Model,
+		SLO:         spec.SLO,
+		Priority:    spec.Priority,
+		Tenant:      spec.Tenant,
+		MaxBatch:    spec.MaxBatch,
 		Arrival:     now,
 		InputBytes:  mi.zoo.InputBytes(),
 		OutputBytes: mi.zoo.OutputBytes(),
 		OnResponse:  onResponse,
-		deadline:    now.Add(slo - margin),
+		deadline:    now.Add(spec.SLO - margin),
 		execEst:     c.EstimateExec(mi, 1),
 	}
 	r.coldStart = len(mi.residentOn) == 0
@@ -258,7 +495,7 @@ func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Res
 	}
 	c.stats.Requests++
 
-	mi.queue = append(mi.queue, r)
+	mi.enqueue(r)
 	mi.demand += r.execEst
 	if len(mi.queue) == 1 {
 		c.activeModels[mi] = true
@@ -267,6 +504,14 @@ func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Res
 		}
 	}
 	c.reindexModel(mi)
+
+	// A client cancel that raced the request's network transit wins
+	// deterministically: the request is answered before the scheduler
+	// could dispatch it.
+	if spec.preCancelled {
+		c.cancelRequest(mi, r)
+		return r
+	}
 
 	// Cancel in advance at the last instant a batch-1 warm execution
 	// could still begin (§4.1: "cancels the request before performing
@@ -278,6 +523,22 @@ func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Res
 
 	c.schd.OnRequest(r)
 	return r
+}
+
+// CancelRequest cancels a still-queued request on the client's behalf.
+// It reports whether the request was cancelled (false when it already
+// completed or is in flight — in-flight work cannot be clawed back,
+// §4.2).
+func (c *Controller) CancelRequest(r *Request) bool {
+	if r == nil || r.state != stateQueued {
+		return false
+	}
+	mi, ok := c.models[r.Model]
+	if !ok {
+		return false
+	}
+	c.cancelRequest(mi, r)
+	return r.state == stateDone
 }
 
 // cancelRequest fails a still-queued request whose SLO is unmeetable.
@@ -294,8 +555,8 @@ func (c *Controller) cancelRequest(mi *ModelInfo, r *Request) {
 	r.state = stateDone
 	c.stats.Cancelled++
 	c.respond(r, Response{
-		RequestID: r.ID, Model: r.Model, Success: false,
-		Reason: "cancelled", ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+		RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: false,
+		Reason: ReasonCancelled, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 	})
 	c.schd.OnCancel(r)
 }
@@ -309,8 +570,8 @@ func (c *Controller) timeoutRequest(r *Request) {
 	r.state = stateDone
 	c.stats.Rejected++
 	c.respond(r, Response{
-		RequestID: r.ID, Model: r.Model, Success: false,
-		Reason: "timeout", ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+		RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: false,
+		Reason: ReasonTimeout, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 	})
 }
 
@@ -391,7 +652,7 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	g.ExecFreeAt = completion
 	g.inFlightInfers[mi.name]++
 	g.Pages.Touch(mi.name)
-	c.pendingInfers[a.ID] = reqs
+	c.pendingInfers[a.ID] = pendingInfer{g: g, reqs: reqs}
 	c.stats.ActionsInfer++
 	c.reindexModel(mi)
 	if c.testOnInfer != nil {
@@ -474,8 +735,13 @@ func requestIDs(reqs []*Request) []uint64 {
 }
 
 // HandleResult ingests one worker result. The cluster layer invokes this
-// when the result arrives at the controller over the network.
+// when the result arrives at the controller over the network. Results
+// from failed workers are dropped — their requests were already failed
+// by FailWorker.
 func (c *Controller) HandleResult(res action.Result) {
+	if c.workers[res.WorkerID].failed {
+		return
+	}
 	g := c.workers[res.WorkerID].gpus[res.GPU]
 	switch res.Type {
 	case action.Load:
@@ -494,6 +760,12 @@ func (c *Controller) HandleResult(res action.Result) {
 
 func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 	mi := c.models[res.Model]
+	if mi == nil {
+		// The model was unregistered while its LOAD was in flight (the
+		// control plane refuses that — defensive for future callers).
+		delete(g.loading, res.Model)
+		return
+	}
 	if res.Status.IsSuccess() {
 		delete(g.loading, res.Model)
 		c.profile.Observe(predictor.Key{Op: "load", Model: res.Model}, res.Duration)
@@ -517,13 +789,16 @@ func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 }
 
 func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
-	reqs := c.pendingInfers[res.ActionID]
+	reqs := c.pendingInfers[res.ActionID].reqs
 	delete(c.pendingInfers, res.ActionID)
 	mi := c.models[res.Model]
 	if n := g.inFlightInfers[res.Model]; n <= 1 {
 		delete(g.inFlightInfers, res.Model)
 	} else {
 		g.inFlightInfers[res.Model] = n - 1
+	}
+	if mi == nil {
+		return // unregistered mid-flight; requests were already answered
 	}
 	if res.Status.IsSuccess() {
 		c.profile.Observe(predictor.Key{Op: "exec", Model: res.Model, Batch: res.Batch}, res.Duration)
@@ -539,7 +814,7 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 			r.state = stateDone
 			c.stats.Succeeded++
 			c.respond(r, Response{
-				RequestID: r.ID, Model: r.Model, Success: true,
+				RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: true,
 				Batch: res.Batch, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 			})
 		}
@@ -555,8 +830,8 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 		r.state = stateDone
 		c.stats.Rejected++
 		c.respond(r, Response{
-			RequestID: r.ID, Model: r.Model, Success: false,
-			Reason: "rejected", ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
+			RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: false,
+			Reason: ReasonRejected, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 		})
 	}
 	// Deliberately do NOT rewind g.ExecFreeAt for the phantom work: the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -82,7 +83,7 @@ func TestUnmeetableSLOCancelledInAdvance(t *testing.T) {
 	if !got {
 		t.Fatal("no response")
 	}
-	if resp.Success || resp.Reason != "cancelled" {
+	if resp.Success || resp.Reason != ReasonCancelled {
 		t.Fatalf("want cancelled, got %v", resp)
 	}
 	st := cl.Ctl.Stats()
@@ -202,7 +203,7 @@ func TestMirrorMatchesWorkerAtQuiescence(t *testing.T) {
 		Workers: 1, GPUsPerWorker: 1,
 		PageCacheBytes: 20 * 16 * 1024 * 1024,
 	})
-	names := cl.RegisterCopies("resnet18_v2", modelzoo.MustByName("resnet18_v2"), 8)
+	names, _ := cl.RegisterCopies("resnet18_v2", modelzoo.MustByName("resnet18_v2"), 8)
 	for round := 0; round < 5; round++ {
 		for _, n := range names {
 			cl.Submit(n, 100*time.Millisecond, nil)
@@ -346,7 +347,7 @@ func TestZeroLengthInputsMode(t *testing.T) {
 
 func TestRegisterCopiesNames(t *testing.T) {
 	cl := testCluster(t, ClusterConfig{Workers: 1, GPUsPerWorker: 1})
-	names := cl.RegisterCopies("googlenet", modelzoo.MustByName("googlenet"), 3)
+	names, _ := cl.RegisterCopies("googlenet", modelzoo.MustByName("googlenet"), 3)
 	if len(names) != 3 || names[0] != "googlenet#0" || names[2] != "googlenet#2" {
 		t.Fatalf("names = %v", names)
 	}
@@ -358,12 +359,9 @@ func TestRegisterCopiesNames(t *testing.T) {
 	}
 }
 
-func TestSubmitUnknownModelPanics(t *testing.T) {
+func TestSubmitUnknownModelTypedError(t *testing.T) {
 	cl := testCluster(t, ClusterConfig{Workers: 1, GPUsPerWorker: 1})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	cl.Submit("ghost", time.Second, nil)
+	if err := cl.Submit("ghost", time.Second, nil); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("want ErrUnknownModel, got %v", err)
+	}
 }

@@ -19,7 +19,7 @@ func TestNoRejectCascadeUnderChurn(t *testing.T) {
 		Workers: 1, GPUsPerWorker: 1,
 		PageCacheBytes: 20 * 7 * 16 * 1024 * 1024, // 20 ResNet50s
 	})
-	names := cl.RegisterCopies("m", modelzoo.ResNet50(), 60)
+	names, _ := cl.RegisterCopies("m", modelzoo.ResNet50(), 60)
 	// Skewless round-robin over 60 models on a 20-model cache: constant
 	// cold-start churn.
 	i := 0
@@ -59,7 +59,7 @@ func TestInferNeverRacesLoadETA(t *testing.T) {
 		// slow; instead rely on the first cold start being scheduled
 		// against the load ETA.
 		cl.Submit("m", 100*time.Millisecond, func(r Response, _ time.Duration) {
-			if !r.Success && r.Reason == "rejected" {
+			if !r.Success && r.Reason == ReasonRejected {
 				notLoaded++
 			}
 		})

@@ -37,7 +37,7 @@ func TestDisturbanceDoesNotViolateSLOs(t *testing.T) {
 		// Every 50th request, hit the GPU with a 20ms external stall
 		// (thermal event) right before the work lands.
 		if i%50 == 0 {
-			cl.Workers[0].GPU(0).Dev.InjectDisturbance(20 * time.Millisecond)
+			cl.InjectDisturbance(0, 0, 20*time.Millisecond)
 		}
 		cl.Eng.After(4*time.Millisecond, func() { loop(i + 1) })
 	}
@@ -72,7 +72,7 @@ func TestRecoveryAfterDisturbanceBurst(t *testing.T) {
 	cl.RunFor(100 * time.Millisecond)
 
 	// A big one-shot stall while traffic flows.
-	cl.Workers[0].GPU(0).Dev.InjectDisturbance(50 * time.Millisecond)
+	cl.InjectDisturbance(0, 0, 50*time.Millisecond)
 
 	okAfter := 0
 	var loop func(i int)

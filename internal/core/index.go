@@ -113,6 +113,9 @@ func (c *Controller) inferCandidate(g *GPUMirror, mi *ModelInfo, now simclock.Ti
 		if b > mi.QueuedCount() {
 			continue
 		}
+		if mi.capped > 0 && mi.CapBatch(b) < b {
+			continue // a request in this batch caps it below b
+		}
 		est := c.EstimateExec(mi, b)
 		deadline := mi.MinDeadlineOfOldest(b)
 		if start.Add(est) > deadline {

@@ -16,7 +16,7 @@ import (
 // nModels models with Zipf-skewed popularity, exponential inter-arrival
 // gaps, and SLOs drawn from a small menu, for the given span.
 func randomWorkload(cl *Cluster, seed uint64, nModels int, rate float64, span time.Duration) {
-	names := cl.RegisterCopies("m", modelzoo.ResNet50(), nModels)
+	names, _ := cl.RegisterCopies("m", modelzoo.ResNet50(), nModels)
 	stream := rng.NewSource(seed).Stream("index-test")
 	zipf := stream.Zipf(1.2, len(names))
 	slos := []time.Duration{

@@ -46,6 +46,59 @@ type Metrics struct {
 	Success   telemetry.Counter
 	Failures  telemetry.Counter
 	SLOMisses telemetry.Counter // successes that exceeded the SLO end-to-end
+
+	// perModel and perTenant break client-observed outcomes down for
+	// the control plane's ModelStats/TenantStats (lazily allocated on
+	// a model/tenant's first response).
+	perModel  map[string]*modelCounters
+	perTenant map[string]*tenantCounters
+}
+
+// modelCounters aggregates one model's client-observed outcomes.
+type modelCounters struct {
+	requests, succeeded, failed uint64
+	withinSLO, sloMisses        uint64
+	coldStarts                  uint64
+	cancelled, rejected         uint64
+	timedOut, workerLost        uint64
+	latency                     *telemetry.Histogram
+}
+
+// tenantCounters aggregates one tenant's client-observed outcomes.
+type tenantCounters struct {
+	requests, succeeded, withinSLO uint64
+}
+
+// ModelStats is the per-model slice of the metrics, exposed through the
+// runtime control plane.
+type ModelStats struct {
+	Requests  uint64
+	Succeeded uint64
+	Failed    uint64
+	// WithinSLO counts successes inside their SLO; SLOMisses counts
+	// successes that exceeded it end-to-end.
+	WithinSLO uint64
+	SLOMisses uint64
+	// ColdStarts counts responses whose request arrived with the model
+	// not GPU-resident anywhere.
+	ColdStarts uint64
+	// Failure taxonomy (see Reason). WorkerLost counts requests whose
+	// in-flight work died with a failed worker.
+	Cancelled  uint64
+	Rejected   uint64
+	TimedOut   uint64
+	WorkerLost uint64
+	// Client-observed latency over all of the model's requests.
+	P50, P99, Max time.Duration
+	// GoodputMean is within-SLO responses per second of elapsed run.
+	GoodputMean float64
+}
+
+// TenantStats is the per-tenant slice of the metrics.
+type TenantStats struct {
+	Requests  uint64
+	Succeeded uint64
+	WithinSLO uint64
 }
 
 func newMetrics(interval time.Duration) *Metrics {
@@ -59,6 +112,8 @@ func newMetrics(interval time.Duration) *Metrics {
 		ColdStartThroughput: telemetry.NewTimeSeries(interval),
 		GPUUtil:             telemetry.NewUtilization(interval),
 		PCIUtil:             telemetry.NewUtilization(interval),
+		perModel:            make(map[string]*modelCounters),
+		perTenant:           make(map[string]*tenantCounters),
 	}
 }
 
@@ -113,13 +168,43 @@ func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Dur
 	m.LatencyAll.Observe(latency)
 	m.latencyHist(idx).Observe(latency)
 	m.Throughput.Incr(now)
+
+	mc := m.perModel[resp.Model]
+	if mc == nil {
+		mc = &modelCounters{latency: telemetry.NewHistogram()}
+		m.perModel[resp.Model] = mc
+	}
+	mc.requests++
+	mc.latency.Observe(latency)
+	if resp.ColdStart {
+		mc.coldStarts++
+	}
+	var tc *tenantCounters
+	if resp.Tenant != "" {
+		tc = m.perTenant[resp.Tenant]
+		if tc == nil {
+			tc = &tenantCounters{}
+			m.perTenant[resp.Tenant] = tc
+		}
+		tc.requests++
+	}
+
 	if resp.Success {
 		m.Success.Incr()
+		mc.succeeded++
+		if tc != nil {
+			tc.succeeded++
+		}
 		if latency <= slo {
 			m.LatencyGood.Observe(latency)
 			m.Goodput.Incr(now)
+			mc.withinSLO++
+			if tc != nil {
+				tc.withinSLO++
+			}
 		} else {
 			m.SLOMisses.Incr()
+			mc.sloMisses++
 		}
 		m.Batch.Add(now, float64(resp.Batch))
 		if resp.ColdStart {
@@ -128,10 +213,60 @@ func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Dur
 		}
 	} else {
 		m.Failures.Incr()
+		mc.failed++
+		switch resp.Reason {
+		case ReasonCancelled, ReasonUnregistered:
+			mc.cancelled++
+		case ReasonTimeout:
+			mc.timedOut++
+		case ReasonWorkerFailed:
+			mc.workerLost++
+		default:
+			mc.rejected++
+		}
 		if resp.ColdStart {
 			m.coldSet(idx)[resp.Model] = true
 		}
 	}
+}
+
+// ModelStats returns the per-model aggregate for name; ok is false when
+// the model has not produced any response yet. elapsed (the run's
+// virtual duration) normalises goodput.
+func (m *Metrics) ModelStats(name string, elapsed time.Duration) (ModelStats, bool) {
+	mc, ok := m.perModel[name]
+	if !ok {
+		return ModelStats{}, false
+	}
+	st := ModelStats{
+		Requests:   mc.requests,
+		Succeeded:  mc.succeeded,
+		Failed:     mc.failed,
+		WithinSLO:  mc.withinSLO,
+		SLOMisses:  mc.sloMisses,
+		ColdStarts: mc.coldStarts,
+		Cancelled:  mc.cancelled,
+		Rejected:   mc.rejected,
+		TimedOut:   mc.timedOut,
+		WorkerLost: mc.workerLost,
+		P50:        mc.latency.Percentile(50),
+		P99:        mc.latency.Percentile(99),
+		Max:        mc.latency.Max(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		st.GoodputMean = float64(mc.withinSLO) / s
+	}
+	return st, true
+}
+
+// TenantStats returns the per-tenant aggregate; ok is false for tenants
+// that have not produced any response.
+func (m *Metrics) TenantStats(tenant string) (TenantStats, bool) {
+	tc, ok := m.perTenant[tenant]
+	if !ok {
+		return TenantStats{}, false
+	}
+	return TenantStats{Requests: tc.requests, Succeeded: tc.succeeded, WithinSLO: tc.withinSLO}, true
 }
 
 // ColdModels returns the number of distinct models that had at least one

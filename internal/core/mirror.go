@@ -47,6 +47,10 @@ type GPUMirror struct {
 	// allocDemand is ℓ_g, the incrementally maintained sum of active
 	// models' per-replica demand shares on this GPU (Appendix B).
 	allocDemand time.Duration
+
+	// disabled marks the GPU unschedulable: its worker is draining or
+	// failed (control plane). Schedulers must skip disabled mirrors.
+	disabled bool
 }
 
 func newGPUMirror(workerID, gpu int, pageCacheBytes, pageSize int64) *GPUMirror {
@@ -72,6 +76,10 @@ func (g *GPUMirror) Resident(model string) (readyAt simclock.Time, ok bool) {
 	}
 	return 0, false
 }
+
+// Disabled reports whether this GPU's worker was drained or failed;
+// disabled mirrors must not receive new actions.
+func (g *GPUMirror) Disabled() bool { return g.disabled }
 
 // IsLoading reports whether a LOAD for model is in flight.
 func (g *GPUMirror) IsLoading(model string) bool {
@@ -113,6 +121,10 @@ func (g *GPUMirror) String() string {
 type workerHandle struct {
 	id   int
 	gpus []*GPUMirror
+	// draining: no new actions, in-flight work completes normally.
+	// failed: no new actions AND late results are dropped.
+	draining bool
+	failed   bool
 	// submit delivers an action to the worker over the simulated
 	// network, carrying payloadBytes of data (inference inputs are
 	// routed through the controller, §7); installed by the cluster
@@ -128,9 +140,14 @@ type ModelInfo struct {
 	name string
 	zoo  *modelzoo.Model
 
-	// queue holds queued requests, FIFO (deadline order for same-SLO
-	// clients).
+	// queue holds queued requests ordered by (priority desc, arrival):
+	// with the default priority 0 everywhere this is plain FIFO
+	// (deadline order for same-SLO clients).
 	queue []*Request
+
+	// capped counts queued requests carrying a positive MaxBatch, so
+	// the batch-cap check is free on the (common) uncapped path.
+	capped int
 
 	// demand is Appendix B's d_m: summed batch-1 execution estimates of
 	// queued requests.
@@ -233,7 +250,54 @@ func (mi *ModelInfo) MinDeadlineOfOldest(n int) simclock.Time {
 	return min
 }
 
-// PopBatch removes and returns up to n queued requests in FIFO order.
+// enqueue inserts r into the queue: before any queued request of
+// strictly lower priority, after everything of equal or higher priority
+// (stable FIFO within a level). With the default priority 0 everywhere
+// the scan terminates immediately and this is a plain append.
+func (mi *ModelInfo) enqueue(r *Request) {
+	if r.MaxBatch > 0 {
+		mi.capped++
+	}
+	i := len(mi.queue)
+	for i > 0 && mi.queue[i-1].Priority < r.Priority {
+		i--
+	}
+	if i == len(mi.queue) {
+		mi.queue = append(mi.queue, r)
+		return
+	}
+	mi.queue = append(mi.queue, nil)
+	copy(mi.queue[i+1:], mi.queue[i:])
+	mi.queue[i] = r
+}
+
+// CapBatch returns the largest batch size ≤ n that respects the
+// MaxBatch caps of the requests that would form it (the oldest
+// CapBatch(n) queued requests). With no capped requests queued it
+// returns n unchanged at zero cost.
+func (mi *ModelInfo) CapBatch(n int) int {
+	if mi.capped == 0 {
+		return n
+	}
+	if n > len(mi.queue) {
+		n = len(mi.queue)
+	}
+	for n > 1 {
+		min := n
+		for _, r := range mi.queue[:n] {
+			if r.MaxBatch > 0 && r.MaxBatch < min {
+				min = r.MaxBatch
+			}
+		}
+		if min >= n {
+			return n
+		}
+		n = min // a smaller batch has a (possibly smaller) cap; re-check
+	}
+	return n
+}
+
+// PopBatch removes and returns up to n queued requests in queue order.
 // Schedulers call this immediately before SendInfer.
 func (mi *ModelInfo) PopBatch(n int) []*Request {
 	if n > len(mi.queue) {
@@ -241,6 +305,11 @@ func (mi *ModelInfo) PopBatch(n int) []*Request {
 	}
 	out := make([]*Request, n)
 	copy(out, mi.queue[:n])
+	for _, r := range out {
+		if r.MaxBatch > 0 {
+			mi.capped--
+		}
+	}
 	remaining := len(mi.queue) - n
 	copy(mi.queue, mi.queue[n:])
 	for i := remaining; i < len(mi.queue); i++ {
@@ -254,6 +323,9 @@ func (mi *ModelInfo) PopBatch(n int) []*Request {
 func (mi *ModelInfo) removeRequest(r *Request) bool {
 	for i, q := range mi.queue {
 		if q == r {
+			if r.MaxBatch > 0 {
+				mi.capped--
+			}
 			copy(mi.queue[i:], mi.queue[i+1:])
 			mi.queue[len(mi.queue)-1] = nil
 			mi.queue = mi.queue[:len(mi.queue)-1]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -51,7 +52,7 @@ func TestMultiGPUWorkerRoutesActions(t *testing.T) {
 
 func TestManyModelsManyWorkers(t *testing.T) {
 	cl := testCluster(t, ClusterConfig{Workers: 3, GPUsPerWorker: 1})
-	names := cl.RegisterCopies("resnet18_v2", modelzoo.MustByName("resnet18_v2"), 24)
+	names, _ := cl.RegisterCopies("resnet18_v2", modelzoo.MustByName("resnet18_v2"), 24)
 	served := map[string]int{}
 	for round := 0; round < 3; round++ {
 		for _, n := range names {
@@ -138,27 +139,23 @@ func TestControllerAddWorkerOutOfOrderPanics(t *testing.T) {
 	c.AddWorker(3, 1, 1<<30, 1<<24, func(a *action.Action, _ int64) {})
 }
 
-func TestControllerRegisterDuplicatePanics(t *testing.T) {
+func TestControllerRegisterDuplicateError(t *testing.T) {
 	eng := simclock.NewEngine()
 	c := NewController(eng, Config{}, NewClockworkScheduler())
-	c.RegisterModel("m", modelzoo.ResNet50())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	c.RegisterModel("m", modelzoo.ResNet50())
+	if err := c.RegisterModel("m", modelzoo.ResNet50()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterModel("m", modelzoo.ResNet50()); !errors.Is(err, ErrDuplicateModel) {
+		t.Fatalf("want ErrDuplicateModel, got %v", err)
+	}
 }
 
-func TestControllerRegisterNilPanics(t *testing.T) {
+func TestControllerRegisterNilError(t *testing.T) {
 	eng := simclock.NewEngine()
 	c := NewController(eng, Config{}, NewClockworkScheduler())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	c.RegisterModel("m", nil)
+	if err := c.RegisterModel("m", nil); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("want ErrInvalidRequest, got %v", err)
+	}
 }
 
 func TestSendInferWithNoRequestsPanics(t *testing.T) {

@@ -11,12 +11,92 @@ import (
 	"clockwork/internal/simclock"
 )
 
+// Reason classifies why a request did not succeed. It replaces the
+// magic strings the first API shipped with ("cancelled"/"rejected"/
+// "timeout"); String() still renders those exact words so trace logs
+// and printed output stay stable.
+type Reason uint8
+
+// Failure reasons, in escalating order of how late the failure surfaced.
+const (
+	// ReasonNone means the request succeeded.
+	ReasonNone Reason = iota
+	// ReasonCancelled: the controller determined in advance that the SLO
+	// could not be met (admission control, §4.1), or the client cancelled
+	// the request while it was still queued.
+	ReasonCancelled
+	// ReasonRejected: a worker could not honour the action's timing
+	// window (a misprediction) and cancelled it.
+	ReasonRejected
+	// ReasonTimeout: the request's deadline passed while its action was
+	// in flight; the client learns of the failure at the deadline.
+	ReasonTimeout
+	// ReasonWorkerFailed: the worker executing the request was failed via
+	// the control plane; its in-flight work is lost.
+	ReasonWorkerFailed
+	// ReasonUnregistered: the target model was not registered (or was
+	// unregistered while the request was in transit or queued).
+	ReasonUnregistered
+)
+
+// String implements fmt.Stringer. ReasonNone renders as the empty
+// string, matching the old convention of "Reason is empty on success".
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return ""
+	case ReasonCancelled:
+		return "cancelled"
+	case ReasonRejected:
+		return "rejected"
+	case ReasonTimeout:
+		return "timeout"
+	case ReasonWorkerFailed:
+		return "worker-failed"
+	case ReasonUnregistered:
+		return "unregistered"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// SubmitSpec carries everything a caller may say about one inference
+// request. Model and SLO are required; the rest default to zero values
+// that reproduce the original Submit(model, slo) behaviour exactly.
+type SubmitSpec struct {
+	// Model is the registered instance name the request targets.
+	Model string
+	// SLO is the end-to-end latency objective; the controller derives
+	// the request's internal deadline from it.
+	SLO time.Duration
+	// Priority orders requests within a model's queue: higher-priority
+	// requests are served before lower-priority ones, FIFO within a
+	// priority level. The default 0 preserves pure FIFO.
+	Priority int
+	// Tenant labels the request for per-tenant accounting. Optional.
+	Tenant string
+	// MaxBatch, if > 0, caps the batch size this request may execute
+	// in (e.g. 1 forces solo execution for latency experiments).
+	MaxBatch int
+
+	// preCancelled marks a request the client cancelled while it was
+	// still in transit to the controller: it is accounted and answered
+	// (ReasonCancelled) on arrival, before the scheduler ever sees it.
+	// Set by the cluster layer via Handle.Cancel.
+	preCancelled bool
+}
+
 // Request is one client inference request as the controller sees it.
 type Request struct {
 	ID      uint64
 	Model   string
 	SLO     time.Duration
 	Arrival simclock.Time // at the controller
+
+	// Priority, Tenant and MaxBatch mirror the SubmitSpec fields.
+	Priority int
+	Tenant   string
+	MaxBatch int
 
 	InputBytes  int64
 	OutputBytes int64
@@ -48,12 +128,11 @@ const (
 type Response struct {
 	RequestID uint64
 	Model     string
+	Tenant    string
 	Success   bool
-	// Reason is empty on success; otherwise one of "cancelled" (the
-	// controller determined the SLO could not be met and rejected the
-	// request in advance), "rejected" (a worker cancelled the action),
-	// or "timeout".
-	Reason string
+	// Reason is ReasonNone on success; see the Reason constants for the
+	// failure taxonomy.
+	Reason Reason
 	// Batch is the batch size the request executed in (success only).
 	Batch int
 	// ColdStart reports whether the model was not GPU-resident anywhere

@@ -58,15 +58,20 @@ func (s *ClockworkScheduler) Attach(c *Controller) {
 }
 
 // OnRequest implements Scheduler: new demand may enable an INFER on any
-// GPU holding the model, or justify a LOAD anywhere.
+// GPU holding the model, or justify a LOAD anywhere. GPUs are visited
+// in controller order — iterating the residency map directly would make
+// the visitation order (and, for multi-resident models, the dispatch)
+// depend on Go's per-run map ordering.
 func (s *ClockworkScheduler) OnRequest(r *Request) {
 	mi, _ := s.c.Model(r.Model)
-	for g := range mi.ResidentOn() {
-		s.scheduleGPU(g)
-	}
-	// Cold or under-replicated demand: consider loads everywhere.
-	// (O(1) per saturated GPU thanks to the lookahead early-exit.)
+	resident := mi.ResidentOn()
 	for _, g := range s.c.GPUs() {
+		if resident[g] {
+			s.scheduleGPU(g)
+			continue
+		}
+		// Cold or under-replicated demand: consider loads everywhere.
+		// (O(1) per saturated GPU thanks to the lookahead early-exit.)
 		s.scheduleLoads(g)
 		s.armWake(g)
 	}
@@ -91,6 +96,9 @@ func (s *ClockworkScheduler) scheduleGPU(g *GPUMirror) {
 // scheduleInfers keeps g's INFER executor supplied with ≤ Lookahead of
 // predicted work.
 func (s *ClockworkScheduler) scheduleInfers(g *GPUMirror) {
+	if g.disabled {
+		return
+	}
 	cfg := s.c.Config()
 	for {
 		now := s.c.Now()
@@ -169,6 +177,9 @@ func (s *ClockworkScheduler) bestStrategyLinear(g *GPUMirror, now simclock.Time)
 // scheduleLoads keeps g's LOAD executor supplied with ≤ Lookahead of
 // predicted transfer work, choosing models by Appendix B load priority.
 func (s *ClockworkScheduler) scheduleLoads(g *GPUMirror) {
+	if g.disabled {
+		return
+	}
 	cfg := s.c.Config()
 	for {
 		now := s.c.Now()
@@ -405,6 +416,9 @@ func (s *ClockworkScheduler) nextVictimLinear(g *GPUMirror) *ModelInfo {
 // armWake schedules a re-evaluation for when g's saturated executors
 // drop below the lookahead threshold again.
 func (s *ClockworkScheduler) armWake(g *GPUMirror) {
+	if g.disabled {
+		return
+	}
 	cfg := s.c.Config()
 	now := s.c.Now()
 	wake := simclock.MaxTime

@@ -242,7 +242,7 @@ func TestRequestResponseStrings(t *testing.T) {
 	if ok.String() == "" {
 		t.Fatal("empty")
 	}
-	bad := Response{RequestID: 2, Model: "m", Reason: "cancelled"}
+	bad := Response{RequestID: 2, Model: "m", Reason: ReasonCancelled}
 	if bad.String() == "" {
 		t.Fatal("empty")
 	}

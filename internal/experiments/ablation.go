@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"clockwork"
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
@@ -55,7 +56,7 @@ func (r *AblationResult) String() string {
 // copies, 8 closed-loop clients each, 50ms SLO, one GPU) against a
 // cluster and summarises it.
 func ablationWorkload(label string, cl *core.Cluster, dur time.Duration) AblationRow {
-	names := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), 8)
+	names, _ := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), 8)
 	stop := simclock.Time(dur)
 	const slo = 50 * time.Millisecond
 	for _, n := range names {
@@ -86,9 +87,9 @@ func RunAblationLookahead(dur time.Duration, seed uint64) *AblationResult {
 	return &AblationResult{
 		Name: "scheduler lookahead",
 		Rows: runner.Map(sweep, func(la time.Duration) AblationRow {
-			cl := core.NewCluster(core.ClusterConfig{
+			cl := newSystemCluster(SystemClockwork, clockwork.Config{
 				Workers: 1, GPUsPerWorker: 1, Seed: seed,
-				Controller: core.Config{Lookahead: la},
+				Lookahead: la,
 			})
 			return ablationWorkload(la.String(), cl, dur)
 		}),
@@ -105,9 +106,9 @@ func RunAblationPredictor(dur time.Duration, seed uint64) *AblationResult {
 	return &AblationResult{
 		Name: "predictor window",
 		Rows: runner.Map([]int{1, 10, 100}, func(w int) AblationRow {
-			cl := core.NewCluster(core.ClusterConfig{
+			cl := newSystemCluster(SystemClockwork, clockwork.Config{
 				Workers: 1, GPUsPerWorker: 1, Seed: seed,
-				Controller: core.Config{ProfileWindow: w},
+				ProfileWindow: w,
 			})
 			return ablationWorkload(fmt.Sprintf("window=%d", w), cl, dur)
 		}),
@@ -121,22 +122,21 @@ func RunAblationLoadPolicy(dur time.Duration, seed uint64) *AblationResult {
 	if dur <= 0 {
 		dur = 10 * time.Second
 	}
-	policies := []core.LoadPolicy{core.LoadByPriority, core.LoadOldestFirst}
+	// The ablation variant is a registered policy of its own, so the
+	// sweep resolves both schedulers by name through the public API.
+	policies := []string{SystemClockwork, "clockwork-oldest-load"}
 	return &AblationResult{
 		Name: "LOAD selection policy",
-		Rows: runner.Map(policies, func(policy core.LoadPolicy) AblationRow {
+		Rows: runner.Map(policies, func(policy string) AblationRow {
 			label := "priority (paper)"
-			if policy == core.LoadOldestFirst {
+			if policy != SystemClockwork {
 				label = "oldest-first"
 			}
-			sched := core.NewClockworkScheduler()
-			sched.LoadSelection = policy
-			cl := core.NewCluster(core.ClusterConfig{
+			cl := newSystemCluster(policy, clockwork.Config{
 				Workers: 1, GPUsPerWorker: 1, Seed: seed,
-				Scheduler:      sched,
 				PageCacheBytes: 10 * 7 * 16 * 1024 * 1024,
 			})
-			names := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), 32)
+			names, _ := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), 32)
 			src := rng.NewSource(seed)
 			stop := simclock.Time(dur)
 			const slo = 100 * time.Millisecond

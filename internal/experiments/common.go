@@ -12,36 +12,32 @@ import (
 	"strings"
 	"time"
 
-	"clockwork/internal/baseline"
+	"clockwork"
 	"clockwork/internal/core"
 )
 
-// System names accepted by the comparison experiments.
+// System names accepted by the comparison experiments. They are policy
+// registry names; see clockwork.Policies.
 const (
-	SystemClockwork = "clockwork"
-	SystemClipper   = "clipper"
-	SystemINFaaS    = "infaas"
+	SystemClockwork = string(clockwork.PolicyClockwork)
+	SystemClipper   = string(clockwork.PolicyClipper)
+	SystemINFaaS    = string(clockwork.PolicyINFaaS)
 )
 
 // Systems lists the three systems of Fig 5.
 var Systems = []string{SystemClockwork, SystemClipper, SystemINFaaS}
 
-// newSystemCluster builds a cluster running the named system's policy.
-func newSystemCluster(system string, cfg core.ClusterConfig) *core.Cluster {
-	switch system {
-	case SystemClockwork:
-		// defaults
-	case SystemClipper:
-		cfg.Scheduler = baseline.NewClipper()
-		cfg.WorkerBestEffort = true
-		cfg.Controller.DisableAdmissionControl = true
-	case SystemINFaaS:
-		cfg.Scheduler = baseline.NewINFaaS()
-		cfg.Controller.DisableAdmissionControl = true
-	default:
-		panic("experiments: unknown system " + system)
+// newSystemCluster builds a cluster running the named system's policy
+// through the public API (the registry resolves the scheduler and the
+// baseline switches); the returned *core.Cluster is the experiment
+// harness's telemetry escape hatch into the same System.
+func newSystemCluster(system string, cfg clockwork.Config) *core.Cluster {
+	cfg.Policy = clockwork.Policy(system)
+	sys, err := clockwork.New(cfg)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	return core.NewCluster(cfg)
+	return sys.Cluster()
 }
 
 // fmtMS renders a duration as milliseconds with two decimals.

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"time"
 
-	"clockwork/internal/core"
+	"clockwork"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/runner"
 	"clockwork/internal/simclock"
@@ -92,12 +92,12 @@ func RunFig5(cfg Fig5Config) *Fig5Result {
 }
 
 func runFig5Cell(cfg Fig5Config, system string, slo time.Duration) Fig5Cell {
-	cl := newSystemCluster(system, core.ClusterConfig{
+	cl := newSystemCluster(system, clockwork.Config{
 		Workers: 1, GPUsPerWorker: 1,
 		Seed:            cfg.Seed,
 		MetricsInterval: time.Second,
 	})
-	names := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), cfg.Models)
+	names, _ := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), cfg.Models)
 
 	stop := simclock.Time(cfg.Warmup + cfg.Duration)
 	for _, name := range names {

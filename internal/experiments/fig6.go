@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"clockwork"
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
@@ -85,7 +86,7 @@ type Fig6Result struct {
 // RunFig6 reproduces Fig 6: serving thousands of models from one worker.
 func RunFig6(cfg Fig6Config) *Fig6Result {
 	cfg = cfg.withDefaults()
-	cl := core.NewCluster(core.ClusterConfig{
+	cl := newSystemCluster(SystemClockwork, clockwork.Config{
 		Workers: 1, GPUsPerWorker: 1,
 		PageCacheBytes:  cfg.PageCacheBytes,
 		Seed:            cfg.Seed,
@@ -93,7 +94,7 @@ func RunFig6(cfg Fig6Config) *Fig6Result {
 	})
 	minorName := "minor"
 	cl.RegisterModel(minorName, modelzoo.ResNet50())
-	majorNames := cl.RegisterCopies("major", modelzoo.ResNet50(), cfg.TotalModels)
+	majorNames, _ := cl.RegisterCopies("major", modelzoo.ResNet50(), cfg.TotalModels)
 
 	src := rng.NewSource(cfg.Seed)
 	minorStream := src.Stream("fig6.minor")

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"clockwork"
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
@@ -64,12 +65,12 @@ type Fig7Result struct {
 // RunFig7 reproduces Fig 7 (left) for one (N, R) configuration.
 func RunFig7(cfg Fig7Config) *Fig7Result {
 	cfg = cfg.withDefaults()
-	cl := core.NewCluster(core.ClusterConfig{
+	cl := newSystemCluster(SystemClockwork, clockwork.Config{
 		Workers: cfg.Workers, GPUsPerWorker: 1,
 		Seed:            cfg.Seed,
 		MetricsInterval: time.Second,
 	})
-	names := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), cfg.Models)
+	names, _ := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), cfg.Models)
 	base := modelzoo.ResNet50().ExecLatency(1)
 	perModel := cfg.TotalRate / float64(cfg.Models)
 	src := rng.NewSource(cfg.Seed)
@@ -202,13 +203,13 @@ type Fig7IsoResult struct {
 // and BC throughput as the LS SLO sweeps upward.
 func RunFig7Isolation(cfg Fig7IsoConfig) *Fig7IsoResult {
 	cfg = cfg.withDefaults()
-	cl := core.NewCluster(core.ClusterConfig{
+	cl := newSystemCluster(SystemClockwork, clockwork.Config{
 		Workers: cfg.Workers, GPUsPerWorker: 1,
 		Seed:            cfg.Seed,
 		MetricsInterval: time.Second,
 	})
-	lsNames := cl.RegisterCopies("ls", modelzoo.ResNet50(), cfg.LSModels)
-	bcNames := cl.RegisterCopies("bc", modelzoo.ResNet50(), cfg.BCModels)
+	lsNames, _ := cl.RegisterCopies("ls", modelzoo.ResNet50(), cfg.LSModels)
+	bcNames, _ := cl.RegisterCopies("bc", modelzoo.ResNet50(), cfg.BCModels)
 	base := modelzoo.ResNet50().ExecLatency(1)
 	src := rng.NewSource(cfg.Seed)
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"clockwork"
 	"clockwork/internal/core"
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
@@ -94,7 +95,7 @@ type Fig8Result struct {
 // trace over Clockwork.
 func RunFig8(cfg Fig8Config) *Fig8Result {
 	cfg = cfg.withDefaults()
-	cl := core.NewCluster(core.ClusterConfig{
+	cl := newSystemCluster(SystemClockwork, clockwork.Config{
 		Workers:          cfg.Workers,
 		GPUsPerWorker:    cfg.GPUsPerWorker,
 		Seed:             cfg.Seed,

@@ -80,6 +80,7 @@ type Worker struct {
 
 	inferStates map[uint64]*inferState
 	stats       Stats
+	failed      bool
 }
 
 // Stats counts worker-side action outcomes.
@@ -169,6 +170,18 @@ func (w *Worker) RegisterModel(name string, m *modelzoo.Model) {
 	w.models[name] = m
 }
 
+// UnregisterModel drops a model instance from host RAM (the control
+// plane's UnregisterModel; GPU pages are reclaimed by UNLOAD actions).
+func (w *Worker) UnregisterModel(name string) {
+	delete(w.models, name)
+}
+
+// Fail marks the worker failed: subsequently delivered actions are
+// dropped on the floor, simulating a crashed worker process. Results of
+// work already in progress may still be emitted; the controller drops
+// them.
+func (w *Worker) Fail() { w.failed = true }
+
 // HasModel reports whether the instance name is registered.
 func (w *Worker) HasModel(name string) bool {
 	_, ok := w.models[name]
@@ -183,6 +196,9 @@ func (w *Worker) PageCapacity(i int) int { return w.gpus[i].Pages.TotalPages() }
 
 // Submit delivers one action from the controller.
 func (w *Worker) Submit(a *action.Action) {
+	if w.failed {
+		return
+	}
 	if a.GPU < 0 || a.GPU >= len(w.gpus) {
 		panic(fmt.Sprintf("worker %d: action %v targets GPU %d of %d", w.cfg.ID, a, a.GPU, len(w.gpus)))
 	}

@@ -158,7 +158,7 @@ func TestFunctionKindStrings(t *testing.T) {
 
 func TestReplayerDrivesCluster(t *testing.T) {
 	cl := newCluster()
-	names := cl.RegisterCopies("resnet18_v2", modelzoo.MustByName("resnet18_v2"), 4)
+	names, _ := cl.RegisterCopies("resnet18_v2", modelzoo.MustByName("resnet18_v2"), 4)
 	s := rng.NewSource(7)
 	tr := SynthesizeMAF(s.Stream("trace"), MAFConfig{Functions: 20, Minutes: 3})
 	rp := NewReplayer(cl, s.Stream("replay"), tr, names, 100*time.Millisecond)

@@ -1,0 +1,162 @@
+package clockwork
+
+import (
+	"time"
+
+	"clockwork/internal/core"
+)
+
+// Reason classifies why a request did not succeed; ReasonNone means it
+// did. It replaces the magic strings "cancelled"/"rejected"/"timeout"
+// of the first API: String() still renders those words, so printed
+// output is unchanged, but callers now switch on constants.
+type Reason = core.Reason
+
+// The failure taxonomy, from earliest to latest point of failure.
+const (
+	// ReasonNone: the request succeeded.
+	ReasonNone = core.ReasonNone
+	// ReasonCancelled: admission control determined the SLO unmeetable
+	// and rejected the request in advance (§4.1), or the client
+	// cancelled it via Handle.Cancel while it was still queued.
+	ReasonCancelled = core.ReasonCancelled
+	// ReasonRejected: a worker could not honour the schedule (a timing
+	// misprediction) and cancelled the action.
+	ReasonRejected = core.ReasonRejected
+	// ReasonTimeout: the deadline passed while the request was in
+	// flight; the client learns of the failure at the deadline.
+	ReasonTimeout = core.ReasonTimeout
+	// ReasonWorkerFailed: the executing worker was failed via
+	// FailWorker; its in-flight work is lost.
+	ReasonWorkerFailed = core.ReasonWorkerFailed
+	// ReasonUnregistered: the model was unregistered while the request
+	// was in transit or queued.
+	ReasonUnregistered = core.ReasonUnregistered
+)
+
+// Typed errors returned by the public API; match with errors.Is.
+var (
+	ErrUnknownModel   = core.ErrUnknownModel
+	ErrDuplicateModel = core.ErrDuplicateModel
+	ErrModelBusy      = core.ErrModelBusy
+	ErrUnknownPolicy  = core.ErrUnknownPolicy
+	ErrNoSuchWorker   = core.ErrNoSuchWorker
+	ErrWorkerDown     = core.ErrWorkerDown
+	ErrInvalidRequest = core.ErrInvalidRequest
+)
+
+// Request describes one inference submission. Model and SLO are
+// required; the remaining fields are optional per-request choices the
+// controller folds into its global plan (the paper's thesis: every
+// performance-relevant choice is consolidated centrally — this struct
+// is how clients state theirs).
+type Request struct {
+	// Model is the registered instance name to serve.
+	Model string
+	// SLO is the end-to-end latency objective for this request.
+	SLO time.Duration
+	// Priority orders requests within a model's queue: higher values
+	// are served first, FIFO within a level. Default 0.
+	Priority int
+	// Tenant labels the request for per-tenant accounting (see
+	// TenantStats). Optional.
+	Tenant string
+	// MaxBatchSize, if > 0, caps the batch this request may execute in
+	// (1 forces solo execution).
+	MaxBatchSize int
+}
+
+// Result is the client-observed outcome of one inference request.
+type Result struct {
+	// RequestID is the controller-assigned request identifier.
+	RequestID uint64
+	// Model and Tenant echo the submission, for shared callbacks.
+	Model  string
+	Tenant string
+	// Success reports whether the inference executed and returned.
+	Success bool
+	// Reason is ReasonNone on success; otherwise it explains the
+	// failure (see the Reason constants).
+	Reason Reason
+	// Latency is the end-to-end client-observed latency.
+	Latency time.Duration
+	// Batch is the batch size the request executed in.
+	Batch int
+	// ColdStart reports whether the model was not GPU-resident when the
+	// request arrived.
+	ColdStart bool
+}
+
+// Handle tracks one submitted request from the client side. The
+// simulation is single-threaded; inspect or cancel between Run calls.
+type Handle struct {
+	h *core.Handle
+}
+
+// ID returns the controller-assigned request ID (0 while the request is
+// still in transit to the controller).
+func (h *Handle) ID() uint64 { return h.h.ID() }
+
+// Done reports whether the request has reached a final outcome.
+func (h *Handle) Done() bool { return h.h.Done() }
+
+// Outcome returns the final result; ok is false while pending.
+func (h *Handle) Outcome() (Result, bool) {
+	resp, latency, done := h.h.Outcome()
+	if !done {
+		return Result{}, false
+	}
+	return resultOf(resp, latency), true
+}
+
+// Cancel requests cancellation and reports whether it took effect:
+// still-queued requests cancel immediately, in-transit requests cancel
+// deterministically on arrival at the controller. Only a request
+// already handed to a worker cannot be clawed back (§4.2); then Cancel
+// reports false and the request runs to its normal outcome.
+func (h *Handle) Cancel() bool { return h.h.Cancel() }
+
+func resultOf(r core.Response, l time.Duration) Result {
+	return Result{
+		RequestID: r.RequestID,
+		Model:     r.Model,
+		Tenant:    r.Tenant,
+		Success:   r.Success,
+		Reason:    r.Reason,
+		Latency:   l,
+		Batch:     r.Batch,
+		ColdStart: r.ColdStart,
+	}
+}
+
+// SubmitRequest issues an inference request with full per-request
+// options and returns a client-side handle. onDone (may be nil) runs
+// when the response reaches the client. Unknown models and malformed
+// specs are typed errors (ErrUnknownModel, ErrInvalidRequest) — the
+// submission path no longer silently accepts unregistered names.
+func (s *System) SubmitRequest(req Request, onDone func(Result)) (*Handle, error) {
+	spec := core.SubmitSpec{
+		Model:    req.Model,
+		SLO:      req.SLO,
+		Priority: req.Priority,
+		Tenant:   req.Tenant,
+		MaxBatch: req.MaxBatchSize,
+	}
+	var cb func(core.Response, time.Duration)
+	if onDone != nil {
+		cb = func(r core.Response, l time.Duration) { onDone(resultOf(r, l)) }
+	}
+	h, err := s.cluster.SubmitRequest(spec, cb)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{h: h}, nil
+}
+
+// Submit issues an inference request with default options — the
+// convenience path for plain (model, SLO) submissions. onDone (may be
+// nil) runs when the response reaches the client.
+func (s *System) Submit(model string, slo time.Duration, onDone func(Result)) error {
+	_, err := s.SubmitRequest(Request{Model: model, SLO: slo}, onDone)
+	return err
+}

@@ -1,0 +1,36 @@
+// Package workload is the public face of the trace-synthesis harness:
+// the Microsoft-Azure-Functions-like workload of §6.5 (heavy, cold,
+// bursty and periodic function classes) behind a stable import path, so
+// tooling can generate traces without reaching into clockwork/internal.
+package workload
+
+import (
+	"clockwork/internal/rng"
+	"clockwork/internal/workload"
+)
+
+// MAFConfig parameterises trace synthesis.
+type MAFConfig = workload.MAFConfig
+
+// Trace is a synthesized multi-function invocation trace.
+type Trace = workload.Trace
+
+// FunctionTrace is one function's invocation counts per minute.
+type FunctionTrace = workload.FunctionTrace
+
+// FunctionKind classifies a synthetic serverless function workload.
+type FunctionKind = workload.FunctionKind
+
+// Function workload classes (the §6.5 mixture).
+const (
+	KindHeavy    = workload.KindHeavy
+	KindCold     = workload.KindCold
+	KindBursty   = workload.KindBursty
+	KindPeriodic = workload.KindPeriodic
+)
+
+// SynthesizeMAF generates a Microsoft-Azure-Functions-like trace.
+// Equal (seed, cfg) pairs give identical traces.
+func SynthesizeMAF(seed uint64, cfg MAFConfig) *Trace {
+	return workload.SynthesizeMAF(rng.NewSource(seed).Stream("tracegen"), cfg)
+}
