@@ -537,3 +537,109 @@ func TestControlPlaneDeterminism(t *testing.T) {
 		t.Fatalf("mid-run AddWorker/DrainWorker is nondeterministic:\n%.200s\nvs\n%.200s", a, b)
 	}
 }
+
+// TestShardedPublicAPI round-trips the sharded control plane through
+// the public surface alone: construction with Shards, ownership
+// lookup, per-shard stats, manual migration and rebalancing, and the
+// geometry validation error.
+func TestShardedPublicAPI(t *testing.T) {
+	sys := mustSys(t, clockwork.Config{Workers: 4, GPUsPerWorker: 1, Shards: 2, Seed: 1})
+	if sys.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d", sys.ShardCount())
+	}
+	names, err := sys.RegisterCopies("resnet", "resnet50_v1b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succeeded := 0
+	for round := 0; round < 5; round++ {
+		for _, n := range names {
+			if err := sys.Submit(n, 250*time.Millisecond, func(r clockwork.Result) {
+				if r.Success {
+					succeeded++
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.RunFor(100 * time.Millisecond)
+	}
+	sys.RunFor(time.Second)
+	if succeeded == 0 {
+		t.Fatal("no request succeeded on the sharded system")
+	}
+	sum := sys.Summary()
+	var binned uint64
+	for i := 0; i < sys.ShardCount(); i++ {
+		st, err := sys.ShardStats(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binned += st.Requests
+	}
+	if binned != sum.Requests {
+		t.Fatalf("shard bins sum to %d, Summary.Requests = %d", binned, sum.Requests)
+	}
+	if _, err := sys.ShardStats(7); !errors.Is(err, clockwork.ErrNoSuchShard) {
+		t.Fatalf("want ErrNoSuchShard, got %v", err)
+	}
+
+	// Manual migration through the public API.
+	from, ok := sys.ShardOf(names[0])
+	if !ok {
+		t.Fatal("ShardOf unknown for a registered model")
+	}
+	if err := sys.MigrateModel(names[0], (from+1)%2); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := sys.ShardOf(names[0]); s != (from+1)%2 {
+		t.Fatalf("ShardOf after migrate = %d", s)
+	}
+	if sys.Migrations() == 0 {
+		t.Fatal("Migrations() did not count the manual move")
+	}
+	sys.Rebalance() // must not panic or disturb serving
+	ok2 := false
+	sys.Submit(names[0], time.Second, func(r clockwork.Result) { ok2 = r.Success })
+	sys.RunFor(2 * time.Second)
+	if !ok2 {
+		t.Fatal("migrated model stopped serving")
+	}
+
+	// Geometry validation: more shards than workers is a construction
+	// error, not a panic.
+	if _, err := clockwork.New(clockwork.Config{Workers: 1, Shards: 4}); err == nil {
+		t.Fatal("want error for Shards > Workers")
+	}
+}
+
+// TestShardedSummaryMatchesUnshardedWorkload: the same deterministic
+// workload must complete fully on 1 and 2 shards; outcome totals may
+// differ (different scheduling domains) but both must account for
+// every request exactly once.
+func TestShardedSummaryMatchesUnshardedWorkload(t *testing.T) {
+	run := func(shards int) clockwork.Summary {
+		sys := mustSys(t, clockwork.Config{Workers: 2, GPUsPerWorker: 1, Shards: shards, Seed: 9})
+		names, err := sys.RegisterCopies("m", "resnet50_v1b", 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 10; round++ {
+			for _, n := range names {
+				sys.Submit(n, 200*time.Millisecond, nil)
+			}
+			sys.RunFor(50 * time.Millisecond)
+		}
+		sys.RunFor(time.Second)
+		return sys.Summary()
+	}
+	for _, shards := range []int{1, 2} {
+		s := run(shards)
+		if s.Requests != 60 {
+			t.Fatalf("shards=%d: %d of 60 requests accounted", shards, s.Requests)
+		}
+		if s.Succeeded+s.Failed != 60 {
+			t.Fatalf("shards=%d: outcomes %d+%d don't cover 60", shards, s.Succeeded, s.Failed)
+		}
+	}
+}

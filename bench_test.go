@@ -132,10 +132,10 @@ func BenchmarkFig9(b *testing.B) {
 	}
 }
 
-// BenchmarkScaleTable regenerates the §6.5 scale table.
-func BenchmarkScaleTable(b *testing.B) {
+// BenchmarkSLOScaleTable regenerates the §6.5 tighter-SLOs table.
+func BenchmarkSLOScaleTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunScale(experiments.ScaleConfig{
+		r := experiments.RunSLOScale(experiments.SLOScaleConfig{
 			Workers: 2, GPUsPerWorker: 2,
 			Functions: 400, Minutes: 3, Copies: 2, Seed: uint64(i),
 		})

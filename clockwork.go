@@ -1,55 +1,3 @@
-// Package clockwork is a Go reproduction of "Serving DNNs like
-// Clockwork: Performance Predictability from the Bottom Up" (Gujarati et
-// al., OSDI 2020): a distributed model serving system that consolidates
-// every performance-relevant choice in a central controller so that DNN
-// inference's natural determinism survives all the way to the client,
-// yielding tail latencies that track SLOs at the 99.99th+ percentile.
-//
-// The hardware substrate (GPU execution, PCIe transfers, cluster
-// network) is simulated and calibrated against the paper's published
-// profiles (Appendix A), and the whole system runs on a deterministic
-// virtual clock: an 8-hour trace replays in seconds, bit-identically for
-// a given seed. See DESIGN.md for the substitution rationale and
-// EXPERIMENTS.md for paper-vs-measured results.
-//
-// # Quick start
-//
-//	sys, err := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1})
-//	if err != nil {
-//		log.Fatal(err)
-//	}
-//	sys.RegisterModel("my-resnet", "resnet50_v1b")
-//	sys.SubmitRequest(clockwork.Request{
-//		Model: "my-resnet",
-//		SLO:   100 * time.Millisecond,
-//	}, func(r clockwork.Result) {
-//		fmt.Println(r.Success, r.Reason, r.Latency)
-//	})
-//	sys.RunFor(time.Second)
-//
-// Requests carry per-request options — Priority, Tenant, and a batch
-// cap (MaxBatchSize) — and report typed outcomes: Result.Reason is a
-// Reason enum (ReasonCancelled, ReasonRejected, ReasonTimeout, …), not
-// a string. SubmitRequest returns a Handle for client-side inspection
-// and best-effort cancellation.
-//
-// # Policies
-//
-// Serving policies are resolved by name through a registry. The paper's
-// scheduler ("clockwork"), its ablation variant
-// ("clockwork-oldest-load"), and the two §6.1 baselines ("clipper",
-// "infaas") self-register; external schedulers plug in with
-// RegisterPolicy without touching New. Unknown policy names make New
-// return an error that lists everything registered.
-//
-// # Runtime control plane
-//
-// A running System can be reconfigured live: AddWorker scales out,
-// DrainWorker stops scheduling onto a worker while in-flight work
-// finishes, FailWorker simulates an abrupt worker loss, and
-// UnregisterModel retires a model. ModelStats and TenantStats expose
-// per-model and per-tenant goodput/latency/cold-start counters, and
-// InjectDisturbance reproduces the paper's §4.3 external slowdowns.
 package clockwork
 
 import (
@@ -66,6 +14,16 @@ type Config struct {
 	Workers int
 	// GPUsPerWorker is the number of GPUs per worker (default 1).
 	GPUsPerWorker int
+	// Shards partitions the control plane into this many scheduler
+	// shards (default 1 — the paper's centralized controller, which its
+	// §8 names as the scaling bottleneck). Each shard schedules a
+	// disjoint slice of the workers and a disjoint subset of the
+	// models; a periodic rebalancer migrates models between shards when
+	// demand skews. Requires Workers >= Shards. See ARCHITECTURE.md.
+	Shards int
+	// RebalanceInterval is the cross-shard rebalancer's virtual-time
+	// period (default 1s; meaningful only with Shards > 1).
+	RebalanceInterval time.Duration
 	// Policy selects the scheduler by registry name (default
 	// PolicyClockwork). See RegisterPolicy and Policies.
 	Policy Policy
@@ -99,13 +57,15 @@ type System struct {
 // registered policy (it does not panic).
 func New(cfg Config) (*System, error) {
 	ccfg := core.ClusterConfig{
-		Workers:          cfg.Workers,
-		GPUsPerWorker:    cfg.GPUsPerWorker,
-		Seed:             cfg.Seed,
-		PageCacheBytes:   cfg.PageCacheBytes,
-		NoNoise:          cfg.ExactTiming,
-		MetricsInterval:  cfg.MetricsInterval,
-		ZeroLengthInputs: cfg.ZeroLengthInputs,
+		Workers:           cfg.Workers,
+		GPUsPerWorker:     cfg.GPUsPerWorker,
+		Shards:            cfg.Shards,
+		RebalanceInterval: cfg.RebalanceInterval,
+		Seed:              cfg.Seed,
+		PageCacheBytes:    cfg.PageCacheBytes,
+		NoNoise:           cfg.ExactTiming,
+		MetricsInterval:   cfg.MetricsInterval,
+		ZeroLengthInputs:  cfg.ZeroLengthInputs,
 		Controller: core.Config{
 			Lookahead:     cfg.Lookahead,
 			ProfileWindow: cfg.ProfileWindow,
@@ -158,10 +118,11 @@ type Summary struct {
 	ColdStarts uint64
 }
 
-// Summary returns current aggregate metrics.
+// Summary returns current aggregate metrics, summed across all
+// scheduler shards.
 func (s *System) Summary() Summary {
 	m := s.cluster.Metrics
-	st := s.cluster.Ctl.Stats()
+	st := s.cluster.Stats()
 	elapsed := s.Now().Seconds()
 	var goodput float64
 	if elapsed > 0 {
@@ -194,7 +155,11 @@ func (s *System) LatencyPercentile(p float64) time.Duration {
 // Deprecated: this is an escape hatch for experiment harnesses that
 // need raw telemetry (per-bucket time series, the controller's
 // prediction-error trackers). Application code should use the public
-// surface — Submit/SubmitRequest, the control plane, Summary,
-// ModelStats — which covers everything the paper's API exposes; the
+// control-plane API instead — Submit/SubmitRequest, AddWorker/
+// DrainWorker/FailWorker, UnregisterModel, Summary, ModelStats/
+// TenantStats/ShardStats, and the shard operations ShardOf/
+// MigrateModel/Rebalance — which covers everything the paper's API
+// exposes (see ARCHITECTURE.md). Note that on a sharded system the
+// returned cluster's Ctl field is shard 0's controller only; the
 // accessor will eventually be unexported.
 func (s *System) Cluster() *core.Cluster { return s.cluster }

@@ -1,6 +1,7 @@
 package clockwork
 
 import (
+	"fmt"
 	"time"
 
 	"clockwork/internal/core"
@@ -44,14 +45,56 @@ const (
 	WorkerFailed   = core.WorkerFailed
 )
 
-// WorkerStateOf returns the lifecycle state of worker id.
+// WorkerStateOf returns the lifecycle state of worker id, routed to the
+// shard that owns the worker.
 func (s *System) WorkerStateOf(id int) (WorkerState, error) {
-	return s.cluster.Ctl.WorkerStateOf(id)
+	return s.cluster.WorkerStateOf(id)
 }
 
-// Workers returns the number of workers ever added; drained and failed
-// workers keep their IDs.
-func (s *System) Workers() int { return s.cluster.Ctl.WorkerCount() }
+// Workers returns the number of workers ever added, across all shards;
+// drained and failed workers keep their IDs.
+func (s *System) Workers() int { return s.cluster.WorkerCount() }
+
+// ---- sharded control plane ----
+
+// ShardCount returns the number of scheduler shards (1 unless
+// Config.Shards partitioned the control plane).
+func (s *System) ShardCount() int { return s.cluster.ShardCount() }
+
+// ShardOf reports which shard currently owns model — its consistent
+// initial placement, or wherever the rebalancer moved it since.
+func (s *System) ShardOf(model string) (int, bool) { return s.cluster.ShardOf(model) }
+
+// Migrations returns the number of cross-shard model migrations so far
+// (periodic rebalancer plus manual MigrateModel calls). Always 0 with
+// one shard.
+func (s *System) Migrations() uint64 { return s.cluster.Migrations() }
+
+// MigrateModel moves a model (and its queued requests, losslessly) to
+// the given shard — the manual override of the periodic rebalancer. A
+// model with in-flight actions returns ErrModelBusy; run the clock and
+// retry.
+func (s *System) MigrateModel(model string, shard int) error {
+	return s.cluster.MigrateModel(model, shard)
+}
+
+// Rebalance runs one cross-shard rebalance pass immediately (in
+// addition to the periodic ones) and returns the number of models
+// migrated. A no-op with one shard.
+func (s *System) Rebalance() int { return s.cluster.RebalanceOnce() }
+
+// ShardStats is one shard's slice of the client-observed outcome
+// counters.
+type ShardStats = core.ShardBin
+
+// ShardStats returns shard i's outcome counters (responses are
+// attributed to the shard owning the model at completion).
+func (s *System) ShardStats(i int) (ShardStats, error) {
+	if i < 0 || i >= s.cluster.ShardCount() {
+		return ShardStats{}, fmt.Errorf("%w: %d (have %d)", ErrNoSuchShard, i, s.cluster.ShardCount())
+	}
+	return s.cluster.Metrics.ShardStats(i), nil
+}
 
 // InjectDisturbance stalls one GPU's execution engine for d — the §4.3
 // class of external slowdowns (thermal throttling, maintenance daemons)

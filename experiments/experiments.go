@@ -52,7 +52,13 @@ type (
 	Fig8Result = experiments.Fig8Result
 	// Fig9Result: controller prediction-error telemetry.
 	Fig9Result = experiments.Fig9Result
-	// ScaleConfig / ScaleResult: the §6.5 scale table.
+	// SLOScaleConfig / SLOScaleResult: the §6.5 tighter-SLOs-at-scale
+	// table.
+	SLOScaleConfig = experiments.SLOScaleConfig
+	SLOScaleResult = experiments.SLOScaleResult
+	// ScaleConfig / ScaleResult: the control-plane scale scenario — the
+	// same ≥1M-request, ≥16k-model workload replayed over 1/4/16
+	// scheduler shards.
 	ScaleConfig = experiments.ScaleConfig
 	ScaleResult = experiments.ScaleResult
 	// AblationResult / PagingResult: DESIGN.md ablations.
@@ -70,6 +76,7 @@ var (
 	RunFig7Isolation      = experiments.RunFig7Isolation
 	RunFig8               = experiments.RunFig8
 	RunFig9               = experiments.RunFig9
+	RunSLOScale           = experiments.RunSLOScale
 	RunScale              = experiments.RunScale
 	RunAblationLookahead  = experiments.RunAblationLookahead
 	RunAblationPredictor  = experiments.RunAblationPredictor

@@ -1,0 +1,15 @@
+// Package action defines the command vocabulary between Clockwork's
+// controller and its workers (§4.2, §4.4): LOAD, UNLOAD and INFER
+// actions, each carrying an [earliest, latest] execution window, and the
+// results workers report back.
+//
+// Actions replace RPCs: they either communicate a state change or a task
+// with an exact time budget. A worker that cannot start an action inside
+// its window rejects it instead of executing late — best-effort
+// remediation is deliberately absent so mispredictions never cascade.
+//
+// In the request lifecycle (ARCHITECTURE.md), actions sit between the
+// control plane and the data plane: a scheduler decision becomes an
+// Action, travels controller→worker over the simulated network, and
+// comes back as a Result that updates the controller's mirrors.
+package action

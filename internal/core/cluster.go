@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"clockwork/internal/action"
@@ -14,8 +15,8 @@ import (
 	"clockwork/internal/worker"
 )
 
-// ClusterConfig assembles a whole serving system: workers, controller,
-// network, and client-side metrics.
+// ClusterConfig assembles a whole serving system: workers, controller
+// shards, network, and client-side metrics.
 type ClusterConfig struct {
 	Workers       int
 	GPUsPerWorker int
@@ -32,11 +33,33 @@ type ClusterConfig struct {
 
 	Seed uint64
 
+	// Shards partitions the control plane into this many scheduler
+	// shards (default 1 — the paper's centralized controller). Each
+	// shard runs its own controller and scheduler over a disjoint slice
+	// of the cluster's workers (and therefore GPUs) and a disjoint
+	// subset of models, all on the shared event engine; see shard.go
+	// and rebalance.go. Requires Workers >= Shards so no shard owns
+	// zero GPUs.
+	Shards int
+
+	// RebalanceInterval is the cross-shard rebalancer's period (default
+	// 1s of virtual time; only armed when Shards > 1). RebalanceFactor
+	// is the demand-skew trigger: a rebalance pass migrates models when
+	// the hottest shard's demand exceeds factor × the coldest's
+	// (default 1.5). MaxMigrations bounds migrations per pass
+	// (default 4).
+	RebalanceInterval time.Duration
+	RebalanceFactor   float64
+	MaxMigrations     int
+
 	// Controller configuration and scheduler. A nil Scheduler selects
 	// the paper's ClockworkScheduler; NewClusterWithPolicy resolves
-	// schedulers by registry name instead.
-	Controller Config
-	Scheduler  Scheduler
+	// schedulers by registry name instead. With Shards > 1 every shard
+	// needs its own scheduler instance: set NewScheduler (a factory)
+	// instead of Scheduler.
+	Controller   Config
+	Scheduler    Scheduler
+	NewScheduler func() Scheduler
 
 	// Network shape. Client bandwidth 0 = unconstrained aggregate
 	// (clients live on many machines); worker links default to 10Gbps.
@@ -56,7 +79,7 @@ type ClusterConfig struct {
 	// the paper's plots).
 	MetricsInterval time.Duration
 
-	// Trace, if non-nil, captures the controller's full decision stream
+	// Trace, if non-nil, captures the controllers' full decision stream
 	// (requests, actions, results, responses) for §7-style performance
 	// clarity: per-request time breakdowns and action audits.
 	Trace *tracelog.Log
@@ -68,6 +91,18 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	}
 	if c.GPUsPerWorker <= 0 {
 		c.GPUsPerWorker = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.RebalanceInterval <= 0 {
+		c.RebalanceInterval = time.Second
+	}
+	if c.RebalanceFactor <= 1 {
+		c.RebalanceFactor = 1.5
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 4
 	}
 	if c.MetricsInterval <= 0 {
 		c.MetricsInterval = time.Minute
@@ -88,38 +123,79 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	return c
 }
 
-// Cluster is a fully wired Clockwork deployment on a single event engine.
+// Cluster is a fully wired Clockwork deployment on a single event
+// engine. With ClusterConfig.Shards == 1 (the default) it is the
+// paper's system: one centralized controller owning every GPU. With
+// Shards == N the control plane is partitioned: Ctls holds one
+// controller per shard, each owning a disjoint slice of workers and a
+// disjoint subset of models, with submissions routed by model
+// ownership and a periodic rebalancer migrating models between shards
+// when demand skews (see rebalance.go).
 type Cluster struct {
-	Eng     *simclock.Engine
+	Eng *simclock.Engine
+	// Ctl is shard 0's controller — the entire control plane when
+	// Shards == 1, kept as the compatibility handle for experiment
+	// harnesses that read raw controller telemetry. Sharded callers
+	// iterate Ctls or use the cluster-level aggregates (Stats,
+	// ShardCount, ShardOf).
 	Ctl     *Controller
+	Ctls    []*Controller
 	Workers []*worker.Worker
 	Metrics *Metrics
 
 	cfg        ClusterConfig
 	src        *rng.Source
 	clientLink *network.Duplex
+
+	// ---- shard bookkeeping (cluster-global; controllers only know
+	// their own slice) ----
+
+	// modelShard maps every registered model to its current owning
+	// shard; the initial assignment is a consistent hash of the name,
+	// mutated only by migration. modelOrder preserves cluster-global
+	// registration order (worker pre-loads replay it deterministically)
+	// and zoos keeps each instance's catalogue entry for routing-layer
+	// byte accounting.
+	modelShard map[string]int
+	modelOrder []string
+	zoos       map[string]*modelzoo.Model
+
+	// workerShard maps global worker ID → owning shard (assignment is
+	// id mod Shards, so runtime scale-out stripes deterministically).
+	workerShard []int
+
+	migrations uint64
 }
 
 // NewCluster builds a deployment. Register models with RegisterModel (or
 // RegisterCopies), then drive load via Submit and run the engine.
+// Invalid shard geometry (more shards than workers, or a single
+// Scheduler instance shared across shards) panics: both are
+// construction-time programming errors. NewClusterWithPolicy returns
+// them as errors instead.
 func NewCluster(cfg ClusterConfig) *Cluster {
 	cfg = cfg.withDefaults()
-	eng := simclock.NewEngine()
-
-	sched := cfg.Scheduler
-	if sched == nil {
-		sched = NewClockworkScheduler()
+	if err := cfg.validateShards(); err != nil {
+		panic("core: " + err.Error())
 	}
-	ctl := NewController(eng, cfg.Controller, sched)
+	eng := simclock.NewEngine()
 
 	cl := &Cluster{
 		Eng:        eng,
-		Ctl:        ctl,
 		cfg:        cfg,
 		src:        rng.NewSource(cfg.Seed),
 		clientLink: network.NewDuplex(eng),
 		Metrics:    newMetrics(cfg.MetricsInterval),
+		modelShard: make(map[string]int),
+		zoos:       make(map[string]*modelzoo.Model),
 	}
+	for i := 0; i < cfg.Shards; i++ {
+		ccfg := cfg.Controller
+		ccfg.IDStart = uint64(i)
+		ccfg.IDStride = uint64(cfg.Shards)
+		cl.Ctls = append(cl.Ctls, NewController(eng, ccfg, cl.newScheduler()))
+	}
+	cl.Ctl = cl.Ctls[0]
 	cl.clientLink.AtoB.Latency = cfg.NetLatency
 	cl.clientLink.BtoA.Latency = cfg.NetLatency
 	cl.clientLink.AtoB.BytesPerSecond = cfg.ClientBandwidth
@@ -128,15 +204,71 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	for i := 0; i < cfg.Workers; i++ {
 		cl.addWorker()
 	}
+	if cfg.Shards > 1 {
+		cl.armRebalancer()
+	}
 	return cl
 }
 
+func (c ClusterConfig) validateShards() error {
+	if c.Shards > c.Workers {
+		return fmt.Errorf("%d shards need at least as many workers (have %d)", c.Shards, c.Workers)
+	}
+	if c.Shards > 1 && c.NewScheduler == nil && c.Scheduler != nil {
+		return fmt.Errorf("Shards=%d needs NewScheduler (a per-shard factory); a single Scheduler instance cannot drive multiple shards", c.Shards)
+	}
+	return nil
+}
+
+// newScheduler mints one shard's scheduler: the factory when set, the
+// single configured instance otherwise (Shards == 1 only), the paper's
+// scheduler by default.
+func (cl *Cluster) newScheduler() Scheduler {
+	switch {
+	case cl.cfg.NewScheduler != nil:
+		return cl.cfg.NewScheduler()
+	case cl.cfg.Scheduler != nil:
+		return cl.cfg.Scheduler
+	default:
+		return NewClockworkScheduler()
+	}
+}
+
+// shardForName is the consistent initial model→shard assignment: an
+// FNV-1a hash of the instance name mod Shards, so placement is a pure
+// function of (name, shard count) — independent of registration order
+// and stable across runs.
+func (cl *Cluster) shardForName(name string) int {
+	if len(cl.Ctls) == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum64() % uint64(len(cl.Ctls)))
+}
+
+// ctlForModel resolves the controller that currently owns model. The
+// fallback shard covers names no longer (or never) registered: the
+// chosen controller answers with ReasonUnregistered, so any shard is
+// semantically correct — using the submission-time owner keeps the
+// accounting deterministic.
+func (cl *Cluster) ctlForModel(model string, fallback int) *Controller {
+	if s, ok := cl.modelShard[model]; ok {
+		return cl.Ctls[s]
+	}
+	return cl.Ctls[fallback]
+}
+
 // addWorker constructs one worker with the cluster's geometry, wires its
-// network link and controller mirrors, and returns its ID. Worker RNG
-// streams derive from the worker ID, so a worker added at runtime gets
-// the same noise stream it would have had at startup.
+// network link and its owning shard's controller mirrors, and returns
+// its global ID. Worker RNG streams derive from the worker ID — not the
+// shard — so a given worker behaves identically whatever the shard
+// count, and a worker added at runtime gets the same noise stream it
+// would have had at startup.
 func (cl *Cluster) addWorker() int {
 	id := len(cl.Workers)
+	shard := id % len(cl.Ctls)
+	ctl := cl.Ctls[shard]
 	wcfg := worker.Config{
 		ID:             id,
 		GPUs:           cl.cfg.GPUsPerWorker,
@@ -155,7 +287,7 @@ func (cl *Cluster) addWorker() int {
 	eng := cl.Eng
 	wi := w
 	li := link
-	cl.Ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
+	ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
 		func(a *action.Action, payloadBytes int64) {
 			if cl.cfg.ZeroLengthInputs {
 				payloadBytes = 0
@@ -187,20 +319,25 @@ func (cl *Cluster) addWorker() int {
 					Duration: r.Duration, Status: r.Status.String(),
 				})
 			}
-			cl.Ctl.HandleResult(r)
+			ctl.HandleResult(r)
 		})
 	}
 	// Bring the new worker up with every model registered so far
-	// (§5.1: workers pre-load all models into host RAM).
-	cl.Ctl.EachModel(w.RegisterModel)
+	// (§5.1: workers pre-load all models into host RAM — shard
+	// ownership partitions scheduling, not host memory, which is what
+	// makes model migration a pure control-plane operation).
+	for _, name := range cl.modelOrder {
+		w.RegisterModel(name, cl.zoos[name])
+	}
 	cl.Workers = append(cl.Workers, w)
+	cl.workerShard = append(cl.workerShard, shard)
 	cl.Metrics.attachGPUs(w)
 	return id
 }
 
 func outputBytesOf(cl *Cluster, model string) int64 {
-	if mi, ok := cl.Ctl.Model(model); ok {
-		return mi.Zoo().OutputBytes()
+	if zoo, ok := cl.zoos[model]; ok {
+		return zoo.OutputBytes()
 	}
 	return 0
 }
@@ -211,23 +348,57 @@ func (cl *Cluster) Config() ClusterConfig { return cl.cfg }
 // ---- runtime control plane ----
 
 // AddWorker adds one worker (with the cluster's standard geometry) at
-// runtime and returns its ID. The new worker starts with every
-// registered model in host RAM and becomes schedulable immediately.
+// runtime and returns its ID. The new worker joins shard (id mod
+// Shards), starts with every registered model in host RAM and becomes
+// schedulable immediately.
 func (cl *Cluster) AddWorker() int { return cl.addWorker() }
 
 // DrainWorker stops scheduling new actions on worker id; in-flight
-// actions finish and their results are honoured.
-func (cl *Cluster) DrainWorker(id int) error { return cl.Ctl.DrainWorker(id) }
+// actions finish and their results are honoured. Routed to the owning
+// shard.
+func (cl *Cluster) DrainWorker(id int) error {
+	ctl, err := cl.ownerOfWorker(id)
+	if err != nil {
+		return err
+	}
+	return ctl.DrainWorker(id)
+}
 
 // FailWorker abruptly fails worker id: scheduling stops, in-flight work
 // is lost (its requests fail with ReasonWorkerFailed) and late results
-// from the worker are dropped.
+// from the worker are dropped. Routed to the owning shard.
 func (cl *Cluster) FailWorker(id int) error {
-	if err := cl.Ctl.FailWorker(id); err != nil {
+	ctl, err := cl.ownerOfWorker(id)
+	if err != nil {
+		return err
+	}
+	if err := ctl.FailWorker(id); err != nil {
 		return err
 	}
 	cl.Workers[id].Fail()
 	return nil
+}
+
+// WorkerStateOf returns the lifecycle state of worker id, routed to the
+// owning shard.
+func (cl *Cluster) WorkerStateOf(id int) (WorkerState, error) {
+	ctl, err := cl.ownerOfWorker(id)
+	if err != nil {
+		return WorkerActive, err
+	}
+	return ctl.WorkerStateOf(id)
+}
+
+// WorkerCount returns the number of workers ever added, cluster-wide;
+// drained and failed workers keep their IDs.
+func (cl *Cluster) WorkerCount() int { return len(cl.Workers) }
+
+// ownerOfWorker resolves the controller owning global worker id.
+func (cl *Cluster) ownerOfWorker(id int) (*Controller, error) {
+	if id < 0 || id >= len(cl.Workers) {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrNoSuchWorker, id, len(cl.Workers))
+	}
+	return cl.Ctls[cl.workerShard[id]], nil
 }
 
 // InjectDisturbance stalls a GPU's execution engine for d — the §4.3
@@ -250,8 +421,20 @@ func (cl *Cluster) InjectDisturbance(workerID, gpuID int, d time.Duration) error
 // fail with ReasonUnregistered; replicas are unloaded. Models with
 // in-flight actions return ErrModelBusy.
 func (cl *Cluster) UnregisterModel(name string) error {
-	if err := cl.Ctl.UnregisterModel(name); err != nil {
+	shard, ok := cl.modelShard[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if err := cl.Ctls[shard].UnregisterModel(name); err != nil {
 		return err
+	}
+	delete(cl.modelShard, name)
+	delete(cl.zoos, name)
+	for i, n := range cl.modelOrder {
+		if n == name {
+			cl.modelOrder = append(cl.modelOrder[:i], cl.modelOrder[i+1:]...)
+			break
+		}
 	}
 	for _, w := range cl.Workers {
 		w.UnregisterModel(name)
@@ -259,12 +442,49 @@ func (cl *Cluster) UnregisterModel(name string) error {
 	return nil
 }
 
+// Stats sums controller-side outcome counters across all shards. With
+// Shards == 1 it equals Ctl.Stats().
+func (cl *Cluster) Stats() Stats {
+	if len(cl.Ctls) == 1 {
+		return cl.Ctl.Stats()
+	}
+	var sum Stats
+	for _, ctl := range cl.Ctls {
+		st := ctl.Stats()
+		sum.Requests += st.Requests
+		sum.Succeeded += st.Succeeded
+		sum.Cancelled += st.Cancelled
+		sum.Rejected += st.Rejected
+		sum.ColdStart += st.ColdStart
+		sum.WorkerLost += st.WorkerLost
+		sum.Unregistered += st.Unregistered
+		sum.ActionsInfer += st.ActionsInfer
+		sum.ActionsLoad += st.ActionsLoad
+		sum.ActionsUnload += st.ActionsUnload
+		sum.LoadFailures += st.LoadFailures
+	}
+	return sum
+}
+
+// ShardCount returns the number of scheduler shards.
+func (cl *Cluster) ShardCount() int { return len(cl.Ctls) }
+
+// ShardOf returns the shard currently owning model.
+func (cl *Cluster) ShardOf(model string) (int, bool) {
+	s, ok := cl.modelShard[model]
+	return s, ok
+}
+
+// Migrations returns the number of cross-shard model migrations
+// performed so far (rebalancer plus manual MigrateModel calls).
+func (cl *Cluster) Migrations() uint64 { return cl.migrations }
+
 // ModelStats returns the per-model metrics slice for name. ok is false
 // when the model is unknown and has never produced a response.
 func (cl *Cluster) ModelStats(name string) (ModelStats, bool) {
 	st, ok := cl.Metrics.ModelStats(name, cl.Eng.Now().Duration())
 	if !ok {
-		if _, known := cl.Ctl.Model(name); !known {
+		if _, known := cl.modelShard[name]; !known {
 			return ModelStats{}, false
 		}
 	}
@@ -278,12 +498,20 @@ func (cl *Cluster) TenantStats(tenant string) (TenantStats, bool) {
 
 // ---- registration ----
 
-// RegisterModel announces one model instance to the controller and every
-// worker (workers pre-load all models into host RAM, §5.1).
+// RegisterModel announces one model instance to its owning shard's
+// controller and to every worker (workers pre-load all models into host
+// RAM, §5.1, regardless of shard ownership).
 func (cl *Cluster) RegisterModel(name string, zoo *modelzoo.Model) error {
-	if err := cl.Ctl.RegisterModel(name, zoo); err != nil {
+	if _, dup := cl.modelShard[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	shard := cl.shardForName(name)
+	if err := cl.Ctls[shard].RegisterModel(name, zoo); err != nil {
 		return err
 	}
+	cl.modelShard[name] = shard
+	cl.modelOrder = append(cl.modelOrder, name)
+	cl.zoos[name] = zoo
 	for _, w := range cl.Workers {
 		w.RegisterModel(name, zoo)
 	}
@@ -339,12 +567,13 @@ func (h *Handle) Outcome() (Response, time.Duration, bool) {
 }
 
 // Cancel requests cancellation and reports whether it took effect. A
-// still-queued request is cancelled immediately; a request still in
-// transit to the controller is cancelled deterministically on arrival,
-// before the scheduler can dispatch it. Only a request already handed
-// to a worker cannot be clawed back (§4.2 — workers are never
-// second-guessed mid-action): then Cancel reports false and the
-// request runs to its normal outcome.
+// still-queued request is cancelled immediately — routed to the shard
+// that currently owns the model, so cancellation follows the request
+// across migrations. A request still in transit to the controller is
+// cancelled deterministically on arrival, before the scheduler can
+// dispatch it. Only a request already handed to a worker cannot be
+// clawed back (§4.2 — workers are never second-guessed mid-action):
+// then Cancel reports false and the request runs to its normal outcome.
 func (h *Handle) Cancel() bool {
 	if h.done {
 		return false
@@ -353,7 +582,7 @@ func (h *Handle) Cancel() bool {
 		h.cancelPending = true
 		return true
 	}
-	return h.cl.Ctl.CancelRequest(h.req)
+	return h.cl.ctlForModel(h.req.Model, 0).CancelRequest(h.req)
 }
 
 // Submit issues one client request with default options. The input
@@ -367,9 +596,11 @@ func (cl *Cluster) Submit(model string, slo time.Duration, onDone func(Response,
 
 // SubmitRequest issues one client request with full per-request options
 // and returns a client-side handle. The model must be registered at
-// submission time (ErrUnknownModel otherwise); the controller re-checks
-// on arrival, so a model unregistered mid-transit fails the request
-// rather than corrupting controller state.
+// submission time (ErrUnknownModel otherwise); the owning shard is
+// resolved when the request arrives at the control plane, so a model
+// migrated mid-transit lands on its new shard, and one unregistered
+// mid-transit fails the request rather than corrupting controller
+// state.
 func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Duration)) (*Handle, error) {
 	if spec.Model == "" {
 		return nil, fmt.Errorf("%w: empty model name", ErrInvalidRequest)
@@ -381,12 +612,13 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 		return nil, fmt.Errorf("%w: negative batch cap %d", ErrInvalidRequest, spec.MaxBatch)
 	}
 	sentAt := cl.Eng.Now()
-	mi, ok := cl.Ctl.Model(spec.Model)
+	submitShard, ok := cl.modelShard[spec.Model]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, spec.Model)
 	}
+	zoo := cl.zoos[spec.Model]
 	h := &Handle{cl: cl}
-	inputBytes := mi.Zoo().InputBytes()
+	inputBytes := zoo.InputBytes()
 	if cl.cfg.ZeroLengthInputs {
 		inputBytes = 0
 	}
@@ -395,7 +627,8 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 		// inside the controller's submission, before the scheduler can
 		// dispatch — the in-transit cancel is authoritative.
 		spec.preCancelled = h.cancelPending
-		req := cl.Ctl.SubmitSpec(spec, func(resp Response) {
+		ctl := cl.ctlForModel(spec.Model, submitShard)
+		req := ctl.SubmitSpec(spec, func(resp Response) {
 			if cl.cfg.Trace != nil {
 				ok := resp.Success
 				cl.cfg.Trace.Append(tracelog.Event{
@@ -404,13 +637,20 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 					Success: &ok, Reason: resp.Reason.String(), Batch: resp.Batch,
 				})
 			}
-			outBytes := mi.Zoo().OutputBytes()
+			outBytes := zoo.OutputBytes()
 			if !resp.Success {
 				outBytes = 0
 			}
 			cl.clientLink.BtoA.Send(outBytes, func() {
 				latency := cl.Eng.Now().Sub(sentAt)
-				cl.Metrics.record(cl.Eng.Now(), resp, latency, spec.SLO)
+				// Attribute the response to the shard that owned the
+				// model at completion (it may have migrated since
+				// submission).
+				shard := submitShard
+				if s, ok := cl.modelShard[resp.Model]; ok {
+					shard = s
+				}
+				cl.Metrics.record(cl.Eng.Now(), shard, resp, latency, spec.SLO)
 				h.done = true
 				h.resp = resp
 				h.latency = latency

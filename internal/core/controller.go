@@ -35,6 +35,14 @@ type Config struct {
 	// controller→worker hop, so an INFER whose window opens at a LOAD's
 	// ETA never races the transfer (default 500µs).
 	NetworkAllowance time.Duration
+
+	// IDStart and IDStride partition the request/action ID spaces across
+	// scheduler shards: shard i of N runs with IDStart=i, IDStride=N, so
+	// every controller mints IDs from a disjoint arithmetic progression
+	// and responses/traces stay globally unambiguous. The zero values
+	// (start 0, stride 1) reproduce the unsharded sequence 1, 2, 3, …
+	IDStart  uint64
+	IDStride uint64
 }
 
 // Defaults from the paper.
@@ -55,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NetworkAllowance <= 0 {
 		c.NetworkAllowance = 500 * time.Microsecond
+	}
+	if c.IDStride == 0 {
+		c.IDStride = 1
 	}
 	return c
 }
@@ -101,9 +112,14 @@ type Controller struct {
 	cfg  Config
 	schd Scheduler
 
-	workers []*workerHandle
-	gpus    []*GPUMirror
-	models  map[string]*ModelInfo
+	// workers holds this controller's workers in the order they were
+	// added; workerByID addresses them by their cluster-global ID (a
+	// sharded control plane gives each controller a non-contiguous slice
+	// of the global worker ID space).
+	workers    []*workerHandle
+	workerByID map[int]*workerHandle
+	gpus       []*GPUMirror
+	models     map[string]*ModelInfo
 	// modelList holds registered models in registration order — the
 	// deterministic iteration order the control plane uses where the
 	// models map would introduce map-order nondeterminism.
@@ -158,6 +174,7 @@ func NewController(eng *simclock.Engine, cfg Config, schd Scheduler) *Controller
 		eng:             eng,
 		cfg:             cfg.withDefaults(),
 		schd:            schd,
+		workerByID:      make(map[int]*workerHandle),
 		models:          make(map[string]*ModelInfo),
 		activeModels:    make(map[*ModelInfo]bool),
 		pendingInfers:   make(map[uint64]pendingInfer),
@@ -166,6 +183,8 @@ func NewController(eng *simclock.Engine, cfg Config, schd Scheduler) *Controller
 		InferCompletion: predictor.NewErrorTracker(),
 		LoadCompletion:  predictor.NewErrorTracker(),
 	}
+	c.nextRequestID = c.cfg.IDStart
+	c.nextActionID = c.cfg.IDStart
 	c.demandIdx.desc = true
 	c.profile = predictor.NewProfile(c.cfg.ProfileWindow)
 	schd.Attach(c)
@@ -195,9 +214,17 @@ func (c *Controller) WorkerCount() int { return len(c.workers) }
 // AddWorker registers a worker's mirrors and its transport hook. The
 // cluster layer calls this during setup — and at runtime for control-
 // plane scale-out — exchanging page-cache geometry like the startup
-// handshake of §5.3.
+// handshake of §5.3. Worker IDs are cluster-global and need not be
+// contiguous within one controller (a sharded control plane stripes the
+// global ID space across shards), but must be unique and ascending.
 func (c *Controller) AddWorker(id, gpuCount int, pageCacheBytes, pageSize int64,
 	submit func(a *action.Action, payloadBytes int64)) {
+	if _, dup := c.workerByID[id]; dup {
+		panic(fmt.Sprintf("core: duplicate worker ID %d", id))
+	}
+	if n := len(c.workers); n > 0 && c.workers[n-1].id >= id {
+		panic(fmt.Sprintf("core: workers must be added in ascending ID order (got %d after %d)", id, c.workers[n-1].id))
+	}
 	wh := &workerHandle{id: id, submit: submit}
 	for i := 0; i < gpuCount; i++ {
 		m := newGPUMirror(id, i, pageCacheBytes, pageSize)
@@ -205,10 +232,8 @@ func (c *Controller) AddWorker(id, gpuCount int, pageCacheBytes, pageSize int64,
 		wh.gpus = append(wh.gpus, m)
 		c.gpus = append(c.gpus, m)
 	}
-	if id != len(c.workers) {
-		panic(fmt.Sprintf("core: workers must be added in ID order (got %d, want %d)", id, len(c.workers)))
-	}
 	c.workers = append(c.workers, wh)
+	c.workerByID[id] = wh
 }
 
 // DrainWorker takes a worker out of scheduling: no new actions are sent
@@ -276,12 +301,25 @@ func (c *Controller) FailWorker(id int) error {
 	return nil
 }
 
-// worker validates a worker ID.
+// worker validates a (cluster-global) worker ID against this controller.
 func (c *Controller) worker(id int) (*workerHandle, error) {
-	if id < 0 || id >= len(c.workers) {
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrNoSuchWorker, id, len(c.workers))
+	wh, ok := c.workerByID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d (shard has %d workers)", ErrNoSuchWorker, id, len(c.workers))
 	}
-	return c.workers[id], nil
+	return wh, nil
+}
+
+// OwnsWorker reports whether worker id belongs to this controller.
+func (c *Controller) OwnsWorker(id int) bool {
+	_, ok := c.workerByID[id]
+	return ok
+}
+
+// mirror returns the mirror of (workerID, gpu); both must belong to this
+// controller.
+func (c *Controller) mirror(workerID, gpu int) *GPUMirror {
+	return c.workerByID[workerID].gpus[gpu]
 }
 
 // detachWorker disables a worker's mirrors and retracts its replicas
@@ -361,17 +399,8 @@ func (c *Controller) UnregisterModel(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
-	// Busy means an in-flight action whose result will still be
-	// honoured — including on draining workers (drain promises exactly
-	// that). Only failed workers are exempt: their results are dropped
-	// and their in-flight requests were already answered.
-	for _, g := range c.gpus {
-		if c.workers[g.WorkerID].failed {
-			continue
-		}
-		if g.IsLoading(name) || g.InFlight(name) > 0 {
-			return fmt.Errorf("%w: %q", ErrModelBusy, name)
-		}
+	if c.modelBusy(name) {
+		return fmt.Errorf("%w: %q", ErrModelBusy, name)
 	}
 
 	// Fail queued requests, oldest first.
@@ -419,13 +448,6 @@ func (c *Controller) Model(name string) (*ModelInfo, bool) {
 // ModelCount returns the number of registered instances.
 func (c *Controller) ModelCount() int { return len(c.models) }
 
-// EachModel visits registered models in registration order.
-func (c *Controller) EachModel(fn func(name string, zoo *modelzoo.Model)) {
-	for _, mi := range c.modelList {
-		fn(mi.name, mi.zoo)
-	}
-}
-
 // ActiveModels returns the set of models with queued requests. The
 // returned map is live; schedulers must not mutate it.
 func (c *Controller) ActiveModels() map[*ModelInfo]bool { return c.activeModels }
@@ -456,7 +478,7 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 	now := c.eng.Now()
 	mi, ok := c.models[spec.Model]
 	if !ok {
-		c.nextRequestID++
+		c.nextRequestID += c.cfg.IDStride
 		c.stats.Requests++
 		c.stats.Unregistered++
 		if onResponse != nil {
@@ -467,7 +489,7 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 		}
 		return nil
 	}
-	c.nextRequestID++
+	c.nextRequestID += c.cfg.IDStride
 	margin := c.cfg.ResponseMargin
 	if margin <= 0 {
 		margin = time.Millisecond
@@ -633,7 +655,7 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	}
 	c.noteQueueMaybeEmpty(mi)
 
-	c.nextActionID++
+	c.nextActionID += c.cfg.IDStride
 	completion := simclock.Max(earliest, c.eng.Now()).Add(est)
 	a := &action.Action{
 		ID:                 c.nextActionID,
@@ -658,7 +680,7 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	if c.testOnInfer != nil {
 		c.testOnInfer(a, reqs)
 	}
-	c.workers[g.WorkerID].submit(a, inputs)
+	c.workerByID[g.WorkerID].submit(a, inputs)
 	return a
 }
 
@@ -674,7 +696,7 @@ func (c *Controller) SendLoad(g *GPUMirror, mi *ModelInfo, earliest, latest simc
 	if est <= 0 {
 		panic("core: zero load estimate for " + mi.name)
 	}
-	c.nextActionID++
+	c.nextActionID += c.cfg.IDStride
 	// The executor frees at transferEnd; the weights are *usable* for
 	// INFER window math a network-allowance later, so windows opened at
 	// the ETA never race the transfer's completion.
@@ -698,7 +720,7 @@ func (c *Controller) SendLoad(g *GPUMirror, mi *ModelInfo, earliest, latest simc
 	}
 	c.stats.ActionsLoad++
 	c.reindexModel(mi)
-	c.workers[g.WorkerID].submit(a, 0)
+	c.workerByID[g.WorkerID].submit(a, 0)
 	return a
 }
 
@@ -711,7 +733,7 @@ func (c *Controller) SendUnload(g *GPUMirror, mi *ModelInfo) *action.Action {
 	delete(g.loading, mi.name)
 	delete(mi.residentOn, g)
 	delete(g.withWork, mi)
-	c.nextActionID++
+	c.nextActionID += c.cfg.IDStride
 	a := &action.Action{
 		ID:       c.nextActionID,
 		Type:     action.Unload,
@@ -722,7 +744,7 @@ func (c *Controller) SendUnload(g *GPUMirror, mi *ModelInfo) *action.Action {
 	}
 	c.stats.ActionsUnload++
 	c.reindexModel(mi)
-	c.workers[g.WorkerID].submit(a, 0)
+	c.workerByID[g.WorkerID].submit(a, 0)
 	return a
 }
 
@@ -739,10 +761,10 @@ func requestIDs(reqs []*Request) []uint64 {
 // from failed workers are dropped — their requests were already failed
 // by FailWorker.
 func (c *Controller) HandleResult(res action.Result) {
-	if c.workers[res.WorkerID].failed {
+	if c.workerByID[res.WorkerID].failed {
 		return
 	}
-	g := c.workers[res.WorkerID].gpus[res.GPU]
+	g := c.mirror(res.WorkerID, res.GPU)
 	switch res.Type {
 	case action.Load:
 		c.handleLoadResult(g, res)

@@ -52,6 +52,24 @@ type Metrics struct {
 	// a model/tenant's first response).
 	perModel  map[string]*modelCounters
 	perTenant map[string]*tenantCounters
+
+	// perShard bins client-observed outcomes by the scheduler shard
+	// that owned the model at completion — the balance signal the
+	// sharded control plane exposes (grown lazily to the highest shard
+	// index seen).
+	perShard []ShardBin
+}
+
+// ShardBin is one scheduler shard's slice of the client-observed
+// outcome counters.
+type ShardBin struct {
+	Requests  uint64
+	Succeeded uint64
+	Failed    uint64
+	// WithinSLO counts successes inside their SLO; SLOMisses counts
+	// successes that exceeded it end-to-end.
+	WithinSLO uint64
+	SLOMisses uint64
 }
 
 // modelCounters aggregates one model's client-observed outcomes.
@@ -162,12 +180,32 @@ func (m *Metrics) coldSet(idx int) map[string]bool {
 	return m.coldModelSets[idx]
 }
 
-// record ingests one client-observed response.
-func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Duration) {
+// shardBin returns the (lazily grown) bin for shard i.
+func (m *Metrics) shardBin(i int) *ShardBin {
+	for len(m.perShard) <= i {
+		m.perShard = append(m.perShard, ShardBin{})
+	}
+	return &m.perShard[i]
+}
+
+// ShardStats returns shard i's outcome bin (zero for shards that have
+// not completed any response yet).
+func (m *Metrics) ShardStats(i int) ShardBin {
+	if i < 0 || i >= len(m.perShard) {
+		return ShardBin{}
+	}
+	return m.perShard[i]
+}
+
+// record ingests one client-observed response, attributed to the
+// scheduler shard owning the model at completion.
+func (m *Metrics) record(now simclock.Time, shard int, resp Response, latency, slo time.Duration) {
 	idx := m.bucket(now)
 	m.LatencyAll.Observe(latency)
 	m.latencyHist(idx).Observe(latency)
 	m.Throughput.Incr(now)
+	sb := m.shardBin(shard)
+	sb.Requests++
 
 	mc := m.perModel[resp.Model]
 	if mc == nil {
@@ -192,6 +230,7 @@ func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Dur
 	if resp.Success {
 		m.Success.Incr()
 		mc.succeeded++
+		sb.Succeeded++
 		if tc != nil {
 			tc.succeeded++
 		}
@@ -199,12 +238,14 @@ func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Dur
 			m.LatencyGood.Observe(latency)
 			m.Goodput.Incr(now)
 			mc.withinSLO++
+			sb.WithinSLO++
 			if tc != nil {
 				tc.withinSLO++
 			}
 		} else {
 			m.SLOMisses.Incr()
 			mc.sloMisses++
+			sb.SLOMisses++
 		}
 		m.Batch.Add(now, float64(resp.Batch))
 		if resp.ColdStart {
@@ -214,6 +255,7 @@ func (m *Metrics) record(now simclock.Time, resp Response, latency, slo time.Dur
 	} else {
 		m.Failures.Incr()
 		mc.failed++
+		sb.Failed++
 		switch resp.Reason {
 		case ReasonCancelled, ReasonUnregistered:
 			mc.cancelled++

@@ -99,19 +99,24 @@ func ResolvePolicy(name string) (PolicySpec, error) {
 }
 
 // NewClusterWithPolicy builds a cluster running the named policy: the
-// registry supplies the scheduler and flips the policy's cluster-level
-// switches on cfg. An empty name selects the paper's scheduler.
+// registry supplies the scheduler factory (one instance per shard) and
+// flips the policy's cluster-level switches on cfg. An empty name
+// selects the paper's scheduler.
 func NewClusterWithPolicy(policy string, cfg ClusterConfig) (*Cluster, error) {
 	spec, err := ResolvePolicy(policy)
 	if err != nil {
 		return nil, err
 	}
-	cfg.Scheduler = spec.New()
+	cfg.Scheduler = nil
+	cfg.NewScheduler = spec.New
 	if spec.DisableAdmissionControl {
 		cfg.Controller.DisableAdmissionControl = true
 	}
 	if spec.WorkerBestEffort {
 		cfg.WorkerBestEffort = true
+	}
+	if err := cfg.withDefaults().validateShards(); err != nil {
+		return nil, err
 	}
 	return NewCluster(cfg), nil
 }

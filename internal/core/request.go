@@ -1,7 +1,3 @@
-// Package core implements Clockwork's central controller (§4.5, §5.3)
-// and its scheduler (Appendix B). All performance-relevant choices —
-// admission, batching, placement, cache management — are made here;
-// workers execute exactly what they are told.
 package core
 
 import (

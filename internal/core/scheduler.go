@@ -80,7 +80,7 @@ func (s *ClockworkScheduler) OnRequest(r *Request) {
 // OnResult implements Scheduler: a result frees mirror capacity
 // (completed LOAD) or signals drift; re-evaluate that GPU.
 func (s *ClockworkScheduler) OnResult(res action.Result) {
-	g := s.c.workers[res.WorkerID].gpus[res.GPU]
+	g := s.c.mirror(res.WorkerID, res.GPU)
 	s.scheduleGPU(g)
 }
 

@@ -13,20 +13,24 @@ import (
 type CLIFlags struct {
 	Seed      uint64
 	Dur       time.Duration // per-cell duration for fig5/ablations
-	Minutes   int           // trace minutes for fig6/fig8/fig9/scale
-	Models    int           // model count for fig6/fig7
-	Functions int           // MAF function count for fig8/fig9/scale
-	Copies    int           // instances per zoo model for fig8/fig9/scale
+	Minutes   int           // trace minutes for fig6/fig8/fig9/sloscale
+	Models    int           // model count for fig6/fig7/scale
+	Functions int           // MAF function count for fig8/fig9/sloscale
+	Copies    int           // instances per zoo model for fig8/fig9/sloscale
 	Workers   int
 	GPUs      int
-	Rate      float64 // total rate for fig7
+	Rate      float64 // total rate for fig7/scale
 	RateScale float64 // MAF trace rate multiplier
+
+	// Scale-scenario knobs (the 1/4/16-shard comparison).
+	Requests int   // total submissions per cell
+	Shards   []int // shard counts to compare
 }
 
 // CLIExperiments lists the catalogue names Render accepts, in render
 // order for "all".
 var CLIExperiments = []string{
-	"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "scale", "ablations",
+	"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "sloscale", "scale", "ablations",
 }
 
 // Render produces one experiment's full printed output (or "all" of
@@ -83,11 +87,17 @@ func Render(name string, f CLIFlags) (string, error) {
 		return fmt.Sprintln(RunFig8(f.fig8Config())), nil
 	case "fig9":
 		return fmt.Sprintln(RunFig9(f.fig8Config())), nil
-	case "scale":
-		return fmt.Sprintln(RunScale(ScaleConfig{
+	case "sloscale":
+		return fmt.Sprintln(RunSLOScale(SLOScaleConfig{
 			Seed: f.Seed, Workers: f.Workers, GPUsPerWorker: f.GPUs,
 			Functions: f.Functions, Minutes: f.Minutes, Copies: f.Copies,
 			RateScale: f.RateScale,
+		})), nil
+	case "scale":
+		return fmt.Sprintln(RunScale(ScaleConfig{
+			Seed: f.Seed, Workers: f.Workers, GPUsPerWorker: f.GPUs,
+			Models: f.Models, Requests: f.Requests, Rate: f.Rate,
+			Shards: f.Shards,
 		})), nil
 	case "ablations":
 		outs := runner.Run([]func() string{

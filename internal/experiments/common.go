@@ -1,10 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§6) on the simulated substrate. Each experiment has a
-// Config with paper-faithful defaults plus Scale/Duration knobs (the
-// full-size runs replay hours of trace; benchmarks use scaled-down
-// variants and EXPERIMENTS.md records which scale produced which
-// numbers), and returns a typed result whose String() prints the same
-// rows/series the paper reports.
 package experiments
 
 import (

@@ -228,9 +228,9 @@ func TestFig9PredictionErrorsSmall(t *testing.T) {
 	}
 }
 
-func TestScaleTable(t *testing.T) {
+func TestSLOScaleTable(t *testing.T) {
 	t.Parallel()
-	r := RunScale(ScaleConfig{
+	r := RunSLOScale(SLOScaleConfig{
 		Workers: 2, GPUsPerWorker: 2,
 		Functions: 400, Minutes: 4, Copies: 2, Seed: 1,
 	})

@@ -238,10 +238,10 @@ func (r *Fig9Result) String() string {
 	return b.String()
 }
 
-// ScaleConfig parameterises the §6.5 "tighter SLOs at larger scale"
+// SLOScaleConfig parameterises the §6.5 "tighter SLOs at larger scale"
 // table: 10 workers × 2 GPUs, the trace scaled up 1.5×, zero-length
 // inputs, compared at 100ms and 25ms SLOs.
-type ScaleConfig struct {
+type SLOScaleConfig struct {
 	Workers       int
 	GPUsPerWorker int
 	Functions     int
@@ -252,7 +252,7 @@ type ScaleConfig struct {
 	Seed          uint64
 }
 
-func (c ScaleConfig) withDefaults() ScaleConfig {
+func (c SLOScaleConfig) withDefaults() SLOScaleConfig {
 	if c.Workers <= 0 {
 		c.Workers = 10
 	}
@@ -277,8 +277,8 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	return c
 }
 
-// ScaleRow is one SLO's row of the §6.5 table.
-type ScaleRow struct {
+// SLOScaleRow is one SLO's row of the §6.5 table.
+type SLOScaleRow struct {
 	SLO       time.Duration
 	Goodput   float64
 	MissedSLO uint64 // admitted but exceeded the SLO
@@ -288,17 +288,17 @@ type ScaleRow struct {
 	Max       time.Duration
 }
 
-// ScaleResult is the §6.5 table.
-type ScaleResult struct {
-	Config ScaleConfig
-	Rows   []ScaleRow
+// SLOScaleResult is the §6.5 table.
+type SLOScaleResult struct {
+	Config SLOScaleConfig
+	Rows   []SLOScaleRow
 }
 
-// RunScale reproduces the §6.5 scale table; each SLO's replay is an
+// RunSLOScale reproduces the §6.5 scale table; each SLO's replay is an
 // independent simulation and runs concurrently.
-func RunScale(cfg ScaleConfig) *ScaleResult {
+func RunSLOScale(cfg SLOScaleConfig) *SLOScaleResult {
 	cfg = cfg.withDefaults()
-	return &ScaleResult{Config: cfg, Rows: runner.Map(cfg.SLOs, func(slo time.Duration) ScaleRow {
+	return &SLOScaleResult{Config: cfg, Rows: runner.Map(cfg.SLOs, func(slo time.Duration) SLOScaleRow {
 		f8 := RunFig8(Fig8Config{
 			Workers:          cfg.Workers,
 			GPUsPerWorker:    cfg.GPUsPerWorker,
@@ -311,7 +311,7 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 			ZeroLengthInputs: true,
 		})
 		h := f8.Cluster.Metrics.LatencyGood
-		return ScaleRow{
+		return SLOScaleRow{
 			SLO:       slo,
 			Goodput:   f8.Goodput,
 			MissedSLO: f8.SLOExceeded,
@@ -324,7 +324,7 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 }
 
 // String implements fmt.Stringer.
-func (r *ScaleResult) String() string {
+func (r *SLOScaleResult) String() string {
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
 		rows = append(rows, []string{

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Golden output hashes for fig2b/fig5/fig8 at fixed test-scale
+// configs, captured on the pre-shard control plane (PR 2's single
+// centralized controller). A Shards=1 system must reproduce these
+// byte-for-byte: the sharded control plane degenerates to exactly the
+// old code path when unsharded (one controller, IDStart 0 / IDStride
+// 1, no rebalancer armed), and these hashes prove it — any divergence
+// in scheduling order, ID assignment, RNG stream consumption or
+// output formatting trips them.
+//
+// Regenerating (only after an INTENDED behaviour change — never to
+// paper over an unexplained diff): print the three String() outputs
+// below, hash with sha256, and update the constants, noting the cause
+// in the commit message.
+const (
+	goldenFig2b = "4500b0ff59d7f99ce7f1894789fc7b0a1453a959107113520f1b331df087afa6"
+	goldenFig5  = "496d464d0454315790a9082975b4ae92822636cf1839d59328465d3c066eb032"
+	goldenFig8  = "7df88821a6093fb491f8c418b1a12d4f9a580566cd39203e255c6fcb2d878fd9"
+)
+
+func sha(s string) string { return fmt.Sprintf("%x", sha256.Sum256([]byte(s))) }
+
+func TestGoldenFig2bPreShardBitIdentical(t *testing.T) {
+	t.Parallel()
+	out := RunFig2b(Fig2bConfig{Duration: 10 * time.Second, Seed: 1}).String()
+	if got := sha(out); got != goldenFig2b {
+		t.Fatalf("fig2b output diverged from the pre-shard golden\n got %s\nwant %s\noutput:\n%s", got, goldenFig2b, out)
+	}
+}
+
+func TestGoldenFig5PreShardBitIdentical(t *testing.T) {
+	t.Parallel()
+	out := RunFig5(Fig5Config{
+		SLOs:     []time.Duration{25 * time.Millisecond, 500 * time.Millisecond},
+		Duration: 6 * time.Second,
+		Warmup:   2 * time.Second,
+		Seed:     1,
+	}).String()
+	if got := sha(out); got != goldenFig5 {
+		t.Fatalf("fig5 output diverged from the pre-shard golden\n got %s\nwant %s\noutput:\n%s", got, goldenFig5, out)
+	}
+}
+
+func TestGoldenFig8PreShardBitIdentical(t *testing.T) {
+	t.Parallel()
+	out := RunFig8(Fig8Config{
+		Workers: 1, GPUsPerWorker: 2,
+		Copies: 2, Functions: 400, Minutes: 6, Seed: 1,
+	}).String()
+	if got := sha(out); got != goldenFig8 {
+		t.Fatalf("fig8 output diverged from the pre-shard golden\n got %s\nwant %s\noutput:\n%s", got, goldenFig8, out)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clockwork"
+	"clockwork/internal/rng"
+)
+
+// BenchmarkShardedSchedulerThroughput is the BenchmarkSchedulerPass-
+// style measurement behind the scale scenario's headline: per-request
+// control-plane cost at 16,384 models on a 32×2-GPU cluster, as a
+// function of shard count. Each iteration submits one Zipf-drawn
+// request and the engine is paced so queues stay realistic; the
+// dominant cost at one shard is the scheduler walking all 64 GPU
+// mirrors (and their load-priority descents) per event, which sharding
+// divides by N. EXPERIMENTS.md records the measured ratios.
+//
+// Run with:
+//
+//	go test ./internal/experiments -run xxx -bench ShardedSchedulerThroughput -benchtime 20000x
+func BenchmarkShardedSchedulerThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			benchShardedSubmit(b, shards, 16384, 32, 2)
+		})
+	}
+}
+
+func benchShardedSubmit(b *testing.B, shards, models, workers, gpus int) {
+	sys, err := clockwork.New(clockwork.Config{
+		Workers:          workers,
+		GPUsPerWorker:    gpus,
+		Shards:           shards,
+		Seed:             1,
+		ExactTiming:      true,
+		ZeroLengthInputs: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := registerScaleModels(sys, models)
+	pickModel := zipfPicker(models, 0.9, names)
+	pick := rng.NewSource(1).Stream("bench.models")
+	submit := func() {
+		sys.SubmitRequest(clockwork.Request{Model: pickModel(pick), SLO: 100 * time.Millisecond}, nil)
+	}
+	// Warm the page caches and profile windows before measuring.
+	for i := 0; i < 2000; i++ {
+		submit()
+		if (i+1)%100 == 0 {
+			sys.RunFor(25 * time.Millisecond)
+		}
+	}
+	sys.RunFor(time.Second)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+		// Pace at 4,000 r/s of virtual time so the measured loop is the
+		// steady-state submit+schedule+execute path, not unbounded
+		// queue growth.
+		if (i+1)%100 == 0 {
+			sys.RunFor(25 * time.Millisecond)
+		}
+	}
+	b.StopTimer()
+	sys.RunFor(time.Second)
+}

@@ -1,16 +1,3 @@
-// Package gpu simulates the worker-side hardware that Clockwork runs on:
-// a GPU execution engine and the PCIe links between host and device.
-//
-// The simulation is calibrated against the paper's measurements:
-//
-//   - Fig 2a: an isolated DNN inference is near-deterministic — the
-//     99.99th percentile latency is within 0.03% of the median. The
-//     default Noise model reproduces that spread, plus the paper's
-//     extremely rare multi-millisecond external-factor spikes (§6.5).
-//   - Fig 2b: running kernels concurrently buys up to ~25% throughput but
-//     costs ~100× latency variability, because the hardware scheduler
-//     multiplexes kernels in undocumented ways. The concurrent path
-//     models this as random-quantum processor sharing.
 package gpu
 
 import (

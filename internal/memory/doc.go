@@ -1,0 +1,16 @@
+// Package memory implements Clockwork's pre-allocated GPU memory
+// management (§5.2): a PageCache of fixed 16MB pages holding model
+// weights, an IOCache for transient inference inputs/outputs, and a
+// Workspace for intermediate results.
+//
+// Paging is what makes the memory state *predictable and summarisable*:
+// there is no external fragmentation, so the controller can mirror a
+// worker's entire memory state as "which models hold pages + free page
+// count". The same PageCache type therefore backs both the worker's real
+// allocator and the controller's mirror.
+//
+// In the request lifecycle the page cache decides cold starts: a
+// request for a model without pages on any GPU needs a LOAD before its
+// INFER, and eviction (LRU over page holders) is what the scheduler
+// trades against load priority.
+package memory

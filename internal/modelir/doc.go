@@ -1,0 +1,17 @@
+// Package modelir implements the model front-end of §5.1: users hand
+// Clockwork an abstract model definition (the role ONNX/NNEF play in the
+// paper — the "narrow waist" of the ML stack), and Clockwork compiles it
+// into the artifacts its runtime needs:
+//
+//   - Weights: the parameter blob size (drives LOAD cost and paging).
+//   - Kernels: one per layer and batch size (drives EXEC cost).
+//   - Memory metadata: the workspace high-water mark, pre-computed so
+//     the runtime never allocates during execution.
+//   - Profiling data: a seed execution-time estimate per batch size,
+//     derived from layer FLOPs and calibrated against the measured
+//     Appendix A corpus.
+//
+// The resulting modelzoo.Model is indistinguishable to the serving stack
+// from a catalogue entry, so custom architectures can ride the same
+// scheduler, cache, and predictor machinery.
+package modelir

@@ -1,0 +1,10 @@
+// Package modelzoo embeds the model catalogue of the Clockwork paper
+// (Appendix A, Table 1): 64 pre-trained DNNs from the ONNX and GluonCV
+// model zoos, compiled with TVM 0.7 for an NVIDIA Tesla v100, with their
+// input/output sizes, weight sizes, host→GPU transfer times, and GPU
+// execution latencies at batch sizes 1, 2, 4, 8 and 16.
+//
+// For the simulator these numbers ARE the models: scheduling decisions in
+// Clockwork depend only on per-(model, batch) execution time, weight
+// size, and IO size, all of which Table 1 supplies.
+package modelzoo

@@ -1,10 +1,3 @@
-// Package network simulates the cluster fabric between clients, the
-// controller, and workers: directional links with propagation latency and
-// finite bandwidth (the paper's testbed uses shared 2×10Gbps Ethernet).
-//
-// Clockwork routes inference inputs through the controller (§7), so the
-// links carry real payload sizes; the §6.5 scale experiment's
-// "zero-length inputs" mode is reproduced by sending zero bytes.
 package network
 
 import (

@@ -1,0 +1,11 @@
+// Package predictor implements Clockwork's action-duration estimation
+// (§5.3): a rolling window of the most recent measurements per
+// (operation, model, batch size), whose estimate is the window maximum —
+// the paper's "rolling 99th percentile" over a window of 10, which biases
+// towards slight overprediction (idle GPU time) rather than
+// underprediction (SLO violations).
+//
+// Every scheduling decision in the lifecycle — batch feasibility,
+// LOAD ETAs, admission control's last-chance instant — reads these
+// estimates; workers' measured durations flow back in as observations.
+package predictor

@@ -1,9 +1,3 @@
-// Package predictor implements Clockwork's action-duration estimation
-// (§5.3): a rolling window of the most recent measurements per
-// (operation, model, batch size), whose estimate is the window maximum —
-// the paper's "rolling 99th percentile" over a window of 10, which biases
-// towards slight overprediction (idle GPU time) rather than
-// underprediction (SLO violations).
 package predictor
 
 import (

@@ -1,9 +1,3 @@
-// Package rng provides deterministic, named random-number streams.
-//
-// Every stochastic element of an experiment (per-client arrival process,
-// per-GPU timing noise, trace synthesis) draws from its own stream derived
-// from (seed, name), so adding a new consumer never perturbs the draws
-// seen by existing ones and whole experiments replay bit-identically.
 package rng
 
 import (

@@ -1,25 +1,3 @@
-// Package runner executes independent simulation scenarios concurrently
-// on a bounded worker pool while keeping output deterministic.
-//
-// Every experiment in this repository is a sweep: the same scenario shape
-// evaluated at many points (SLOs, concurrency levels, systems,
-// configurations). Each point builds its own simclock.Engine and derives
-// its own rng streams, so points share no mutable state and can run on
-// any OS thread in any order. The runner exploits that: it fans a sweep
-// out across cores and collects the typed results back in submission
-// order, so a parallel sweep's output is bit-identical to a serial run.
-//
-// Determinism contract (see DESIGN.md):
-//
-//  1. A scenario function must not read or write state shared with any
-//     other scenario — it constructs every engine, cluster, and rng
-//     stream it uses, seeded only from its input value.
-//  2. Scenario randomness must come from rng streams derived from the
-//     scenario's own seed (use Seed to derive per-run seeds), never from
-//     global sources, time.Now, or map iteration order.
-//  3. Results are returned in input order, regardless of completion
-//     order. Under these rules Map(items, fn) with any worker count
-//     returns exactly what a serial loop would.
 package runner
 
 import (

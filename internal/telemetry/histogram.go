@@ -1,8 +1,3 @@
-// Package telemetry provides the measurement primitives used by every
-// experiment: high-dynamic-range latency histograms (the paper's CDFs run
-// from the median out to the 99.9999th percentile), bucketed time series
-// (goodput / batch size over the run), and busy-time integrators (GPU and
-// PCIe utilisation).
 package telemetry
 
 import (

@@ -1,10 +1,3 @@
-// Package tracelog implements the paper's "performance clarity" benefit
-// (§7): because every performance-relevant decision flows through the
-// controller, the controller is a single point of explanation. This
-// package captures that decision stream — requests, actions, results,
-// responses — as structured events, serialises it as JSONL, and answers
-// "where did this request's time go?" with a queue/load/execute/deliver
-// breakdown.
 package tracelog
 
 import (

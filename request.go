@@ -43,6 +43,7 @@ var (
 	ErrNoSuchWorker   = core.ErrNoSuchWorker
 	ErrWorkerDown     = core.ErrWorkerDown
 	ErrInvalidRequest = core.ErrInvalidRequest
+	ErrNoSuchShard    = core.ErrNoSuchShard
 )
 
 // Request describes one inference submission. Model and SLO are
