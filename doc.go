@@ -65,4 +65,17 @@
 // per-model and per-tenant goodput/latency/cold-start counters, and
 // InjectDisturbance reproduces the paper's §4.3 external slowdowns.
 // Every control-plane call routes to the shard owning the target.
+//
+// # Live serving
+//
+// StartLive paces the engine against the wall clock (at any speed
+// multiple) so the same System serves real traffic: concurrent
+// goroutines funnel work onto the engine goroutine with Live.Inject or
+// Live.Do, block for completion with Handle.Wait (or a per-request
+// Request.OnResult callback, which fires on the engine goroutine), and
+// stop the clock with Live.Stop. Package clockwork/serve builds the
+// network front door on these primitives — an HTTP/JSON server
+// (cmd/clockworkd), a typed client, and a wall-clock load generator
+// (cmd/clockwork-loadgen). The virtual-clock experiment paths never
+// touch wall time; see ARCHITECTURE.md, "Serving plane".
 package clockwork

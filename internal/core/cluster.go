@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"clockwork/internal/action"
@@ -442,6 +444,18 @@ func (cl *Cluster) UnregisterModel(name string) error {
 	return nil
 }
 
+// ModelNames returns the currently registered model instance names in
+// cluster-global registration order.
+func (cl *Cluster) ModelNames() []string {
+	out := make([]string, len(cl.modelOrder))
+	copy(out, cl.modelOrder)
+	return out
+}
+
+// ModelCount returns the number of registered model instances — O(1),
+// for callers that don't need the names.
+func (cl *Cluster) ModelCount() int { return len(cl.modelOrder) }
+
 // Stats sums controller-side outcome counters across all shards. With
 // Shards == 1 it equals Ctl.Stats().
 func (cl *Cluster) Stats() Stats {
@@ -536,12 +550,20 @@ func (cl *Cluster) RegisterCopies(base string, zoo *modelzoo.Model, n int) ([]st
 
 // ---- submission ----
 
-// Handle tracks one submitted request from the client's side. The
-// simulation is single-threaded: inspect or cancel between Run* calls.
+// Handle tracks one submitted request from the client's side. In
+// simulation mode inspect or cancel between Run* calls; in live mode
+// (the engine driven by a RealtimeDriver on its own goroutine) Done,
+// Outcome, ID and Wait are safe to call from any goroutine — completion
+// is published through a channel, so callers block on Wait instead of
+// busy-polling Done.
 type Handle struct {
-	cl  *Cluster
-	req *Request // nil until the request reaches the controller
+	cl     *Cluster
+	doneCh chan struct{}
 
+	// mu guards the mutable fields below: they are written on the
+	// engine goroutine and may be read from client goroutines.
+	mu            sync.Mutex
+	req           *Request // nil until the request reaches the controller
 	cancelPending bool
 	done          bool
 	resp          Response
@@ -551,6 +573,8 @@ type Handle struct {
 // ID returns the controller-assigned request ID (0 while the request is
 // still in transit to the controller).
 func (h *Handle) ID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.req == nil {
 		return 0
 	}
@@ -558,12 +582,39 @@ func (h *Handle) ID() uint64 {
 }
 
 // Done reports whether the request has a final outcome.
-func (h *Handle) Done() bool { return h.done }
+func (h *Handle) Done() bool {
+	select {
+	case <-h.doneCh:
+		return true
+	default:
+		return false
+	}
+}
 
 // Outcome returns the final response and client-observed latency; ok is
 // false while the request is still pending.
 func (h *Handle) Outcome() (Response, time.Duration, bool) {
+	if !h.Done() {
+		return Response{}, 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.resp, h.latency, h.done
+}
+
+// Wait blocks until the request reaches a final outcome or ctx is
+// cancelled. It is the live-mode completion primitive: something else —
+// a RealtimeDriver, or test code calling Run* — must be advancing the
+// engine, or Wait only returns via ctx.
+func (h *Handle) Wait(ctx context.Context) (Response, time.Duration, error) {
+	select {
+	case <-h.doneCh:
+	case <-ctx.Done():
+		return Response{}, 0, ctx.Err()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.resp, h.latency, nil
 }
 
 // Cancel requests cancellation and reports whether it took effect. A
@@ -575,14 +626,24 @@ func (h *Handle) Outcome() (Response, time.Duration, bool) {
 // clawed back (§4.2 — workers are never second-guessed mid-action):
 // then Cancel reports false and the request runs to its normal outcome.
 func (h *Handle) Cancel() bool {
+	h.mu.Lock()
 	if h.done {
+		h.mu.Unlock()
 		return false
 	}
 	if h.req == nil {
 		h.cancelPending = true
+		h.mu.Unlock()
 		return true
 	}
-	return h.cl.ctlForModel(h.req.Model, 0).CancelRequest(h.req)
+	req := h.req
+	h.mu.Unlock()
+	// CancelRequest mutates controller state: like every engine-side
+	// call it must run on the engine goroutine (in live mode, via
+	// Live.Do/Inject). The handle lock is released first — the
+	// cancellation path schedules the response event that will re-enter
+	// the completion callback.
+	return h.cl.ctlForModel(req.Model, 0).CancelRequest(req)
 }
 
 // Submit issues one client request with default options. The input
@@ -617,7 +678,7 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, spec.Model)
 	}
 	zoo := cl.zoos[spec.Model]
-	h := &Handle{cl: cl}
+	h := &Handle{cl: cl, doneCh: make(chan struct{})}
 	inputBytes := zoo.InputBytes()
 	if cl.cfg.ZeroLengthInputs {
 		inputBytes = 0
@@ -626,7 +687,9 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 		// A Cancel issued while the request was on the wire is applied
 		// inside the controller's submission, before the scheduler can
 		// dispatch — the in-transit cancel is authoritative.
+		h.mu.Lock()
 		spec.preCancelled = h.cancelPending
+		h.mu.Unlock()
 		ctl := cl.ctlForModel(spec.Model, submitShard)
 		req := ctl.SubmitSpec(spec, func(resp Response) {
 			if cl.cfg.Trace != nil {
@@ -651,16 +714,24 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 					shard = s
 				}
 				cl.Metrics.record(cl.Eng.Now(), shard, resp, latency, spec.SLO)
+				h.mu.Lock()
 				h.done = true
 				h.resp = resp
 				h.latency = latency
+				h.mu.Unlock()
+				// Publish completion before the callback so a callback
+				// that hands the result to another goroutine never sees
+				// its own handle still pending.
+				close(h.doneCh)
 				if onDone != nil {
 					onDone(resp, latency)
 				}
 			})
 		})
 		if req != nil {
+			h.mu.Lock()
 			h.req = req
+			h.mu.Unlock()
 			if cl.cfg.Trace != nil {
 				cl.cfg.Trace.Append(tracelog.Event{
 					At: cl.Eng.Now().Duration(), Kind: tracelog.KindRequest,

@@ -350,6 +350,20 @@ const (
 	WorkerFailed
 )
 
+// String implements fmt.Stringer.
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerActive:
+		return "active"
+	case WorkerDraining:
+		return "draining"
+	case WorkerFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
 // WorkerStateOf returns the lifecycle state of worker id.
 func (c *Controller) WorkerStateOf(id int) (WorkerState, error) {
 	wh, err := c.worker(id)

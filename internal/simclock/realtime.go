@@ -6,17 +6,23 @@ import (
 )
 
 // RealtimeDriver paces an Engine against the wall clock so that a system
-// built for simulation can also serve live traffic (demos, examples).
-// External goroutines inject work with Inject; the driver serialises all
-// event execution on its own goroutine, so engine users still never need
-// locks.
+// built for simulation can also serve live traffic. External goroutines
+// inject work with Inject; the driver serialises all event execution on
+// its own goroutine, so engine users still never need locks.
+//
+// Injections are staged in a side buffer and transferred onto the engine
+// between steps: the engine itself is touched only by the Run goroutine,
+// and Inject never blocks on event execution — which makes Inject safe
+// to call even from inside an event callback (the injected fn runs on a
+// later loop turn at the then-current instant).
 type RealtimeDriver struct {
 	eng   *Engine
 	speed float64
 
-	mu     sync.Mutex
-	wake   chan struct{}
-	closed bool
+	mu      sync.Mutex // guards pending and closed, never held during Step
+	pending []func()
+	closed  bool
+	wake    chan struct{}
 }
 
 // NewRealtimeDriver wraps eng. speed scales virtual time against wall
@@ -29,12 +35,14 @@ func NewRealtimeDriver(eng *Engine, speed float64) *RealtimeDriver {
 	return &RealtimeDriver{eng: eng, speed: speed, wake: make(chan struct{}, 1)}
 }
 
-// Inject schedules fn onto the engine from any goroutine. It runs at the
-// engine's current instant (i.e. "as soon as possible").
+// Inject schedules fn onto the engine from any goroutine — including the
+// engine goroutine itself, from inside an event callback. It runs at the
+// engine's then-current instant (i.e. "as soon as possible"). After the
+// driver stops, Inject is a safe no-op.
 func (d *RealtimeDriver) Inject(fn func()) {
 	d.mu.Lock()
 	if !d.closed {
-		d.eng.At(d.eng.Now(), fn)
+		d.pending = append(d.pending, fn)
 	}
 	d.mu.Unlock()
 	select {
@@ -43,16 +51,38 @@ func (d *RealtimeDriver) Inject(fn func()) {
 	}
 }
 
+// takePending transfers the staged injections, preserving Inject order.
+func (d *RealtimeDriver) takePending() []func() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.pending
+	d.pending = nil
+	return p
+}
+
 // Run executes events, sleeping between them so virtual time tracks wall
-// time. It returns when stop is closed. Run must be called from exactly
+// time. It returns when stop is closed; staged injections that have not
+// reached the engine by then are dropped. Run must be called from exactly
 // one goroutine.
 func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 	start := time.Now()
 	virtualStart := d.eng.Now()
 	for {
-		d.mu.Lock()
+		// Keep the virtual clock tracking the wall clock across idle
+		// gaps: when nothing is due before the wall-implied instant,
+		// advance the clock to it, so injections land at the instant a
+		// wall observer expects — not at whatever instant the last event
+		// froze the engine. (Without this, work injected after an idle
+		// period is "overdue" and executes unpaced, voiding the speed
+		// contract.)
+		wv := virtualStart.Add(time.Duration(float64(time.Since(start)) * d.speed))
+		if d.eng.NextEventAt() > wv && wv > d.eng.Now() {
+			d.eng.RunUntil(wv)
+		}
+		for _, fn := range d.takePending() {
+			d.eng.At(d.eng.Now(), fn)
+		}
 		next := d.eng.NextEventAt()
-		d.mu.Unlock()
 
 		if next == MaxTime {
 			select {
@@ -81,14 +111,13 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 			}
 		}
 
-		d.mu.Lock()
 		d.eng.Step()
-		d.mu.Unlock()
 	}
 }
 
 func (d *RealtimeDriver) close() {
 	d.mu.Lock()
 	d.closed = true
+	d.pending = nil
 	d.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package simclock
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -55,4 +56,187 @@ func TestRealtimeDriverInject(t *testing.T) {
 	// Injection after close must not panic and must be ignored.
 	d.Inject(func() { t.Error("ran after close") })
 	time.Sleep(10 * time.Millisecond)
+}
+
+// TestRealtimeDriverPacingBounds checks the speed multiplier's pacing
+// contract: a span of virtual time can never elapse in less wall time
+// than span/speed. (No tight upper bound — a loaded CI machine may run
+// arbitrarily late; late is allowed, early is a pacing bug.)
+func TestRealtimeDriverPacingBounds(t *testing.T) {
+	for _, speed := range []float64{1, 10, 100} {
+		e := NewEngine()
+		const events = 10
+		span := 200 * time.Millisecond * time.Duration(speed) // virtual
+		var fired atomic.Int32
+		for i := 1; i <= events; i++ {
+			e.After(span*time.Duration(i)/events, func() { fired.Add(1) })
+		}
+		d := NewRealtimeDriver(e, speed)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		start := time.Now()
+		go func() { d.Run(stop); close(done) }()
+
+		deadline := time.After(30 * time.Second)
+		for fired.Load() != events {
+			select {
+			case <-deadline:
+				t.Fatalf("speed %g: only %d/%d events fired", speed, fired.Load(), events)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		<-done
+		if minWall := time.Duration(float64(span) / speed); elapsed < minWall {
+			t.Errorf("speed %g: %v of virtual time elapsed in %v wall — faster than the %v floor",
+				speed, span, elapsed, minWall)
+		}
+	}
+}
+
+// TestRealtimeDriverInjectAfterStop checks that Inject against a
+// stopped driver neither panics nor mutates the engine.
+func TestRealtimeDriverInjectAfterStop(t *testing.T) {
+	e := NewEngine()
+	d := NewRealtimeDriver(e, 1000)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(stop); close(done) }()
+	close(stop)
+	<-done
+
+	queued := e.Len()
+	for i := 0; i < 100; i++ {
+		d.Inject(func() { t.Error("injected fn ran after close") })
+	}
+	if e.Len() != queued {
+		t.Errorf("Inject after close queued events: %d -> %d", queued, e.Len())
+	}
+}
+
+// TestRealtimeDriverInjectFromCallback checks Inject's reentrancy
+// contract: an event callback may inject follow-up work (the serving
+// plane's resubmit-on-result pattern) without deadlocking the driver.
+func TestRealtimeDriverInjectFromCallback(t *testing.T) {
+	e := NewEngine()
+	d := NewRealtimeDriver(e, 1000)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(stop); close(done) }()
+
+	var depth atomic.Int32
+	finished := make(chan struct{})
+	var chain func()
+	chain = func() {
+		if depth.Add(1) == 5 {
+			close(finished)
+			return
+		}
+		d.Inject(chain)
+	}
+	d.Inject(chain)
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("chained injection stalled at depth %d", depth.Load())
+	}
+	close(stop)
+	<-done
+}
+
+// TestRealtimeDriverIdleReanchor checks that virtual time keeps
+// tracking the wall clock across idle gaps: work injected after an
+// idle period lands at the wall-implied instant, and follow-up timers
+// it arms are paced — not executed as an "overdue" burst.
+func TestRealtimeDriverIdleReanchor(t *testing.T) {
+	const speed = 100.0
+	e := NewEngine()
+	d := NewRealtimeDriver(e, speed)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(stop); close(done) }()
+	defer func() { close(stop); <-done }()
+
+	idle := 100 * time.Millisecond
+	time.Sleep(idle) // engine has no events: clock must still advance
+
+	injected := make(chan Time, 1)
+	fired := make(chan struct{})
+	var injectedWall time.Time
+	d.Inject(func() {
+		injectedWall = time.Now()
+		injected <- e.Now()
+		e.After(time.Second, func() { close(fired) }) // 1s virtual = 10ms wall
+	})
+	at := <-injected
+	// The idle gap was ~100ms wall = ~10s virtual; anything well past
+	// the frozen epoch proves re-anchoring (generous lower bound for
+	// slow CI).
+	if at < Time(float64(idle/2)*speed) {
+		t.Fatalf("injection landed at %v virtual; clock did not track the %v idle gap", at, idle)
+	}
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("follow-up timer never fired")
+	}
+	if wall := time.Since(injectedWall); wall < time.Second/speed {
+		t.Fatalf("1s virtual timer fired after %v wall — faster than the %v pacing floor",
+			wall, time.Second/time.Duration(speed))
+	}
+}
+
+// TestRealtimeDriverConcurrentInjectStress hammers Inject from many
+// goroutines while the driver runs, and overlaps the stop with the
+// tail of the injections — the -race workout for the serving plane's
+// hot path.
+func TestRealtimeDriverConcurrentInjectStress(t *testing.T) {
+	e := NewEngine()
+	d := NewRealtimeDriver(e, 1e6) // virtual time nearly free
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(stop); close(done) }()
+
+	const (
+		goroutines = 16
+		perG       = 500
+	)
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d.Inject(func() { executed.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadline := time.After(30 * time.Second)
+	for executed.Load() != goroutines*perG {
+		select {
+		case <-deadline:
+			t.Fatalf("executed %d/%d injected events", executed.Load(), goroutines*perG)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Overlap a second wave of injections with the stop: none may
+	// panic, and the driver must still shut down.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d.Inject(func() {})
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	<-done
 }

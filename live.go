@@ -1,0 +1,114 @@
+package clockwork
+
+import (
+	"errors"
+	"sync"
+
+	"clockwork/internal/simclock"
+)
+
+// This file is the bridge between the deterministic virtual-clock world
+// and live serving: StartLive paces a System's engine against the wall
+// clock on a dedicated goroutine, and Live is the handle concurrent
+// callers use to get onto that goroutine. The determinism boundary is
+// exactly here — everything below the engine is the same event-driven
+// machinery the simulations run, and the only nondeterminism a live
+// system sees is the arrival timing of injected work (see
+// ARCHITECTURE.md, "Serving plane").
+
+// ErrLiveStopped is returned by Live.Do when the driver has stopped
+// before the submitted function could run.
+var ErrLiveStopped = errors.New("clockwork: live driver stopped")
+
+// Live paces a System against the wall clock so it can serve real
+// traffic. All engine-side work — submissions, control-plane calls,
+// metrics reads — must be funnelled through Inject or Do; the driver
+// serialises everything on one goroutine, preserving the engine's
+// single-threaded discipline without any locks in the engine itself.
+//
+// At most one Live driver may be active per System, and while it runs
+// the System's RunFor/RunUntil must not be called.
+type Live struct {
+	sys   *System
+	drv   *simclock.RealtimeDriver
+	speed float64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartLive starts pacing the system's engine against the wall clock on
+// a new goroutine and returns the live handle. speed scales virtual
+// time against wall time: 1.0 serves in real time, 100.0 runs the
+// virtual clock a hundredfold faster (speeds <= 0 mean 1.0). The driver
+// runs until Stop.
+func (s *System) StartLive(speed float64) *Live {
+	if speed <= 0 {
+		speed = 1.0
+	}
+	l := &Live{
+		sys:   s,
+		drv:   simclock.NewRealtimeDriver(s.cluster.Eng, speed),
+		speed: speed,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		l.drv.Run(l.stop)
+		close(l.done)
+	}()
+	return l
+}
+
+// Speed returns the effective virtual-vs-wall speed multiplier.
+func (l *Live) Speed() float64 { return l.speed }
+
+// System returns the system this driver paces.
+func (l *Live) System() *System { return l.sys }
+
+// Inject schedules fn onto the engine goroutine "as soon as possible"
+// (at the engine's current virtual instant) and returns without waiting
+// for it to run. Safe from any goroutine, including engine-side
+// callbacks (an OnResult handler may Inject a follow-up submission; it
+// runs on a later driver turn). After Stop, Inject is a silent no-op.
+func (l *Live) Inject(fn func()) { l.drv.Inject(fn) }
+
+// Do runs fn on the engine goroutine and blocks until it has completed
+// — the synchronous companion to Inject, used for submissions and
+// consistent metric snapshots. It returns ErrLiveStopped if the driver
+// stopped before fn could run. Calling Do from inside an engine-side
+// callback deadlocks; use plain function calls there (the caller is
+// already on the engine goroutine).
+func (l *Live) Do(fn func()) error {
+	ran := make(chan struct{})
+	l.drv.Inject(func() {
+		fn()
+		close(ran)
+	})
+	select {
+	case <-ran:
+		return nil
+	case <-l.done:
+		// The driver exited; the injected event may still be queued but
+		// will never execute. Re-check once: fn may have run in the
+		// driver's final steps.
+		select {
+		case <-ran:
+			return nil
+		default:
+			return ErrLiveStopped
+		}
+	}
+}
+
+// Stop halts the wall-clock driver and waits for its goroutine to exit.
+// Pending virtual events (in-flight requests, timers) are left in the
+// engine — callers that need a clean drain should stop admitting work
+// and wait for in-flight completions first, which is exactly what
+// serve.Server.Shutdown does. Stop is idempotent and safe from any
+// goroutine.
+func (l *Live) Stop() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}

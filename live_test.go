@@ -1,0 +1,181 @@
+package clockwork_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"clockwork"
+)
+
+func newLiveSystem(t *testing.T, speed float64) (*clockwork.System, *clockwork.Live) {
+	t.Helper()
+	sys, err := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	live := sys.StartLive(speed)
+	t.Cleanup(live.Stop)
+	return sys, live
+}
+
+// TestLiveHandleWait is the completion-notification contract: a client
+// goroutine submits through the live driver and blocks on Wait instead
+// of busy-polling Done.
+func TestLiveHandleWait(t *testing.T) {
+	sys, live := newLiveSystem(t, 1000)
+
+	var h *clockwork.Handle
+	var err error
+	if doErr := live.Do(func() {
+		h, err = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Second}, nil)
+	}); doErr != nil {
+		t.Fatal(doErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !res.Success || res.Latency <= 0 {
+		t.Fatalf("Wait result: %+v", res)
+	}
+	if !h.Done() {
+		t.Fatal("Done must be true after Wait returns")
+	}
+	if res2, ok := h.Outcome(); !ok || res2 != res {
+		t.Fatalf("Outcome after Wait: %+v, %v", res2, ok)
+	}
+}
+
+// TestLiveHandleWaitCtxCancel: a cancelled ctx abandons the wait, not
+// the request.
+func TestLiveHandleWaitCtxCancel(t *testing.T) {
+	sys, live := newLiveSystem(t, 1) // real time: the request outlives the ctx
+
+	var h *clockwork.Handle
+	var err error
+	if doErr := live.Do(func() {
+		h, err = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: 2 * time.Second}, nil)
+	}); doErr != nil {
+		t.Fatal(doErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, werr := h.Wait(ctx); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("Wait with cancelled ctx: %v", werr)
+	}
+	// The request still completes.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if res, werr := h.Wait(ctx2); werr != nil || !res.Success {
+		t.Fatalf("request abandoned with the ctx: %+v, %v", res, werr)
+	}
+}
+
+// TestLiveOnResult: the per-request callback fires on the engine
+// goroutine, once, before any Wait returns.
+func TestLiveOnResult(t *testing.T) {
+	sys, live := newLiveSystem(t, 1000)
+
+	var mu sync.Mutex
+	got := make([]clockwork.Result, 0, 2)
+	fromCallback := make(chan clockwork.Result, 1)
+	var h *clockwork.Handle
+	var err error
+	if doErr := live.Do(func() {
+		h, err = sys.SubmitRequest(clockwork.Request{
+			Model: "m",
+			SLO:   time.Second,
+			OnResult: func(r clockwork.Result) {
+				mu.Lock()
+				got = append(got, r)
+				mu.Unlock()
+				fromCallback <- r
+			},
+		}, func(r clockwork.Result) {
+			// onDone fires after OnResult.
+			mu.Lock()
+			got = append(got, r)
+			mu.Unlock()
+		})
+	}); doErr != nil {
+		t.Fatal(doErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cb := <-fromCallback:
+		if cb != res {
+			t.Fatalf("OnResult saw %+v, Wait saw %+v", cb, res)
+		}
+	case <-ctx.Done():
+		t.Fatal("OnResult never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("callbacks fired %d times, want 2 (OnResult then onDone)", len(got))
+	}
+}
+
+// TestLiveDoAfterStop: Do against a stopped driver reports
+// ErrLiveStopped instead of deadlocking.
+func TestLiveDoAfterStop(t *testing.T) {
+	sys, err := clockwork.New(clockwork.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := sys.StartLive(1000)
+	live.Stop()
+	if doErr := live.Do(func() {}); !errors.Is(doErr, clockwork.ErrLiveStopped) {
+		t.Fatalf("Do after Stop: %v, want ErrLiveStopped", doErr)
+	}
+	live.Stop() // idempotent
+}
+
+// TestSimWaitStillWorks: Wait also composes with the virtual clock —
+// a goroutine advancing the clock releases a waiting goroutine.
+func TestSimWaitStillWorks(t *testing.T) {
+	sys, err := clockwork.New(clockwork.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if res, werr := h.Wait(ctx); werr != nil || !res.Success {
+			t.Errorf("Wait: %+v, %v", res, werr)
+		}
+	}()
+	sys.RunFor(time.Second)
+	<-done
+}

@@ -1,6 +1,7 @@
 package clockwork
 
 import (
+	"context"
 	"time"
 
 	"clockwork/internal/core"
@@ -65,6 +66,13 @@ type Request struct {
 	// MaxBatchSize, if > 0, caps the batch this request may execute in
 	// (1 forces solo execution).
 	MaxBatchSize int
+	// OnResult, if non-nil, is invoked exactly once with the final
+	// outcome, before SubmitRequest's onDone argument (both may be set;
+	// both fire). Like every completion callback it runs on the engine
+	// goroutine — in live mode keep it short and non-blocking, and hand
+	// heavy work to another goroutine. Prefer Handle.Wait when a
+	// goroutine just needs to block until completion.
+	OnResult func(Result)
 }
 
 // Result is the client-observed outcome of one inference request.
@@ -88,8 +96,10 @@ type Result struct {
 	ColdStart bool
 }
 
-// Handle tracks one submitted request from the client side. The
-// simulation is single-threaded; inspect or cancel between Run calls.
+// Handle tracks one submitted request from the client side. In
+// simulation mode, inspect or cancel between Run calls. In live mode
+// (see System.StartLive), Done, Outcome, ID and Wait are safe from any
+// goroutine; Cancel must run on the engine goroutine (via Live.Do).
 type Handle struct {
 	h *core.Handle
 }
@@ -108,6 +118,20 @@ func (h *Handle) Outcome() (Result, bool) {
 		return Result{}, false
 	}
 	return resultOf(resp, latency), true
+}
+
+// Wait blocks until the request reaches a final outcome or ctx is
+// cancelled — the completion-notification primitive that replaces
+// busy-polling Done. Something else must be advancing the clock: a
+// RealtimeDriver started with System.StartLive, or (in tests) another
+// goroutine calling RunFor. A ctx cancellation abandons the wait, not
+// the request: the request still runs to its normal outcome.
+func (h *Handle) Wait(ctx context.Context) (Result, error) {
+	resp, latency, err := h.h.Wait(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultOf(resp, latency), nil
 }
 
 // Cancel requests cancellation and reports whether it took effect:
@@ -144,8 +168,17 @@ func (s *System) SubmitRequest(req Request, onDone func(Result)) (*Handle, error
 		MaxBatch: req.MaxBatchSize,
 	}
 	var cb func(core.Response, time.Duration)
-	if onDone != nil {
-		cb = func(r core.Response, l time.Duration) { onDone(resultOf(r, l)) }
+	if onDone != nil || req.OnResult != nil {
+		onResult := req.OnResult
+		cb = func(r core.Response, l time.Duration) {
+			res := resultOf(r, l)
+			if onResult != nil {
+				onResult(res)
+			}
+			if onDone != nil {
+				onDone(res)
+			}
+		}
 	}
 	h, err := s.cluster.SubmitRequest(spec, cb)
 	if err != nil {

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clockwork"
+)
+
+// BenchmarkServeRoundTrip measures the serving plane's per-request
+// overhead: one sequential client over loopback HTTP against an
+// in-process server at a high speed multiplier, so the virtual-clock
+// inference cost is microseconds of wall time and the measured figure
+// is dominated by the HTTP + Inject + Wait plumbing this PR adds on
+// top of the §6.5 control-plane cost.
+func BenchmarkServeRoundTrip(b *testing.B) {
+	sys, err := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		b.Fatal(err)
+	}
+	srv := New(sys, Options{Speed: 10_000})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	client := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	// Warm the model onto a GPU so the steady state is measured.
+	if _, err := client.Infer(ctx, clockwork.Request{Model: "m", SLO: time.Second}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Infer(ctx, clockwork.Request{Model: "m", SLO: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Success {
+			b.Fatalf("infer failed: %+v", res)
+		}
+	}
+}

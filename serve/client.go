@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"clockwork"
+)
+
+// Client is the typed Go client of a clockworkd server: it mirrors the
+// in-process Request/Result API over HTTP, so code written against
+// System.SubmitRequest ports to the network with a connection string.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at addr ("host:port" or a
+// full "http://…" base URL). httpClient may be nil for a default tuned
+// for many concurrent loopback connections.
+func NewClient(addr string, httpClient *http.Client) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if httpClient == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 512
+		tr.MaxIdleConnsPerHost = 512
+		httpClient = &http.Client{Transport: tr}
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx server response. Unwrap yields the matching
+// typed clockwork error (e.g. clockwork.ErrUnknownModel), so
+// errors.Is works identically against the in-process and the remote
+// API.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// Unwrap maps the wire code back onto the typed error taxonomy.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case "unknown_model":
+		return clockwork.ErrUnknownModel
+	case "duplicate_model":
+		return clockwork.ErrDuplicateModel
+	case "invalid_request":
+		return clockwork.ErrInvalidRequest
+	case "no_such_worker":
+		return clockwork.ErrNoSuchWorker
+	case "worker_down":
+		return clockwork.ErrWorkerDown
+	case "model_busy":
+		return clockwork.ErrModelBusy
+	case "no_such_shard":
+		return clockwork.ErrNoSuchShard
+	default:
+		return nil
+	}
+}
+
+// do issues one JSON round trip. out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) != nil || e.Error == "" {
+			e = errorResponse{Error: strings.TrimSpace(string(msg)), Code: "internal"}
+		}
+		return &APIError{Status: resp.StatusCode, Code: e.Code, Message: e.Error}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Infer submits one inference and blocks until its outcome returns.
+// req.OnResult is ignored (completion is the HTTP response itself).
+func (c *Client) Infer(ctx context.Context, req clockwork.Request) (clockwork.Result, error) {
+	var resp InferResponse
+	err := c.do(ctx, http.MethodPost, "/v1/infer", InferRequest{
+		Model:        req.Model,
+		SLO:          req.SLO,
+		Priority:     req.Priority,
+		Tenant:       req.Tenant,
+		MaxBatchSize: req.MaxBatchSize,
+	}, &resp)
+	if err != nil {
+		return clockwork.Result{}, err
+	}
+	return resp.Result(), nil
+}
+
+// RegisterModel registers one instance of a zoo catalogue model.
+func (c *Client) RegisterModel(ctx context.Context, instance, zoo string) error {
+	return c.do(ctx, http.MethodPost, "/v1/models",
+		RegisterRequest{Instance: instance, Zoo: zoo}, nil)
+}
+
+// RegisterCopies registers n instances named "<base>#0" … "<base>#n-1"
+// and returns their names.
+func (c *Client) RegisterCopies(ctx context.Context, base, zoo string, n int) ([]string, error) {
+	var resp RegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models",
+		RegisterRequest{Instance: base, Zoo: zoo, Copies: n}, &resp)
+	return resp.Instances, err
+}
+
+// Models lists the registered instance names in registration order.
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	var resp ModelsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &resp)
+	return resp.Models, err
+}
+
+// Stats returns the serving-plane summary.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// AddWorker adds one worker with the server's standard geometry and
+// returns its ID.
+func (c *Client) AddWorker(ctx context.Context) (int, error) {
+	var resp WorkerResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/workers", nil, &resp)
+	return resp.ID, err
+}
+
+// DrainWorker drains worker id.
+func (c *Client) DrainWorker(ctx context.Context, id int) error {
+	return c.do(ctx, http.MethodPost, "/v1/admin/workers/drain", WorkerRequest{ID: id}, nil)
+}
+
+// FailWorker abruptly fails worker id.
+func (c *Client) FailWorker(ctx context.Context, id int) error {
+	return c.do(ctx, http.MethodPost, "/v1/admin/workers/fail", WorkerRequest{ID: id}, nil)
+}
+
+// Rebalance runs one cross-shard rebalance pass and returns the number
+// of models migrated.
+func (c *Client) Rebalance(ctx context.Context) (int, error) {
+	var resp RebalanceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/rebalance", nil, &resp)
+	return resp.Migrated, err
+}
+
+// ShardStats returns per-shard outcome counters and the migration
+// count.
+func (c *Client) ShardStats(ctx context.Context) (ShardStatsResponse, error) {
+	var resp ShardStatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/admin/shards", nil, &resp)
+	return resp, err
+}
+
+// Health probes /healthz; nil means the server is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: health %s", resp.Status)
+	}
+	return nil
+}
+
+// WaitReady polls /healthz until the server answers or ctx expires —
+// the standard "daemon just forked" startup gate.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		if err := c.Health(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

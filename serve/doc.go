@@ -1,0 +1,28 @@
+// Package serve is the live serving plane: it turns a virtual-clock
+// clockwork.System into a network service that real clients hit over
+// HTTP, the role the paper's §6 deployment plays in front of its
+// workers.
+//
+// Three pieces, front to back:
+//
+//   - Server: an HTTP/JSON front end (POST /v1/infer, model
+//     registration, the worker/shard admin plane, GET /metrics in
+//     Prometheus text format) that bridges concurrent connections onto
+//     the single-threaded engine through clockwork.Live — every
+//     engine-side call is injected onto the engine goroutine, every
+//     connection handler blocks on Handle.Wait, and graceful Shutdown
+//     drains in-flight requests before stopping the clock.
+//   - Client: a typed Go client mirroring the in-process
+//     Request/Result API, including the typed error taxonomy
+//     (errors.Is against clockwork.ErrUnknownModel etc. works
+//     unchanged over the wire).
+//   - RunLoad: an open/closed-loop wall-clock load generator reusing
+//     the workload package's Poisson arrival process, reporting
+//     goodput, SLO-violation rate and wall/virtual latency tails.
+//
+// The determinism boundary sits at the Server: below it the engine
+// processes events exactly as in simulation; the only nondeterminism a
+// live system sees is the wall-clock arrival timing of injected work.
+// The virtual-clock experiment paths never touch this package. See
+// ARCHITECTURE.md, "Serving plane".
+package serve

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"clockwork"
+)
+
+// latencyQuantiles are the summary quantiles /metrics exposes.
+var latencyQuantiles = []struct {
+	label string
+	p     float64
+}{{"0.5", 50}, {"0.9", 90}, {"0.99", 99}, {"0.999", 99.9}, {"0.9999", 99.99}}
+
+// handleMetrics renders GET /metrics in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the repo stays dependency-free.
+// The whole scrape is snapshotted in one engine call, so every line
+// reflects the same virtual instant.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var (
+		st     StatsResponse
+		shards []clockwork.ShardStats
+		quants = make([]float64, len(latencyQuantiles))
+	)
+	doErr := s.live.Do(func() {
+		s.fillStats(&st)
+		for i := 0; i < s.sys.ShardCount(); i++ {
+			if sb, err := s.sys.ShardStats(i); err == nil {
+				shards = append(shards, sb)
+			}
+		}
+		for i, q := range latencyQuantiles {
+			quants[i] = s.sys.LatencyPercentile(q.p).Seconds()
+		}
+	})
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("clockwork_requests_total", "Client requests with a final outcome.", st.Requests)
+	counter("clockwork_succeeded_total", "Requests that executed and returned.", st.Succeeded)
+	counter("clockwork_failed_total", "Requests with a failure outcome.", st.Failed)
+	counter("clockwork_slo_misses_total", "Successful responses that exceeded their SLO.", st.SLOMisses)
+	counter("clockwork_cancelled_total", "Requests rejected in advance by admission control.", st.Cancelled)
+	counter("clockwork_rejected_total", "Worker-side schedule misses.", st.Rejected)
+	counter("clockwork_cold_starts_total", "Requests whose model was not GPU-resident on arrival.", st.ColdStarts)
+	gauge("clockwork_goodput_mean", "Within-SLO responses per virtual second over the run.", st.GoodputMean)
+	gauge("clockwork_workers", "Workers ever added (drained and failed keep their IDs).", float64(st.Workers))
+	gauge("clockwork_shards", "Scheduler shards.", float64(st.Shards))
+	gauge("clockwork_models", "Registered model instances.", float64(st.Models))
+	gauge("clockwork_virtual_time_seconds", "Engine virtual clock.", st.VirtualNow.Seconds())
+	gauge("clockwork_uptime_seconds", "Daemon wall-clock age.", time.Since(s.started).Seconds())
+	gauge("clockwork_speed", "Virtual-vs-wall clock multiplier.", s.live.Speed())
+
+	fmt.Fprintf(&b, "# HELP clockwork_latency_seconds Client-observed latency (virtual clock).\n")
+	fmt.Fprintf(&b, "# TYPE clockwork_latency_seconds summary\n")
+	for i, q := range latencyQuantiles {
+		fmt.Fprintf(&b, "clockwork_latency_seconds{quantile=%q} %g\n", q.label, quants[i])
+	}
+	fmt.Fprintf(&b, "clockwork_latency_seconds_count %d\n", st.Requests)
+
+	fmt.Fprintf(&b, "# HELP clockwork_shard_requests_total Requests attributed to each shard.\n")
+	fmt.Fprintf(&b, "# TYPE clockwork_shard_requests_total counter\n")
+	for i, sb := range shards {
+		fmt.Fprintf(&b, "clockwork_shard_requests_total{shard=\"%d\"} %d\n", i, sb.Requests)
+	}
+	fmt.Fprintf(&b, "# HELP clockwork_shard_within_slo_total Within-SLO successes per shard.\n")
+	fmt.Fprintf(&b, "# TYPE clockwork_shard_within_slo_total counter\n")
+	for i, sb := range shards {
+		fmt.Fprintf(&b, "clockwork_shard_within_slo_total{shard=\"%d\"} %d\n", i, sb.WithinSLO)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

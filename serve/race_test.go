@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// Reduced end-to-end volume under the race detector; see
+// norace_test.go.
+const e2eRequests = 12_000

@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"clockwork"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Speed is the virtual-vs-wall clock multiplier handed to
+	// System.StartLive (<= 0 means 1.0: real time).
+	Speed float64
+}
+
+// Server is the HTTP/JSON front end of a live System: it bridges
+// concurrent connections onto the single-threaded engine through the
+// Live driver (every engine-side call goes through Live.Do; every
+// waiter blocks on Handle.Wait), so the engine keeps its lock-free
+// single-goroutine discipline while the HTTP layer fans out.
+//
+// Endpoints:
+//
+//	POST /v1/infer          submit one inference, respond on completion
+//	POST /v1/models         register a zoo model instance (or copies)
+//	GET  /v1/models         list registered instances
+//	GET  /v1/stats          Summary + serving-plane facts (JSON)
+//	POST /v1/admin/workers        add a worker
+//	POST /v1/admin/workers/drain  drain a worker
+//	POST /v1/admin/workers/fail   fail a worker
+//	POST /v1/admin/rebalance      run one rebalance pass
+//	GET  /v1/admin/shards         per-shard outcome counters
+//	GET  /metrics           Prometheus text exposition
+//	GET  /healthz           liveness
+type Server struct {
+	sys  *clockwork.System
+	live *clockwork.Live
+	mux  *http.ServeMux
+
+	started time.Time
+
+	mu       sync.Mutex
+	draining bool
+	hsrv     *http.Server
+
+	// inflight tracks infer requests between admission and response so
+	// Shutdown can drain them before stopping the clock. stopCtx is
+	// cancelled immediately before the driver stops, releasing any
+	// handler still blocked in Handle.Wait (a drain that hit its
+	// deadline): once the clock halts, those waits could otherwise
+	// never return.
+	inflight   sync.WaitGroup
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
+}
+
+// New starts the system's wall-clock driver and returns a server ready
+// to accept connections (via Serve/ListenAndServe, or by mounting
+// Handler on an existing mux). The caller must not drive the system's
+// virtual clock (RunFor etc.) while the server lives; register models
+// either before New or through the /v1/models endpoint.
+func New(sys *clockwork.System, opts Options) *Server {
+	s := &Server{
+		sys:     sys,
+		live:    sys.StartLive(opts.Speed),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v1/models", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/admin/workers", s.handleAddWorker)
+	s.mux.HandleFunc("POST /v1/admin/workers/drain", s.handleWorkerOp(sys.DrainWorker))
+	s.mux.HandleFunc("POST /v1/admin/workers/fail", s.handleWorkerOp(sys.FailWorker))
+	s.mux.HandleFunc("POST /v1/admin/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("GET /v1/admin/shards", s.handleShards)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Live returns the wall-clock driver, for callers that mix direct
+// in-process access with HTTP serving.
+func (s *Server) Live() *clockwork.Live { return s.live }
+
+// Handler returns the server's HTTP handler, for mounting on an
+// existing mux or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns nil after
+// a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	hsrv := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.hsrv = hsrv
+	s.mu.Unlock()
+	err := hsrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server: new infers are refused with 503, the
+// HTTP listener stops accepting, every in-flight request runs to its
+// outcome (the engine keeps ticking while they drain), and only then
+// does the wall-clock driver stop. ctx bounds the drain; on expiry the
+// driver is stopped anyway and Shutdown returns ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	hsrv := s.hsrv
+	s.mu.Unlock()
+
+	var err error
+	if hsrv != nil {
+		err = hsrv.Shutdown(ctx)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	// Release any handler still blocked in Handle.Wait (only possible
+	// when the drain deadline expired) before freezing the clock, so no
+	// goroutine is stranded waiting on an engine that will never tick.
+	s.stopCancel()
+	s.live.Stop()
+	return err
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// admit registers one in-flight infer unless the server is draining.
+// The draining check and the WaitGroup increment share the mutex, so
+// no increment can race the drain's Wait: after Shutdown sets
+// draining, the in-flight count only decreases.
+func (s *Server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// ---- handlers ----
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		writeError(w, http.StatusServiceUnavailable, "draining", errors.New("server is draining"))
+		return
+	}
+	defer s.inflight.Done()
+	var req InferRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+
+	var h *clockwork.Handle
+	var err error
+	doErr := s.live.Do(func() {
+		h, err = s.sys.SubmitRequest(clockwork.Request{
+			Model:        req.Model,
+			SLO:          req.SLO,
+			Priority:     req.Priority,
+			Tenant:       req.Tenant,
+			MaxBatchSize: req.MaxBatchSize,
+		}, nil)
+	})
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	// Wait until completion, the client disconnecting, or the server
+	// giving up its drain (stopCtx) — the last so no handler is left
+	// waiting on a clock that stopped ticking.
+	waitCtx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopWatch := context.AfterFunc(s.stopCtx, cancel)
+	defer stopWatch()
+	res, werr := h.Wait(waitCtx)
+	if werr != nil {
+		// Distinguish the two release causes: the server abandoning its
+		// drain (stopCtx) vs. the client disconnecting. The request
+		// itself still runs to its outcome inside the engine (if the
+		// clock keeps ticking). Nothing useful reaches a gone client.
+		code := "client_gone"
+		if s.stopCtx.Err() != nil && r.Context().Err() == nil {
+			code = "draining"
+		}
+		writeError(w, http.StatusServiceUnavailable, code, werr)
+		return
+	}
+	writeJSON(w, InferResponse{
+		RequestID:  res.RequestID,
+		Model:      res.Model,
+		Tenant:     res.Tenant,
+		Success:    res.Success,
+		Reason:     res.Reason.String(),
+		ReasonCode: uint8(res.Reason),
+		Latency:    res.Latency,
+		Batch:      res.Batch,
+		ColdStart:  res.ColdStart,
+	})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Instance == "" || req.Zoo == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			errors.New("instance and zoo are required"))
+		return
+	}
+	var names []string
+	var err error
+	doErr := s.live.Do(func() {
+		if req.Copies > 0 {
+			names, err = s.sys.RegisterCopies(req.Instance, req.Zoo, req.Copies)
+		} else {
+			err = s.sys.RegisterModel(req.Instance, req.Zoo)
+			names = []string{req.Instance}
+		}
+	})
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, RegisterResponse{Instances: names})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var models []string
+	if doErr := s.live.Do(func() { models = s.sys.Models() }); doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	writeJSON(w, ModelsResponse{Models: models})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, doErr := s.snapshot()
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// fillStats populates st's engine-side fields. It must run on the
+// engine goroutine (inside a live.Do closure); both /v1/stats and
+// /metrics read through it so the two views cannot drift.
+func (s *Server) fillStats(st *StatsResponse) {
+	st.Summary = s.sys.Summary()
+	st.VirtualNow = s.sys.Now()
+	st.Workers = s.sys.Workers()
+	st.Shards = s.sys.ShardCount()
+	st.Models = s.sys.ModelCount()
+}
+
+// snapshot reads a consistent serving-plane summary on the engine
+// goroutine.
+func (s *Server) snapshot() (StatsResponse, error) {
+	var st StatsResponse
+	err := s.live.Do(func() { s.fillStats(&st) })
+	st.Uptime = time.Since(s.started)
+	st.Speed = s.live.Speed()
+	return st, err
+}
+
+func (s *Server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
+	var id int
+	if doErr := s.live.Do(func() { id = s.sys.AddWorker() }); doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	writeJSON(w, WorkerResponse{ID: id, State: "active"})
+}
+
+func (s *Server) handleWorkerOp(op func(int) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req WorkerRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		var err error
+		var state clockwork.WorkerState
+		doErr := s.live.Do(func() {
+			if err = op(req.ID); err == nil {
+				state, _ = s.sys.WorkerStateOf(req.ID)
+			}
+		})
+		if doErr != nil {
+			writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+			return
+		}
+		if err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		writeJSON(w, WorkerResponse{ID: req.ID, State: state.String()})
+	}
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var migrated int
+	if doErr := s.live.Do(func() { migrated = s.sys.Rebalance() }); doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	writeJSON(w, RebalanceResponse{Migrated: migrated})
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	var resp ShardStatsResponse
+	doErr := s.live.Do(func() {
+		n := s.sys.ShardCount()
+		resp.Shards = make([]ShardStatsEntry, 0, n)
+		for i := 0; i < n; i++ {
+			st, err := s.sys.ShardStats(i)
+			if err != nil {
+				continue
+			}
+			resp.Shards = append(resp.Shards, ShardStatsEntry{Shard: i, ShardStats: st})
+		}
+		resp.Migrations = s.sys.Migrations()
+	})
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// maxBodyBytes caps JSON request bodies (1MB — orders of magnitude
+// above any legitimate request) so a hostile client cannot grow the
+// daemon's memory with one enormous POST.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes a size-capped JSON body; on failure it writes the
+// 400 and reports false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err)
+		return false
+	}
+	return true
+}
+
+// ---- response plumbing ----
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errToCode maps the typed clockwork errors onto (status, code) pairs;
+// codeToError in client.go is its inverse.
+func errToCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, clockwork.ErrUnknownModel):
+		return http.StatusNotFound, "unknown_model"
+	case errors.Is(err, clockwork.ErrDuplicateModel):
+		return http.StatusConflict, "duplicate_model"
+	case errors.Is(err, clockwork.ErrInvalidRequest):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, clockwork.ErrNoSuchWorker):
+		return http.StatusNotFound, "no_such_worker"
+	case errors.Is(err, clockwork.ErrWorkerDown):
+		return http.StatusConflict, "worker_down"
+	case errors.Is(err, clockwork.ErrModelBusy):
+		return http.StatusConflict, "model_busy"
+	case errors.Is(err, clockwork.ErrNoSuchShard):
+		return http.StatusNotFound, "no_such_shard"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeAPIError(w http.ResponseWriter, err error) {
+	status, code := errToCode(err)
+	writeError(w, status, code, err)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Code: code})
+}

@@ -5,6 +5,8 @@
 package workload
 
 import (
+	"time"
+
 	"clockwork/internal/rng"
 	"clockwork/internal/workload"
 )
@@ -33,4 +35,30 @@ const (
 // Equal (seed, cfg) pairs give identical traces.
 func SynthesizeMAF(seed uint64, cfg MAFConfig) *Trace {
 	return workload.SynthesizeMAF(rng.NewSource(seed).Stream("tracegen"), cfg)
+}
+
+// Arrivals draws open-loop inter-arrival gaps from the same seeded
+// exponential distribution the §6.3 open-loop clients use, exposed
+// publicly so wall-clock load generators (cmd/clockwork-loadgen) pace
+// arrivals with the paper's Poisson process. Equal (seed, rate) pairs
+// give identical gap sequences. Not safe for concurrent use; give each
+// generator goroutine its own Arrivals.
+type Arrivals struct {
+	stream *rng.Stream
+	rate   float64
+}
+
+// NewPoissonArrivals returns a Poisson arrival process at ratePerSec
+// requests per second. It panics on a non-positive rate, mirroring the
+// internal open-loop client.
+func NewPoissonArrivals(seed uint64, ratePerSec float64) *Arrivals {
+	if ratePerSec <= 0 {
+		panic("workload: non-positive rate")
+	}
+	return &Arrivals{stream: rng.NewSource(seed).Stream("arrivals"), rate: ratePerSec}
+}
+
+// Next draws the gap to the next arrival.
+func (a *Arrivals) Next() time.Duration {
+	return time.Duration(a.stream.Exp(1.0/a.rate) * float64(time.Second))
 }

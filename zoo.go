@@ -64,6 +64,16 @@ func (s *System) RegisterCopies(base, zooModel string, n int) ([]string, error) 
 	return s.cluster.RegisterCopies(base, m, n)
 }
 
+// Models returns the currently registered model instance names in
+// registration order — the live inventory, as opposed to ZooModels
+// (the static catalogue instances are created from). In live mode call
+// it through Live.Do.
+func (s *System) Models() []string { return s.cluster.ModelNames() }
+
+// ModelCount returns the number of registered model instances without
+// copying the name list.
+func (s *System) ModelCount() int { return s.cluster.ModelCount() }
+
 // ZooModels returns the names of the embedded model catalogue
 // (the paper's Appendix A, Table 1).
 func ZooModels() []string {
