@@ -1,0 +1,374 @@
+// Command clockwork-bench is the repo's perf-trajectory recorder: it
+// runs the serving-plane benchmarks (engine floor, HTTP round trip,
+// stream round trip, batched stream) and loopback closed-loop goodput
+// runs over both transports in-process, optionally shells out to the
+// scheduler benchmarks, and writes the results as machine-readable
+// JSON (BENCH_serve.json by convention) so future PRs can diff
+// performance against a committed baseline instead of prose.
+//
+// Examples:
+//
+//	clockwork-bench -out BENCH_serve.json
+//	clockwork-bench -quick -skip-scheduler -out /tmp/bench.json
+//
+// The figures are wall-clock measurements: machine-dependent, and
+// reproducible in distribution rather than bit-for-bit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"clockwork"
+	"clockwork/serve"
+)
+
+// benchEntry is one benchmark's figures.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// loadEntry is one loopback load run's figures.
+type loadEntry struct {
+	Transport     string  `json:"transport"`
+	Concurrency   int     `json:"concurrency"`
+	Batch         int     `json:"batch,omitempty"`
+	Goodput       float64 `json:"goodput_req_per_sec"`
+	Sent          uint64  `json:"sent"`
+	Lost          uint64  `json:"lost"`
+	Duplicates    uint64  `json:"duplicates"`
+	ViolationRate float64 `json:"violation_rate"`
+	WallP50Ns     int64   `json:"wall_p50_ns"`
+	WallP99Ns     int64   `json:"wall_p99_ns"`
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	Cores      int          `json:"cores"`
+	Note       string       `json:"note"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	Load       []loadEntry  `json:"load"`
+	Scheduler  []benchEntry `json:"scheduler,omitempty"`
+}
+
+func main() {
+	var (
+		out           = flag.String("out", "BENCH_serve.json", "output path")
+		quick         = flag.Bool("quick", false, "shorter runs (CI smoke); figures are noisier")
+		skipScheduler = flag.Bool("skip-scheduler", false, "skip the go-test scheduler benchmarks")
+		loadDur       = flag.Duration("load-duration", 2*time.Second, "wall length of each goodput run")
+	)
+	flag.Parse()
+
+	if *quick {
+		*loadDur = 500 * time.Millisecond
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Cores:     runtime.NumCPU(),
+		Note: "wall-clock serving-plane baseline; regenerate with cmd/clockwork-bench " +
+			"on comparable hardware before comparing across PRs",
+	}
+
+	log.Printf("clockwork-bench: benchmarks")
+	rep.Benchmarks = append(rep.Benchmarks,
+		runBench("LiveRoundTrip(engine floor)", benchLive),
+		runBench("ServeRoundTrip(HTTP)", benchHTTP),
+		runBench("StreamRoundTrip", benchStream),
+		runBench("StreamBatchRoundTrip(batch=64)", benchStreamBatch),
+	)
+	for _, b := range rep.Benchmarks {
+		log.Printf("clockwork-bench:   %-32s %10.0f ns/op  %6d B/op  %4d allocs/op",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	log.Printf("clockwork-bench: loopback goodput runs (%v each)", *loadDur)
+	for _, shape := range []struct {
+		transport string
+		batch     int
+	}{{"http", 0}, {"stream", 0}, {"stream", 32}} {
+		e, err := runLoad(shape.transport, shape.batch, *loadDur)
+		if err != nil {
+			log.Fatalf("clockwork-bench: %s load: %v", shape.transport, err)
+		}
+		rep.Load = append(rep.Load, e)
+		log.Printf("clockwork-bench:   %-6s batch=%-3d goodput=%9.1f req/s  lost=%d dup=%d",
+			e.Transport, e.Batch, e.Goodput, e.Lost, e.Duplicates)
+	}
+
+	if !*skipScheduler {
+		sched, err := runSchedulerBenches(*quick)
+		if err != nil {
+			log.Printf("clockwork-bench: scheduler benches skipped: %v", err)
+		} else {
+			rep.Scheduler = sched
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("clockwork-bench: wrote %s", *out)
+}
+
+func runBench(name string, fn func(b *testing.B)) benchEntry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return benchEntry{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// newSystem builds the benchmark geometry: 1 worker × 2 GPUs, one
+// warm ResNet50 — the same shape serve/bench_test.go measures.
+func newSystem() (*clockwork.System, error) {
+	sys, err := clockwork.New(clockwork.Config{Workers: 1, GPUsPerWorker: 2})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.RegisterModel("m", "resnet50_v1b"); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func benchLive(b *testing.B) {
+	sys, err := newSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := sys.StartLive(10_000)
+	defer live.Stop()
+	ctx := context.Background()
+	fire := func() {
+		var h *clockwork.Handle
+		var serr error
+		if doErr := live.Do(func() {
+			h, serr = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Second}, nil)
+		}); doErr != nil {
+			b.Fatal(doErr)
+		}
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fire()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fire()
+	}
+}
+
+func benchHTTP(b *testing.B) {
+	sys, err := newSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(sys, serve.Options{Speed: 10_000})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer shutdown(srv)
+	client := serve.NewClient(ln.Addr().String(), nil)
+	ctx := context.Background()
+	if err := client.WaitReady(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Infer(ctx, clockwork.Request{Model: "m", SLO: time.Second}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Infer(ctx, clockwork.Request{Model: "m", SLO: time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStream(b *testing.B) {
+	srv, client := streamPair(b, 1)
+	defer shutdown(srv)
+	defer client.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Infer(ctx, clockwork.Request{Model: "m", SLO: time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStreamBatch(b *testing.B) {
+	srv, client := streamPair(b, 1)
+	defer shutdown(srv)
+	defer client.Close()
+	ctx := context.Background()
+	const batch = 64
+	reqs := make([]clockwork.Request, batch)
+	for i := range reqs {
+		reqs[i] = clockwork.Request{Model: "m", SLO: time.Second, MaxBatchSize: 16}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		outs, err := client.SubmitBatch(ctx, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+func streamPair(b *testing.B, conns int) (*serve.Server, *serve.StreamClient) {
+	sys, err := newSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(sys, serve.Options{Speed: 10_000})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.ServeStream(ln) }()
+	client, err := serve.DialStream(ln.Addr().String(), serve.StreamOptions{Conns: conns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Infer(context.Background(), clockwork.Request{Model: "m", SLO: time.Second}); err != nil {
+		b.Fatal(err)
+	}
+	return srv, client
+}
+
+func shutdown(srv *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// runLoad reproduces the EXPERIMENTS.md loopback shape (2×2 GPUs,
+// 4 ResNet50 copies, speed 500, 16-way closed loop, 500ms SLO) over
+// the chosen transport, in-process.
+func runLoad(transport string, batch int, dur time.Duration) (loadEntry, error) {
+	sys, err := clockwork.New(clockwork.Config{Workers: 2, GPUsPerWorker: 2})
+	if err != nil {
+		return loadEntry{}, err
+	}
+	if _, err := sys.RegisterCopies("res", "resnet50_v1b", 4); err != nil {
+		return loadEntry{}, err
+	}
+	srv := serve.New(sys, serve.Options{Speed: 500})
+	defer shutdown(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadEntry{}, err
+	}
+	cfg := serve.LoadConfig{
+		SLO:         500 * time.Millisecond,
+		Concurrency: 16,
+		Duration:    dur,
+		Batch:       batch,
+	}
+	switch transport {
+	case "http":
+		go func() { _ = srv.Serve(ln) }()
+		cfg.Client = serve.NewClient(ln.Addr().String(), nil)
+	case "stream":
+		go func() { _ = srv.ServeStream(ln) }()
+		sc, err := serve.DialStream(ln.Addr().String(), serve.StreamOptions{Conns: 2})
+		if err != nil {
+			return loadEntry{}, err
+		}
+		defer sc.Close()
+		cfg.Transport = sc
+	default:
+		return loadEntry{}, fmt.Errorf("unknown transport %q", transport)
+	}
+	rep, err := serve.RunLoad(context.Background(), cfg)
+	if err != nil {
+		return loadEntry{}, err
+	}
+	return loadEntry{
+		Transport:     transport,
+		Concurrency:   cfg.Concurrency,
+		Batch:         batch,
+		Goodput:       rep.Goodput,
+		Sent:          rep.Sent,
+		Lost:          rep.Sent - rep.Completed - rep.Errors - rep.Shed,
+		Duplicates:    rep.Duplicates,
+		ViolationRate: rep.ViolationRate,
+		WallP50Ns:     rep.Wall.P50.Nanoseconds(),
+		WallP99Ns:     rep.Wall.P99.Nanoseconds(),
+	}, nil
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op`)
+
+// runSchedulerBenches shells out to go test for the virtual-clock
+// scheduler benchmarks; callers tolerate failure (no toolchain, no
+// source tree).
+func runSchedulerBenches(quick bool) ([]benchEntry, error) {
+	benchtime := "1000x"
+	if quick {
+		benchtime = "100x"
+	}
+	cmd := exec.Command("go", "test", "./internal/core", "-run", "xxx",
+		"-bench", "BenchmarkSchedulerPass", "-benchtime", benchtime)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%v: %s", err, strings.TrimSpace(string(out)))
+	}
+	var entries []benchEntry
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, benchEntry{Name: m[1], NsPerOp: ns})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in go test output")
+	}
+	return entries, nil
+}

@@ -1,14 +1,22 @@
 // Command clockwork-loadgen drives wall-clock load at a clockworkd
-// daemon and reports goodput, SLO-violation rate, and the wall/virtual
-// latency tails (p50–p99.9). It runs closed-loop by default (a fixed
-// number of outstanding requests) and open-loop with -rate (Poisson
-// arrivals at a fixed request rate, the §6.3 arrival process).
+// daemon and reports goodput, SLO-violation rate, shed rate, and the
+// wall/virtual latency tails (p50–p99.9). It runs closed-loop by
+// default (a fixed number of outstanding requests) and open-loop with
+// -rate (Poisson arrivals at a fixed request rate, the §6.3 arrival
+// process).
+//
+// -transport selects the front door: "http" (the JSON API) or
+// "stream" (the binary stream transport; point -addr at the daemon's
+// -stream-addr). With -transport stream, -batch N pipelines closed-loop
+// submissions in batches of N through one write, and -stream-conns
+// sets how many multiplexed connections to spread load over.
 //
 // Examples:
 //
 //	clockwork-loadgen -addr 127.0.0.1:8400 -duration 2s -concurrency 8
+//	clockwork-loadgen -addr 127.0.0.1:8401 -transport stream -batch 32
 //	clockwork-loadgen -addr 127.0.0.1:8400 -rate 500 -slo 100ms
-//	clockwork-loadgen -addr 127.0.0.1:8400 -requests 100000 -concurrency 64
+//	clockwork-loadgen -addr 127.0.0.1:8401 -transport stream -requests 100000
 //
 // Without -models it targets every model registered on the server,
 // round-robin. The exit status encodes the run's health: 1 for usage or
@@ -30,7 +38,10 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8400", "clockworkd address")
+		addr        = flag.String("addr", "127.0.0.1:8400", "clockworkd address (the daemon's -stream-addr when -transport stream)")
+		transport   = flag.String("transport", "http", "front door to drive: http or stream")
+		streamConns = flag.Int("stream-conns", 2, "multiplexed connections (stream transport)")
+		batch       = flag.Int("batch", 0, "closed-loop pipelined batch size (stream transport; 0/1 = unbatched)")
 		models      = flag.String("models", "", "comma-separated instance names (empty = all registered)")
 		slo         = flag.Duration("slo", 250*time.Millisecond, "per-request SLO (virtual clock)")
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers / open-loop outstanding cap")
@@ -43,22 +54,44 @@ func main() {
 	)
 	flag.Parse()
 
-	client := serve.NewClient(*addr, nil)
-	readyCtx, cancel := context.WithTimeout(context.Background(), *timeout)
-	if err := client.WaitReady(readyCtx); err != nil {
-		log.Fatalf("clockwork-loadgen: server %s not ready: %v", *addr, err)
-	}
-	cancel()
-
 	cfg := serve.LoadConfig{
-		Client:      client,
 		SLO:         *slo,
 		Concurrency: *concurrency,
 		Rate:        *rate,
 		Duration:    *duration,
 		MaxRequests: *requests,
 		Seed:        *seed,
+		Batch:       *batch,
 	}
+	readyCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	switch *transport {
+	case "http":
+		client := serve.NewClient(*addr, nil)
+		if err := client.WaitReady(readyCtx); err != nil {
+			log.Fatalf("clockwork-loadgen: server %s not ready: %v", *addr, err)
+		}
+		cfg.Client = client
+	case "stream":
+		// The stream listener has no health endpoint; readiness is a
+		// successful dial, retried until the timeout.
+		for {
+			sc, err := serve.DialStream(*addr, serve.StreamOptions{Conns: *streamConns})
+			if err == nil {
+				cfg.Transport = sc
+				defer sc.Close()
+				break
+			}
+			select {
+			case <-readyCtx.Done():
+				log.Fatalf("clockwork-loadgen: stream server %s not ready: %v", *addr, err)
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	default:
+		log.Fatalf("clockwork-loadgen: unknown -transport %q (want http or stream)", *transport)
+	}
+	cancel()
+
 	if *models != "" {
 		for _, m := range strings.Split(*models, ",") {
 			if m = strings.TrimSpace(m); m != "" {
@@ -85,7 +118,7 @@ func main() {
 	}
 	fmt.Print(rep.String())
 
-	lost := rep.Sent - rep.Completed - rep.Errors
+	lost := rep.Sent - rep.Completed - rep.Errors - rep.Shed
 	if lost != 0 || rep.Duplicates != 0 {
 		fmt.Fprintf(os.Stderr, "clockwork-loadgen: INTEGRITY FAILURE lost=%d duplicates=%d\n", lost, rep.Duplicates)
 		os.Exit(2)

@@ -1,19 +1,26 @@
 // Command clockworkd is the live serving daemon: it wires a clockwork
 // System to the wall clock and serves the HTTP/JSON API from package
 // serve — inference on POST /v1/infer, model registration, the
-// worker/shard admin plane, and Prometheus metrics on GET /metrics.
+// worker/shard admin plane, and Prometheus metrics on GET /metrics —
+// plus, with -stream-addr, the binary stream transport (length-prefixed
+// frames over TCP with connection multiplexing and batched submission),
+// the fast path that cuts per-request overhead several-fold.
 // SIGINT/SIGTERM triggers a graceful drain: in-flight requests run to
 // their outcome before the daemon exits.
 //
 // Examples:
 //
 //	clockworkd -addr :8400 -workers 2 -gpus 2 -preload resnet50_v1b:4
-//	clockworkd -addr 127.0.0.1:8400 -workers 8 -shards 4 -speed 100 \
-//	    -preload resnet50_v1b:8,densenet161:4
+//	clockworkd -addr 127.0.0.1:8400 -stream-addr 127.0.0.1:8401 \
+//	    -workers 8 -shards 4 -speed 100 -preload resnet50_v1b:8,densenet161:4
+//	clockworkd -addr :8400 -stream-addr :8401 -max-inflight 1024
 //
 // The -speed flag scales virtual time against wall time: 1 serves in
 // real time on the paper's simulated hardware; 100 runs the simulated
 // cluster a hundredfold faster, for load tests that don't want to wait.
+// -max-inflight bounds the admission window shared by both transports:
+// beyond it HTTP answers 429 (Retry-After) and the stream answers typed
+// overloaded error frames.
 package main
 
 import (
@@ -35,7 +42,9 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:8400", "listen address")
+		addr         = flag.String("addr", "127.0.0.1:8400", "HTTP listen address")
+		streamAddr   = flag.String("stream-addr", "", "binary stream-transport listen address (empty = disabled)")
+		maxInFlight  = flag.Int("max-inflight", 0, "admission window: max unanswered requests across transports (0 = unbounded)")
 		workers      = flag.Int("workers", 1, "worker machines")
 		gpus         = flag.Int("gpus", 1, "GPUs per worker")
 		shards       = flag.Int("shards", 1, "control-plane scheduler shards")
@@ -74,12 +83,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("clockworkd: %v", err)
 	}
-	srv := serve.New(sys, serve.Options{Speed: *speed})
-	log.Printf("clockworkd: listening on %s (workers=%d gpus=%d shards=%d policy=%s speed=%gx models=%d)",
-		ln.Addr(), *workers, *gpus, *shards, *policy, srv.Live().Speed(), len(names))
+	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight})
+	log.Printf("clockworkd: listening on %s (workers=%d gpus=%d shards=%d policy=%s speed=%gx models=%d max-inflight=%d)",
+		ln.Addr(), *workers, *gpus, *shards, *policy, srv.Live().Speed(), len(names), *maxInFlight)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+	if *streamAddr != "" {
+		sln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			log.Fatalf("clockworkd: %v", err)
+		}
+		log.Printf("clockworkd: stream transport on %s", sln.Addr())
+		go func() {
+			if err := srv.ServeStream(sln); err != nil {
+				log.Printf("clockworkd: stream transport: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

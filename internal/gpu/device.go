@@ -98,7 +98,7 @@ func (d *Device) Exec(base time.Duration, done func(actual time.Duration)) {
 	start := d.eng.Now()
 	d.busy = true
 	d.busyUntil = start.Add(actual)
-	d.eng.At(d.busyUntil, func() {
+	d.eng.Schedule(d.busyUntil, func() {
 		d.busy = false
 		d.execCount++
 		if d.OnBusy != nil {

@@ -79,7 +79,7 @@ func (l *Link) Transfer(base time.Duration, done func(start, end simclock.Time, 
 	end := start.Add(actual)
 	l.busyUntil = end
 	l.count++
-	l.eng.At(end, func() {
+	l.eng.Schedule(end, func() {
 		if l.OnBusy != nil {
 			l.OnBusy(start, end)
 		}

@@ -61,7 +61,7 @@ func (l *Link) Send(bytes int64, deliver func()) {
 	}
 	l.sent++
 	l.bytesSent += uint64(bytes)
-	l.eng.At(l.busyUntil.Add(delay), deliver)
+	l.eng.Schedule(l.busyUntil.Add(delay), deliver)
 }
 
 // Sent returns the number of messages transmitted.

@@ -17,17 +17,25 @@ type Engine struct {
 	pq      eventHeap
 	stepped uint64
 	stopped bool
+	// free recycles event nodes: the serving hot path schedules a dozen
+	// events per request, and pooling them (plus the handle-free
+	// Schedule entry point) keeps steady-state scheduling off the heap.
+	free []*event
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The
+// generation field guards against event-node recycling: a Timer whose
+// event has been reused reports !Pending / Stop()==false, exactly as a
+// fired timer does.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the timer. It returns false if the event already fired or
 // was already stopped.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled || t.ev.fired {
 		return false
 	}
 	t.ev.cancelled = true
@@ -37,15 +45,17 @@ func (t *Timer) Stop() bool {
 
 // Pending reports whether the event is still scheduled.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && !t.ev.fired
 }
 
-// When returns the instant the timer is scheduled for.
+// When returns the instant the timer is scheduled for. Only meaningful
+// while Pending.
 func (t *Timer) When() Time { return t.ev.at }
 
 type event struct {
 	at        Time
 	seq       uint64
+	gen       uint32
 	fn        func()
 	index     int
 	cancelled bool
@@ -98,18 +108,51 @@ func (e *Engine) Len() int { return len(e.pq) }
 // At schedules fn to run at instant t. Scheduling in the past (or at the
 // current instant) is allowed and fires on the next step, preserving FIFO
 // order among same-instant events. It panics on a nil fn, since a nil
-// event is always a bug in the caller.
+// event is always a bug in the caller. Callers that never Stop the
+// returned timer should prefer Schedule, which allocates no handle.
 func (e *Engine) At(t Time, fn func()) *Timer {
+	ev := e.schedule(t, fn)
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// Schedule is At without the cancellation handle — the hot-path form
+// for fire-and-forget events (network deliveries, executor wakeups,
+// injected closures), which reuses pooled event nodes and allocates
+// nothing beyond fn itself.
+func (e *Engine) Schedule(t Time, fn func()) {
+	e.schedule(t, fn)
+}
+
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if fn == nil {
-		panic("simclock: At with nil fn")
+		panic("simclock: schedule with nil fn")
 	}
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+		ev.cancelled, ev.fired = false, false
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.pq, ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// recycle returns a popped event node to the free list, invalidating
+// any Timer handle still pointing at it via the generation bump.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	if len(e.free) < 4096 {
+		e.free = append(e.free, ev)
+	}
 }
 
 // After schedules fn to run d after the current instant. Negative d is
@@ -124,6 +167,7 @@ func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*event)
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at > e.now {
@@ -131,7 +175,7 @@ func (e *Engine) Step() bool {
 		}
 		ev.fired = true
 		fn := ev.fn
-		ev.fn = nil
+		e.recycle(ev)
 		e.stepped++
 		fn()
 		return true
@@ -173,7 +217,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) peek() *event {
 	for len(e.pq) > 0 {
 		if e.pq[0].cancelled {
-			heap.Pop(&e.pq)
+			e.recycle(heap.Pop(&e.pq).(*event))
 			continue
 		}
 		return e.pq[0]

@@ -267,3 +267,45 @@ func TestEngineStringer(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// TestTimerStaleAfterRecycle guards the event-pool generation check: a
+// Timer whose event node has fired and been recycled into a NEW event
+// must keep reporting fired semantics (Stop false, not Pending), never
+// alias the new event.
+func TestTimerStaleAfterRecycle(t *testing.T) {
+	eng := NewEngine()
+	stale := eng.At(Time(10), func() {})
+	eng.Run() // fires and recycles the node
+	// Schedule enough new events to guarantee the recycled node is
+	// back in use.
+	fired := 0
+	for i := 0; i < 8; i++ {
+		eng.At(Time(20+i), func() { fired++ })
+	}
+	if stale.Pending() {
+		t.Fatal("fired timer reports Pending after node recycling")
+	}
+	if stale.Stop() {
+		t.Fatal("fired timer Stop() returned true after node recycling")
+	}
+	eng.Run()
+	if fired != 8 {
+		t.Fatalf("stale Timer.Stop cancelled a recycled event: fired=%d, want 8", fired)
+	}
+}
+
+// TestScheduleMatchesAt: the handle-free Schedule entry point must
+// order identically to At.
+func TestScheduleMatchesAt(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(Time(5), func() { order = append(order, 1) })
+	eng.At(Time(5), func() { order = append(order, 2) })
+	eng.Schedule(Time(3), func() { order = append(order, 0) })
+	eng.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("order = %v, want [0 1 2]", order)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 			d.eng.RunUntil(wv)
 		}
 		for _, fn := range d.takePending() {
-			d.eng.At(d.eng.Now(), fn)
+			d.eng.Schedule(d.eng.Now(), fn)
 		}
 		next := d.eng.NextEventAt()
 

@@ -2,6 +2,7 @@ package worker
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"clockwork/internal/action"
@@ -399,7 +400,7 @@ func (w *Worker) execNow(g *GPU, a *action.Action, st *inferState, m *modelzoo.M
 		return
 	}
 	if !w.cfg.BestEffort {
-		if err := g.WS.Acquire(fmt.Sprintf("infer-%d", a.ID)); err != nil {
+		if err := g.WS.Acquire("infer-" + strconv.FormatUint(a.ID, 10)); err != nil {
 			panic(fmt.Sprintf("worker: workspace: %v (one-at-a-time EXEC violated)", err))
 		}
 	}

@@ -51,27 +51,11 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("serve: %s (%s, http %d)", e.Message, e.Code, e.Status)
 }
 
-// Unwrap maps the wire code back onto the typed error taxonomy.
-func (e *APIError) Unwrap() error {
-	switch e.Code {
-	case "unknown_model":
-		return clockwork.ErrUnknownModel
-	case "duplicate_model":
-		return clockwork.ErrDuplicateModel
-	case "invalid_request":
-		return clockwork.ErrInvalidRequest
-	case "no_such_worker":
-		return clockwork.ErrNoSuchWorker
-	case "worker_down":
-		return clockwork.ErrWorkerDown
-	case "model_busy":
-		return clockwork.ErrModelBusy
-	case "no_such_shard":
-		return clockwork.ErrNoSuchShard
-	default:
-		return nil
-	}
-}
+// Unwrap maps the wire code back onto the typed error taxonomy —
+// clockwork's errors plus the serving-plane ones (ErrOverloaded,
+// ErrDraining). Both transports produce APIError, so errors.Is works
+// the same whichever front door the request took.
+func (e *APIError) Unwrap() error { return codeToErr(e.Code) }
 
 // do issues one JSON round trip. out may be nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {

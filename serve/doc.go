@@ -3,7 +3,7 @@
 // HTTP, the role the paper's §6 deployment plays in front of its
 // workers.
 //
-// Three pieces, front to back:
+// Four pieces, front to back:
 //
 //   - Server: an HTTP/JSON front end (POST /v1/infer, model
 //     registration, the worker/shard admin plane, GET /metrics in
@@ -11,14 +11,25 @@
 //     the single-threaded engine through clockwork.Live — every
 //     engine-side call is injected onto the engine goroutine, every
 //     connection handler blocks on Handle.Wait, and graceful Shutdown
-//     drains in-flight requests before stopping the clock.
+//     drains in-flight requests before stopping the clock. Both
+//     transports admit through one bounded in-flight window
+//     (Options.MaxInFlight): beyond it HTTP answers 429 and the stream
+//     a typed overloaded frame (ErrOverloaded).
+//   - The stream transport (Server.ServeStream + StreamClient, wire
+//     codec in serve/stream): the fast path — length-prefixed binary
+//     frames over TCP, many in-flight requests multiplexed per
+//     connection and correlated by ID, every batch of frames readable
+//     in one scheduling quantum submitted to the engine as a single
+//     injection, and SubmitBatch pipelining whole batches through one
+//     write. Several-fold cheaper per request than HTTP/JSON.
 //   - Client: a typed Go client mirroring the in-process
 //     Request/Result API, including the typed error taxonomy
 //     (errors.Is against clockwork.ErrUnknownModel etc. works
-//     unchanged over the wire).
+//     unchanged over either wire).
 //   - RunLoad: an open/closed-loop wall-clock load generator reusing
-//     the workload package's Poisson arrival process, reporting
-//     goodput, SLO-violation rate and wall/virtual latency tails.
+//     the workload package's Poisson arrival process, driving either
+//     transport (LoadConfig.Transport), reporting goodput,
+//     SLO-violation rate, shed rate and wall/virtual latency tails.
 //
 // The determinism boundary sits at the Server: below it the engine
 // processes events exactly as in simulation; the only nondeterminism a

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -12,11 +13,35 @@ import (
 	"clockwork/workload"
 )
 
+// Transport is the client-side face RunLoad drives: both Client
+// (HTTP/JSON) and StreamClient (binary stream) satisfy it, so one
+// load-generation loop measures either front door.
+type Transport interface {
+	Infer(ctx context.Context, req clockwork.Request) (clockwork.Result, error)
+	Models(ctx context.Context) ([]string, error)
+}
+
+// BatchTransport is a Transport that can pipeline a whole batch of
+// submissions in one write (StreamClient.SubmitBatch). RunLoad uses it
+// when LoadConfig.Batch > 1.
+type BatchTransport interface {
+	Transport
+	SubmitBatch(ctx context.Context, reqs []clockwork.Request) ([]BatchOutcome, error)
+}
+
 // LoadConfig parameterises one wall-clock load-generation run against a
 // clockworkd server.
 type LoadConfig struct {
-	// Client is the target server's client (required).
+	// Client is the target server's HTTP client. Either Client or
+	// Transport must be set; Transport wins when both are.
 	Client *Client
+	// Transport, if non-nil, is the transport to drive — a
+	// StreamClient, or any custom Transport.
+	Transport Transport
+	// Batch, if > 1, makes closed-loop workers submit their requests
+	// in pipelined batches of this size (requires a BatchTransport;
+	// open-loop mode ignores it).
+	Batch int
 	// Models are the instance names to spread requests over,
 	// round-robin. Empty means "ask the server" (GET /v1/models).
 	Models []string
@@ -46,8 +71,8 @@ type LatencySummary struct {
 }
 
 // LoadReport is the outcome of one load-generation run. Consistency
-// invariant: Sent == Completed + Errors, and Duplicates == 0 — every
-// submitted request got exactly one response.
+// invariant: Sent == Completed + Errors + Shed, and Duplicates == 0 —
+// every submitted request got exactly one response.
 type LoadReport struct {
 	// Sent counts submissions; Completed counts HTTP-level successful
 	// round trips (the request may still have failed inside the system
@@ -56,6 +81,11 @@ type LoadReport struct {
 	// Overloaded counts open-loop arrivals dropped client-side because
 	// Concurrency requests were already outstanding.
 	Overloaded uint64
+	// Shed counts requests the server refused with ErrOverloaded (its
+	// in-flight admission window was full) — the backpressure signal.
+	// ShedRate is Shed / Sent.
+	Shed     uint64
+	ShedRate float64
 	// Duplicates counts responses carrying an already-seen request ID —
 	// always 0 unless the serving plane loses track of a request.
 	Duplicates uint64
@@ -79,8 +109,11 @@ type LoadReport struct {
 // String renders the report in the loadgen's output format.
 func (r *LoadReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sent=%d completed=%d errors=%d overloaded=%d duplicates=%d\n",
-		r.Sent, r.Completed, r.Errors, r.Overloaded, r.Duplicates)
+	fmt.Fprintf(&b, "sent=%d completed=%d errors=%d shed=%d overloaded=%d duplicates=%d\n",
+		r.Sent, r.Completed, r.Errors, r.Shed, r.Overloaded, r.Duplicates)
+	if r.Shed > 0 {
+		fmt.Fprintf(&b, "shed_rate=%.4f%%\n", r.ShedRate*100)
+	}
 	fmt.Fprintf(&b, "succeeded=%d within_slo=%d violations=%d\n",
 		r.Succeeded, r.WithinSLO, r.Violations)
 	fmt.Fprintf(&b, "goodput=%.1f req/s  violation_rate=%.4f%%  elapsed=%v\n",
@@ -96,6 +129,7 @@ func (r *LoadReport) String() string {
 // merged after the run so the hot path takes no locks.
 type loadWorkerState struct {
 	sent, completed, errors uint64
+	shed                    uint64
 	succeeded, withinSLO    uint64
 	wall, virtual           *telemetry.Histogram
 	ids                     []uint64
@@ -110,8 +144,12 @@ func newLoadWorkerState() *loadWorkerState {
 // outstanding request before returning, so the report is complete: no
 // request is in flight when RunLoad returns.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
-	if cfg.Client == nil {
-		return nil, fmt.Errorf("serve: LoadConfig.Client is required")
+	transport := cfg.Transport
+	if transport == nil {
+		if cfg.Client == nil {
+			return nil, fmt.Errorf("serve: LoadConfig needs a Client or a Transport")
+		}
+		transport = cfg.Client
 	}
 	if cfg.SLO <= 0 {
 		cfg.SLO = 250 * time.Millisecond
@@ -122,10 +160,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Second
 	}
+	var batcher BatchTransport
+	if cfg.Batch > 1 && cfg.Rate <= 0 {
+		var ok bool
+		if batcher, ok = transport.(BatchTransport); !ok {
+			return nil, fmt.Errorf("serve: Batch=%d needs a batch-capable transport (use the stream transport)", cfg.Batch)
+		}
+	}
 	models := cfg.Models
 	if len(models) == 0 {
 		var err error
-		models, err = cfg.Client.Models(ctx)
+		models, err = transport.Models(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("serve: listing models: %w", err)
 		}
@@ -143,18 +188,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		budget = &b
 	}
 	var budgetMu sync.Mutex
-	take := func() bool {
+	// takeN claims up to n submissions from the request budget.
+	takeN := func(n int) int {
 		if budget == nil {
-			return true
+			return n
 		}
 		budgetMu.Lock()
 		defer budgetMu.Unlock()
-		if *budget == 0 {
-			return false
+		if uint64(n) > *budget {
+			n = int(*budget)
 		}
-		*budget--
-		return true
+		*budget -= uint64(n)
+		return n
 	}
+	take := func() bool { return takeN(1) == 1 }
 
 	start := time.Now()
 	states := make([]*loadWorkerState, 0, cfg.Concurrency)
@@ -165,16 +212,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	// admission of new requests, while requests already in flight run
 	// to their outcome (the server answers every request by its
 	// deadline, so this is bounded).
-	fire := func(st *loadWorkerState, model string) {
-		st.sent++
-		t0 := time.Now()
-		res, err := cfg.Client.Infer(ctx, clockwork.Request{Model: model, SLO: cfg.SLO})
+	// account books one round trip's outcome into the worker state.
+	account := func(st *loadWorkerState, res clockwork.Result, err error, wall time.Duration) {
 		if err != nil {
-			st.errors++
+			if errors.Is(err, ErrOverloaded) {
+				st.shed++ // server shed the request by design, not a fault
+			} else {
+				st.errors++
+			}
 			return
 		}
 		st.completed++
-		st.wall.Observe(time.Since(t0))
+		st.wall.Observe(wall)
 		st.virtual.Observe(res.Latency)
 		st.ids = append(st.ids, res.RequestID)
 		if res.Success {
@@ -185,16 +234,55 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
+	fire := func(st *loadWorkerState, model string) {
+		st.sent++
+		t0 := time.Now()
+		res, err := transport.Infer(ctx, clockwork.Request{Model: model, SLO: cfg.SLO})
+		account(st, res, err, time.Since(t0))
+	}
+
+	// fireBatch pipelines one batch through a BatchTransport. The wall
+	// figure is the whole batch's round trip, charged to every member:
+	// that is the latency a batching client actually observes.
+	fireBatch := func(st *loadWorkerState, reqs []clockwork.Request) {
+		st.sent += uint64(len(reqs))
+		t0 := time.Now()
+		outs, err := batcher.SubmitBatch(ctx, reqs)
+		wall := time.Since(t0)
+		if err != nil {
+			st.errors += uint64(len(reqs))
+			return
+		}
+		for _, o := range outs {
+			account(st, o.Result, o.Err, wall)
+		}
+	}
+
 	var wg sync.WaitGroup
 	if cfg.Rate <= 0 {
-		// Closed loop: each worker keeps exactly one request in flight.
+		// Closed loop: each worker keeps exactly one request (or one
+		// pipelined batch) in flight.
 		for i := 0; i < cfg.Concurrency; i++ {
 			st := newLoadWorkerState()
 			states = append(states, st)
 			wg.Add(1)
 			go func(i int, st *loadWorkerState) {
 				defer wg.Done()
+				reqs := make([]clockwork.Request, 0, cfg.Batch)
 				for n := i; runCtx.Err() == nil; n++ {
+					if batcher != nil {
+						k := takeN(cfg.Batch)
+						if k == 0 {
+							return
+						}
+						reqs = reqs[:0]
+						for j := 0; j < k; j++ {
+							reqs = append(reqs, clockwork.Request{
+								Model: models[(n*cfg.Batch+j)%len(models)], SLO: cfg.SLO})
+						}
+						fireBatch(st, reqs)
+						continue
+					}
 					if !take() {
 						return
 					}
@@ -256,6 +344,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.Sent += st.sent
 		rep.Completed += st.completed
 		rep.Errors += st.errors
+		rep.Shed += st.shed
 		rep.Succeeded += st.succeeded
 		rep.WithinSLO += st.withinSLO
 		wall.Merge(st.wall)
@@ -273,6 +362,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	if rep.Completed > 0 {
 		rep.ViolationRate = float64(rep.Violations) / float64(rep.Completed)
+	}
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Sent)
 	}
 	rep.Wall = summarize(wall)
 	rep.Virtual = summarize(virtual)

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -18,6 +20,13 @@ type Options struct {
 	// Speed is the virtual-vs-wall clock multiplier handed to
 	// System.StartLive (<= 0 means 1.0: real time).
 	Speed float64
+	// MaxInFlight, if > 0, bounds the number of inference requests
+	// admitted but not yet answered, across every transport (HTTP and
+	// stream share one window). Beyond it the HTTP transport answers
+	// 429 with Retry-After and the stream transport answers a typed
+	// overloaded error frame — well-behaved clients shed load before
+	// the engine's admission control has to cancel. 0 means unbounded.
+	MaxInFlight int
 }
 
 // Server is the HTTP/JSON front end of a live System: it bridges
@@ -51,14 +60,26 @@ type Server struct {
 	hsrv     *http.Server
 
 	// inflight tracks infer requests between admission and response so
-	// Shutdown can drain them before stopping the clock. stopCtx is
-	// cancelled immediately before the driver stops, releasing any
-	// handler still blocked in Handle.Wait (a drain that hit its
-	// deadline): once the clock halts, those waits could otherwise
-	// never return.
-	inflight   sync.WaitGroup
-	stopCtx    context.Context
-	stopCancel context.CancelFunc
+	// Shutdown can drain them before stopping the clock; inflightN is
+	// the same count as a number, checked against maxInFlight (the
+	// backpressure window — 0 means unbounded). Both transports admit
+	// through the same window. stopCtx is cancelled immediately before
+	// the driver stops, releasing any handler still blocked in
+	// Handle.Wait (a drain that hit its deadline): once the clock
+	// halts, those waits could otherwise never return.
+	inflight    sync.WaitGroup
+	inflightN   int
+	maxInFlight int
+	stopCtx     context.Context
+	stopCancel  context.CancelFunc
+
+	// Stream-transport state: open listeners (closed first on
+	// Shutdown, so no new connections arrive during the drain) and
+	// live connections (finished after the drain, so every queued
+	// response frame is flushed before the sockets close).
+	streamMu    sync.Mutex
+	streamLns   map[net.Listener]struct{}
+	streamConns map[*streamConn]struct{}
 }
 
 // New starts the system's wall-clock driver and returns a server ready
@@ -68,10 +89,13 @@ type Server struct {
 // either before New or through the /v1/models endpoint.
 func New(sys *clockwork.System, opts Options) *Server {
 	s := &Server{
-		sys:     sys,
-		live:    sys.StartLive(opts.Speed),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		sys:         sys,
+		live:        sys.StartLive(opts.Speed),
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		maxInFlight: opts.MaxInFlight,
+		streamLns:   make(map[net.Listener]struct{}),
+		streamConns: make(map[*streamConn]struct{}),
 	}
 	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
@@ -130,6 +154,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	hsrv := s.hsrv
 	s.mu.Unlock()
 
+	// Stop accepting stream connections before the drain: frames on
+	// existing connections are refused (draining error frames), but no
+	// new connections may join.
+	s.streamMu.Lock()
+	for ln := range s.streamLns {
+		_ = ln.Close()
+	}
+	s.streamMu.Unlock()
+
 	var err error
 	if hsrv != nil {
 		err = hsrv.Shutdown(ctx)
@@ -142,6 +175,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	// The in-flight count is zero (or the deadline expired): every
+	// outcome has been queued on its connection's writer. Finish the
+	// stream connections now — each writer flushes its queue and closes
+	// the socket — so no completed response is lost to the shutdown.
+	// Flushes run in parallel and remain bounded by ctx: a peer that
+	// stopped reading cannot stall the drain past the deadline (its
+	// socket is force-closed, which unblocks the stalled writer).
+	s.streamMu.Lock()
+	conns := make([]*streamConn, 0, len(s.streamConns))
+	for sc := range s.streamConns {
+		conns = append(conns, sc)
+	}
+	s.streamMu.Unlock()
+	var flushWG sync.WaitGroup
+	for _, sc := range conns {
+		flushWG.Add(1)
+		go func(sc *streamConn) {
+			defer flushWG.Done()
+			sc.finish()
+		}(sc)
+	}
+	flushed := make(chan struct{})
+	go func() {
+		flushWG.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-ctx.Done():
+		for _, sc := range conns {
+			sc.forceClose()
+		}
+		<-flushed
 		if err == nil {
 			err = ctx.Err()
 		}
@@ -160,32 +230,79 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// admit registers one in-flight infer unless the server is draining.
-// The draining check and the WaitGroup increment share the mutex, so
-// no increment can race the drain's Wait: after Shutdown sets
-// draining, the in-flight count only decreases.
-func (s *Server) admit() bool {
+// admit registers one in-flight infer, refusing with ErrDraining once
+// Shutdown has begun and with ErrOverloaded when the admission window
+// (Options.MaxInFlight) is full. The checks and the WaitGroup
+// increment share the mutex, so no increment can race the drain's
+// Wait: after Shutdown sets draining, the in-flight count only
+// decreases. Every successful admit must be paired with one release.
+func (s *Server) admit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return false
+		return ErrDraining
 	}
+	if s.maxInFlight > 0 && s.inflightN >= s.maxInFlight {
+		return ErrOverloaded
+	}
+	s.inflightN++
 	s.inflight.Add(1)
-	return true
+	return nil
+}
+
+// release undoes one admit, once the request's response has been
+// written (HTTP) or queued on its connection's writer (stream).
+func (s *Server) release() {
+	s.mu.Lock()
+	s.inflightN--
+	s.mu.Unlock()
+	s.inflight.Done()
+}
+
+// inflightLow reports whether the server is near-idle — the gate for
+// the stream transport's inline-write latency fast path (under burst,
+// responses take the coalescing writer instead).
+func (s *Server) inflightLow() bool {
+	s.mu.Lock()
+	n := s.inflightN
+	s.mu.Unlock()
+	return n <= 2
 }
 
 // ---- handlers ----
 
+// inferScratch is the per-request scratch of the HTTP infer path —
+// request/response structs and the JSON decode buffer — pooled so the
+// legacy transport also sheds its per-request allocations.
+type inferScratch struct {
+	req  InferRequest
+	resp InferResponse
+	body []byte
+}
+
+var inferScratchPool = sync.Pool{
+	New: func() any { return &inferScratch{body: make([]byte, 0, 512)} },
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if !s.admit() {
-		writeError(w, http.StatusServiceUnavailable, "draining", errors.New("server is draining"))
+	if err := s.admit(); err != nil {
+		status, code := errToCode(err)
+		if errors.Is(err, ErrOverloaded) {
+			// One second is the resolution Retry-After has; the window
+			// usually reopens far sooner.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, code, err)
 		return
 	}
-	defer s.inflight.Done()
-	var req InferRequest
-	if !decodeJSON(w, r, &req) {
+	defer s.release()
+	sc := inferScratchPool.Get().(*inferScratch)
+	defer inferScratchPool.Put(sc)
+	sc.req = InferRequest{}
+	if !decodeJSONBuf(w, r, &sc.req, &sc.body) {
 		return
 	}
+	req := &sc.req
 
 	var h *clockwork.Handle
 	var err error
@@ -226,7 +343,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, code, werr)
 		return
 	}
-	writeJSON(w, InferResponse{
+	sc.resp = InferResponse{
 		RequestID:  res.RequestID,
 		Model:      res.Model,
 		Tenant:     res.Tenant,
@@ -236,7 +353,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Latency:    res.Latency,
 		Batch:      res.Batch,
 		ColdStart:  res.ColdStart,
-	})
+	}
+	writeJSON(w, &sc.resp)
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -388,9 +506,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 const maxBodyBytes = 1 << 20
 
 // decodeJSON decodes a size-capped JSON body; on failure it writes the
-// 400 and reports false.
+// 400 and reports false. Handlers off the hot path use it directly;
+// handleInfer goes through decodeJSONBuf with a pooled buffer.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
+	var body []byte
+	return decodeJSONBuf(w, r, v, &body)
+}
+
+// decodeJSONBuf reads the body into *buf (reusing its capacity — the
+// infer path hands a pooled slice, so steady-state decoding does not
+// reallocate) and unmarshals it.
+func decodeJSONBuf(w http.ResponseWriter, r *http.Request, v any, buf *[]byte) bool {
+	b := (*buf)[:0]
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := rd.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*buf = b
+			writeError(w, http.StatusBadRequest, "bad_json", err)
+			return false
+		}
+	}
+	*buf = b
+	if err := json.Unmarshal(b, v); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_json", err)
 		return false
 	}
@@ -399,32 +544,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // ---- response plumbing ----
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+// jsonBufPool holds encode buffers so writeJSON marshals into reused
+// memory instead of allocating per response.
+var jsonBufPool = sync.Pool{
+	New: func() any { return bytes.NewBuffer(make([]byte, 0, 512)) },
 }
 
-// errToCode maps the typed clockwork errors onto (status, code) pairs;
-// codeToError in client.go is its inverse.
-func errToCode(err error) (int, string) {
-	switch {
-	case errors.Is(err, clockwork.ErrUnknownModel):
-		return http.StatusNotFound, "unknown_model"
-	case errors.Is(err, clockwork.ErrDuplicateModel):
-		return http.StatusConflict, "duplicate_model"
-	case errors.Is(err, clockwork.ErrInvalidRequest):
-		return http.StatusBadRequest, "invalid_request"
-	case errors.Is(err, clockwork.ErrNoSuchWorker):
-		return http.StatusNotFound, "no_such_worker"
-	case errors.Is(err, clockwork.ErrWorkerDown):
-		return http.StatusConflict, "worker_down"
-	case errors.Is(err, clockwork.ErrModelBusy):
-		return http.StatusConflict, "model_busy"
-	case errors.Is(err, clockwork.ErrNoSuchShard):
-		return http.StatusNotFound, "no_such_shard"
-	default:
-		return http.StatusInternalServerError, "internal"
+func writeJSON(w http.ResponseWriter, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := json.NewEncoder(buf).Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	if err == nil {
+		_, _ = w.Write(buf.Bytes())
 	}
+	jsonBufPool.Put(buf)
 }
 
 func writeAPIError(w http.ResponseWriter, err error) {

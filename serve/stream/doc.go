@@ -1,0 +1,38 @@
+// Package stream is the binary wire codec of the clockwork serving
+// plane's fast path: a length-prefixed framing protocol over plain TCP
+// with connection multiplexing (many in-flight requests per
+// connection, correlated by a client-assigned correlation ID).
+//
+// The package is pure codec — it knows nothing about engines, HTTP or
+// the clockwork types. Package serve builds the transport on top of
+// it: serve.Server.ServeStream reads frames off each connection and
+// injects batched submissions onto the engine; serve.StreamClient
+// speaks the same frames from the client side.
+//
+// # Frame layout
+//
+// Every frame is a fixed 5-byte header followed by a varint-encoded
+// payload:
+//
+//	frame   = length(uint32 LE) type(uint8) payload
+//	length  = len(payload)                  // excludes the 5-byte header
+//
+// Payloads by frame type (uvarint/varint are encoding/binary's
+// unsigned and zig-zag signed varints; str = len(uvarint) bytes):
+//
+//	TypeInfer     = corr(uvarint) slo(varint) priority(varint)
+//	                maxbatch(varint) model(str) tenant(str)
+//	TypeResult    = corr(uvarint) reqid(uvarint) flags(uint8)
+//	                reason(uint8) latency(varint) batch(uvarint)
+//	TypeError     = corr(uvarint) code(uint8) msg(str)
+//	TypeModels    = corr(uvarint)
+//	TypeModelList = corr(uvarint) count(uvarint) str...
+//
+// Result flags: bit 0 = success, bit 1 = cold start.
+//
+// Encoder and Decoder reuse their internal buffers across frames and
+// the Decoder interns short strings, so a steady-state
+// encode/decode round trip allocates nothing (asserted by
+// TestCodecZeroAlloc; the round trip itself is fuzzed by
+// FuzzDecodeFrame and FuzzInferRoundTrip).
+package stream

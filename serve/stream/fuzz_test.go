@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// encodeSeeds builds one byte stream containing every frame type —
+// the canonical seed for the decoder fuzzer (also committed under
+// testdata/fuzz/FuzzDecodeFrame).
+func encodeSeeds(t testing.TB) []byte {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Infer(&InferFrame{Corr: 1, SLO: 250_000_000, Priority: -1, MaxBatch: 8,
+		Model: "resnet50_v1b", Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Result(&ResultFrame{Corr: 1, RequestID: 42, Latency: 3_530_000,
+		Batch: 4, Reason: 0, Success: true, ColdStart: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Error(&ErrorFrame{Corr: 2, Code: CodeUnknownModel, Message: "unknown model"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Models(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.ModelList(3, []string{"resnet50_v1b", "densenet161"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder: it must
+// never panic, and every frame that decodes cleanly must survive an
+// encode→decode round trip bit-identically.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := encodeSeeds(f)
+	f.Add(seed)
+	f.Add(seed[:7])                              // truncated mid-frame
+	f.Add([]byte{})                              // empty stream
+	f.Add([]byte{0, 0, 0, 0, 0})                 // zero-length unknown-type frame
+	f.Add([]byte{255, 255, 255, 255, TypeInfer}) // oversized header
+	f.Add(append(append([]byte{}, seed...), 1, 2, 3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		for {
+			typ, p, err := dec.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					err != ErrFrameTooLarge {
+					t.Fatalf("Next: unexpected error class %v", err)
+				}
+				return
+			}
+			switch typ {
+			case TypeInfer:
+				var inf InferFrame
+				if dec.DecodeInfer(p, &inf) == nil {
+					reencodeInfer(t, &inf)
+				}
+			case TypeResult:
+				var res ResultFrame
+				if DecodeResult(p, &res) == nil {
+					reencodeResult(t, &res)
+				}
+			case TypeError:
+				var ef ErrorFrame
+				_ = DecodeError(p, &ef)
+			case TypeModels:
+				_, _ = DecodeCorr(p)
+			case TypeModelList:
+				var ml ModelListFrame
+				_ = dec.DecodeModelList(p, &ml)
+			default:
+				// Unknown type: transports drop the connection; the codec
+				// just skips the payload.
+			}
+		}
+	})
+}
+
+func reencodeInfer(t *testing.T, inf *InferFrame) {
+	var rt bytes.Buffer
+	enc := NewEncoder(&rt)
+	if err := enc.Infer(inf); err != nil {
+		if err == ErrFrameTooLarge {
+			return // enormous decoded strings legitimately exceed the cap
+		}
+		t.Fatalf("re-encode infer: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDecoder(&rt)
+	_, p2, err := d2.Next()
+	if err != nil {
+		t.Fatalf("re-decode infer: %v", err)
+	}
+	var inf2 InferFrame
+	if err := d2.DecodeInfer(p2, &inf2); err != nil {
+		t.Fatalf("re-decode infer payload: %v", err)
+	}
+	if inf2 != *inf {
+		t.Fatalf("infer round trip drifted: %+v -> %+v", *inf, inf2)
+	}
+}
+
+func reencodeResult(t *testing.T, res *ResultFrame) {
+	var rt bytes.Buffer
+	enc := NewEncoder(&rt)
+	if err := enc.Result(res); err != nil {
+		t.Fatalf("re-encode result: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := NewDecoder(&rt).Next()
+	if err != nil {
+		t.Fatalf("re-decode result: %v", err)
+	}
+	var res2 ResultFrame
+	if err := DecodeResult(p2, &res2); err != nil {
+		t.Fatalf("re-decode result payload: %v", err)
+	}
+	if res2 != *res {
+		t.Fatalf("result round trip drifted: %+v -> %+v", *res, res2)
+	}
+}
+
+// FuzzInferRoundTrip fuzzes the structured encode side: any field
+// values must encode, decode back equal, and leave the stream empty.
+func FuzzInferRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(250_000_000), int64(0), int64(0), "resnet50_v1b", "")
+	f.Add(uint64(1<<64-1), int64(-1), int64(-1<<40), int64(1<<40), "", "tenant-β")
+	f.Fuzz(func(t *testing.T, corr uint64, slo, prio, maxb int64, model, tenant string) {
+		in := InferFrame{Corr: corr, SLO: slo, Priority: prio, MaxBatch: maxb,
+			Model: model, Tenant: tenant}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.Infer(&in); err != nil {
+			if err == ErrFrameTooLarge {
+				return
+			}
+			t.Fatalf("encode: %v", err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(&buf)
+		typ, p, err := dec.Next()
+		if err != nil || typ != TypeInfer {
+			t.Fatalf("Next: type=%d err=%v", typ, err)
+		}
+		var out InferFrame
+		if err := dec.DecodeInfer(p, &out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out != in {
+			t.Fatalf("round trip drifted: %+v -> %+v", in, out)
+		}
+		if _, _, err := dec.Next(); err != io.EOF {
+			t.Fatalf("stream not empty after one frame: %v", err)
+		}
+	})
+}

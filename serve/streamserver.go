@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"clockwork"
+	"clockwork/serve/stream"
+)
+
+// The stream transport: the serving plane's fast path. One TCP
+// connection multiplexes many in-flight requests, correlated by a
+// client-assigned ID; the reader coalesces every frame readable in one
+// scheduling quantum into a single engine injection (amortizing the
+// engine wakeup the way the paper's controller amortizes batched GPU
+// work); completions fan back out through a per-connection writer
+// goroutine that encodes and flushes whole queues at a time.
+
+// maxStreamBatch caps how many infer frames one engine injection may
+// carry, bounding the engine-side work per driver turn.
+const maxStreamBatch = 256
+
+// ServeStream accepts stream-transport connections on ln until
+// Shutdown, serving the binary framing protocol of package
+// serve/stream as the fast-path alternative to the HTTP front door.
+// It returns nil after a clean Shutdown.
+func (s *Server) ServeStream(ln net.Listener) error {
+	s.streamMu.Lock()
+	if s.isDraining() {
+		s.streamMu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.streamLns[ln] = struct{}{}
+	s.streamMu.Unlock()
+	defer func() {
+		s.streamMu.Lock()
+		delete(s.streamLns, ln)
+		s.streamMu.Unlock()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil // listener closed by Shutdown
+			}
+			return err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true) // frames are already write-coalesced
+		}
+		go s.serveStreamConn(c)
+	}
+}
+
+// streamInfer is one decoded, admitted inference awaiting injection.
+type streamInfer struct {
+	corr uint64
+	req  clockwork.Request
+}
+
+// batchPool recycles the injection batches; ownership passes from the
+// reader goroutine to the injected closure, which returns the slice
+// after submitting.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]streamInfer, 0, maxStreamBatch)
+		return &b
+	},
+}
+
+// serveStreamConn runs one connection: a reader loop on this
+// goroutine, a writer goroutine for responses.
+func (s *Server) serveStreamConn(c net.Conn) {
+	sc := newStreamConn(c)
+	s.streamMu.Lock()
+	if s.isDraining() {
+		s.streamMu.Unlock()
+		c.Close()
+		return
+	}
+	s.streamConns[sc] = struct{}{}
+	s.streamMu.Unlock()
+	defer func() {
+		s.streamMu.Lock()
+		delete(s.streamConns, sc)
+		s.streamMu.Unlock()
+	}()
+
+	go sc.writeLoop()
+	defer sc.close()
+
+	dec := stream.NewDecoder(c)
+	batch := batchPool.Get().(*[]streamInfer)
+	*batch = (*batch)[:0]
+	// The reader can exit mid-coalesce (disconnect, malformed frame)
+	// with requests admitted but not yet injected: their admission
+	// slots must be released — and the batch emptied — before the
+	// slice returns to the pool, or the slots leak and a later
+	// connection would inject this connection's ghost requests.
+	defer func() {
+		for range *batch {
+			s.release()
+		}
+		*batch = (*batch)[:0]
+		batchPool.Put(batch)
+	}()
+	for {
+		typ, p, err := dec.Next()
+		if err != nil {
+			return // disconnect or protocol violation: drop the connection
+		}
+		// Coalesce: pull every frame already readable — they arrived
+		// within the same scheduling quantum — into one injection.
+		for {
+			if !s.streamFrame(sc, dec, typ, p, batch) {
+				return
+			}
+			if dec.Buffered() == 0 || len(*batch) >= maxStreamBatch {
+				break
+			}
+			typ, p, err = dec.Next()
+			if err != nil {
+				return
+			}
+		}
+		if len(*batch) > 0 {
+			s.injectBatch(sc, batch)
+			batch = batchPool.Get().(*[]streamInfer)
+			*batch = (*batch)[:0]
+		}
+	}
+}
+
+// streamFrame handles one decoded frame on the reader goroutine:
+// infers are admitted into the pending batch (or refused with an error
+// frame), control frames are answered via their own injections. A
+// false return drops the connection (protocol violation).
+func (s *Server) streamFrame(sc *streamConn, dec *stream.Decoder, typ uint8, p []byte, batch *[]streamInfer) bool {
+	switch typ {
+	case stream.TypeInfer:
+		var f stream.InferFrame
+		if dec.DecodeInfer(p, &f) != nil {
+			return false
+		}
+		if err := s.admit(); err != nil {
+			sc.sendError(f.Corr, errToWire(err), err.Error())
+			return true
+		}
+		*batch = append(*batch, streamInfer{
+			corr: f.Corr,
+			req: clockwork.Request{
+				Model:        f.Model,
+				SLO:          time.Duration(f.SLO),
+				Priority:     int(f.Priority),
+				Tenant:       f.Tenant,
+				MaxBatchSize: int(f.MaxBatch),
+			},
+		})
+		return true
+	case stream.TypeModels:
+		corr, err := stream.DecodeCorr(p)
+		if err != nil {
+			return false
+		}
+		s.live.Inject(func() {
+			m := outFramePool.Get().(*outFrame)
+			m.typ = stream.TypeModelList
+			m.corr = corr
+			m.models = append(m.models[:0], s.sys.Models()...)
+			sc.send(m)
+		})
+		return true
+	default:
+		return false
+	}
+}
+
+// injectBatch hands the whole batch to the engine as ONE injected
+// closure: however many requests the reader coalesced, the engine is
+// woken once and the driver pays one turn. Each request's completion
+// callback queues a result frame on the connection writer and releases
+// its admission slot — the slot is held until the outcome exists, so
+// the in-flight window means what it says even if the connection dies
+// first.
+func (s *Server) injectBatch(sc *streamConn, batch *[]streamInfer) {
+	s.live.Inject(func() {
+		for i := range *batch {
+			it := &(*batch)[i]
+			corr := it.corr
+			it.req.OnResult = func(res clockwork.Result) {
+				m := outFramePool.Get().(*outFrame)
+				m.typ = stream.TypeResult
+				m.result = stream.ResultFrame{
+					Corr:      corr,
+					RequestID: res.RequestID,
+					Latency:   int64(res.Latency),
+					Batch:     uint64(res.Batch),
+					Reason:    uint8(res.Reason),
+					Success:   res.Success,
+					ColdStart: res.ColdStart,
+				}
+				// At low occupancy, skip the writer-goroutine handoff and
+				// write from the engine turn itself: one context switch
+				// fewer on the latency path, while bursts (high occupancy)
+				// still coalesce through the writer.
+				if s.inflightLow() && sc.sendInline(m) {
+					s.release()
+					return
+				}
+				sc.send(m)
+				s.release()
+			}
+			if _, err := s.sys.SubmitRequest(it.req, nil); err != nil {
+				sc.sendError(corr, errToWire(err), err.Error())
+				s.release()
+			}
+		}
+		*batch = (*batch)[:0]
+		batchPool.Put(batch)
+	})
+}
+
+// ---- per-connection writer ----
+
+// outFrame is one queued server→client frame, pooled so the
+// steady-state response path reuses memory.
+type outFrame struct {
+	typ    uint8
+	result stream.ResultFrame
+	errf   stream.ErrorFrame
+	corr   uint64   // TypeModelList correlation
+	models []string // TypeModelList payload
+}
+
+var outFramePool = sync.Pool{New: func() any { return new(outFrame) }}
+
+// streamConn is the server side of one stream connection. send may be
+// called from any goroutine (engine callbacks, the reader); a single
+// writer goroutine drains the queue, encoding and flushing whole
+// batches — write coalescing falls out of taking the queue wholesale.
+type streamConn struct {
+	c   net.Conn
+	enc *stream.Encoder
+
+	// iomu serialises actual socket writes: the writer goroutine's
+	// batches and the low-occupancy inline fast path.
+	iomu sync.Mutex
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*outFrame
+	spare  []*outFrame // double buffer, swapped with queue each wakeup
+	closed bool        // no further sends; writer exits once drained
+
+	writerDone chan struct{}
+}
+
+func newStreamConn(c net.Conn) *streamConn {
+	sc := &streamConn{
+		c:          c,
+		enc:        stream.NewEncoder(c),
+		writerDone: make(chan struct{}),
+	}
+	sc.cond = sync.NewCond(&sc.mu)
+	return sc
+}
+
+// send queues one frame for the writer. After close/finish the frame
+// is dropped (the peer is gone or going); the pool gets it back either
+// way.
+func (sc *streamConn) send(m *outFrame) {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		outFramePool.Put(m)
+		return
+	}
+	sc.queue = append(sc.queue, m)
+	sc.cond.Signal()
+	sc.mu.Unlock()
+}
+
+// sendInline attempts to encode and flush m directly on the calling
+// goroutine (the engine turn), bypassing the writer handoff. It only
+// proceeds when the writer is idle and the queue empty, preserving
+// frame order; with the write deadline below, a jammed peer can stall
+// the engine at most briefly, once — the failed write closes the
+// connection. Reports whether m was consumed.
+func (sc *streamConn) sendInline(m *outFrame) bool {
+	if !sc.iomu.TryLock() {
+		return false
+	}
+	sc.mu.Lock()
+	ok := !sc.closed && len(sc.queue) == 0
+	sc.mu.Unlock()
+	if !ok {
+		sc.iomu.Unlock()
+		return false
+	}
+	_ = sc.c.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+	err := sc.enc.Result(&m.result)
+	if err == nil {
+		err = sc.enc.Flush()
+	}
+	_ = sc.c.SetWriteDeadline(time.Time{})
+	sc.iomu.Unlock()
+	outFramePool.Put(m)
+	if err != nil {
+		sc.close()
+	}
+	return true
+}
+
+func (sc *streamConn) sendError(corr uint64, code uint8, msg string) {
+	m := outFramePool.Get().(*outFrame)
+	m.typ = stream.TypeError
+	m.errf = stream.ErrorFrame{Corr: corr, Code: code, Message: msg}
+	sc.send(m)
+}
+
+// writeLoop drains the queue until the connection is closed AND the
+// queue is empty, encoding every queued frame and flushing once per
+// wakeup. It owns the socket's write side and closes the socket on
+// exit, which also kicks the reader goroutine out of its blocking
+// read.
+func (sc *streamConn) writeLoop() {
+	defer close(sc.writerDone)
+	defer sc.c.Close()
+	for {
+		sc.mu.Lock()
+		for len(sc.queue) == 0 && !sc.closed {
+			sc.cond.Wait()
+		}
+		batch := sc.queue
+		sc.queue = sc.spare[:0]
+		sc.spare = batch
+		done := sc.closed && len(batch) == 0
+		sc.mu.Unlock()
+		if done {
+			return
+		}
+		err := sc.writeBatch(batch)
+		for i := range batch {
+			outFramePool.Put(batch[i])
+			batch[i] = nil
+		}
+		if err != nil {
+			sc.close() // peer gone; stop accepting sends, drop the rest
+			return
+		}
+	}
+}
+
+func (sc *streamConn) writeBatch(batch []*outFrame) error {
+	sc.iomu.Lock()
+	defer sc.iomu.Unlock()
+	for _, m := range batch {
+		var err error
+		switch m.typ {
+		case stream.TypeResult:
+			err = sc.enc.Result(&m.result)
+		case stream.TypeError:
+			err = sc.enc.Error(&m.errf)
+		case stream.TypeModelList:
+			err = sc.enc.ModelList(m.corr, m.models)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return sc.enc.Flush()
+}
+
+// close marks the connection dead: sends become drops, and the writer
+// exits once its current queue is drained (then closes the socket).
+// Idempotent, any goroutine.
+func (sc *streamConn) close() {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.cond.Signal()
+	sc.mu.Unlock()
+}
+
+// finish is close plus waiting for the writer to flush — the graceful
+// variant Shutdown uses after the drain, so every queued response
+// reaches the wire before the socket closes. A peer that stops reading
+// cannot stall shutdown past the grace window: the socket is then
+// closed under the writer, unblocking it. (Shutdown additionally
+// bounds all finishes with its ctx via forceClose.)
+func (sc *streamConn) finish() {
+	sc.close()
+	select {
+	case <-sc.writerDone:
+	case <-time.After(3 * time.Second):
+		sc.c.Close()
+		<-sc.writerDone
+	}
+}
+
+// forceClose tears the socket down immediately, unblocking a writer
+// stalled on a peer that stopped reading. Used when the drain deadline
+// expires.
+func (sc *streamConn) forceClose() {
+	sc.close()
+	sc.c.Close()
+}
