@@ -24,6 +24,25 @@ type Config struct {
 	// RebalanceInterval is the cross-shard rebalancer's virtual-time
 	// period (default 1s; meaningful only with Shards > 1).
 	RebalanceInterval time.Duration
+	// EnginePerShard gives every scheduler shard its own event engine
+	// and, in live mode, its own pacing goroutine — an N-shard control
+	// plane can then use N cores. The shards' virtual clocks stay within
+	// a bounded skew window of each other (see SkewBound); cross-shard
+	// interactions travel through synchronised handoffs and
+	// whole-cluster operations run under a stop-the-world barrier
+	// (Live.Do). Simulation entry points (RunFor/RunUntil) are
+	// unavailable: an EnginePerShard system must be driven live via
+	// StartLive. Bit-exact reproducibility is a single-engine property —
+	// with EnginePerShard the cross-shard interleaving is wall-clock
+	// dependent, exactly like injection timing in live mode.
+	EnginePerShard bool
+	// SkewBound caps how far one shard's virtual clock may run ahead of
+	// a lagging sibling's in EnginePerShard mode (the conservative-PDES
+	// lookahead). Zero derives it from the cross-shard interaction
+	// floor: no shard can affect another in under one network latency,
+	// widened so an OS scheduling quantum at high speed multipliers does
+	// not throttle healthy shards. Ignored without EnginePerShard.
+	SkewBound time.Duration
 	// Policy selects the scheduler by registry name (default
 	// PolicyClockwork). See RegisterPolicy and Policies.
 	Policy Policy
@@ -61,6 +80,8 @@ func New(cfg Config) (*System, error) {
 		GPUsPerWorker:     cfg.GPUsPerWorker,
 		Shards:            cfg.Shards,
 		RebalanceInterval: cfg.RebalanceInterval,
+		EnginePerShard:    cfg.EnginePerShard,
+		SkewBound:         cfg.SkewBound,
 		Seed:              cfg.Seed,
 		PageCacheBytes:    cfg.PageCacheBytes,
 		NoNoise:           cfg.ExactTiming,
@@ -79,7 +100,8 @@ func New(cfg Config) (*System, error) {
 }
 
 // RunFor advances virtual time by d, executing everything due in that
-// span.
+// span. Panics with Config.EnginePerShard: a multi-engine system has no
+// single deterministic clock to step — drive it live via StartLive.
 func (s *System) RunFor(d time.Duration) { s.cluster.RunFor(d) }
 
 // RunUntil advances virtual time to instant t (measured from the run's
@@ -90,11 +112,16 @@ func (s *System) RunUntil(t time.Duration) {
 	}
 }
 
-// Now returns the elapsed virtual time.
+// Now returns the elapsed virtual time. With Config.EnginePerShard this
+// is shard 0's clock (the shards stay within the skew bound of each
+// other); while a live driver is pacing, read it from inside Live.Do or
+// an engine-side callback, not from an arbitrary goroutine.
 func (s *System) Now() time.Duration { return s.cluster.Eng.Now().Duration() }
 
 // After schedules fn at now+d on the virtual clock — the hook workload
-// generators use to pace themselves.
+// generators use to pace themselves. With Config.EnginePerShard it
+// schedules on shard 0's engine and must run on that engine's goroutine
+// (inside Live.Do, or a callback already on shard 0).
 func (s *System) After(d time.Duration, fn func()) {
 	s.cluster.Eng.After(d, fn)
 }

@@ -57,15 +57,31 @@ type loadEntry struct {
 	WallP99Ns     int64   `json:"wall_p99_ns"`
 }
 
+// scalingEntry is one multi-core scaling run: the same stream workload
+// against an N-shard control plane, single-engine vs one engine per
+// shard (-multicore in clockworkd terms).
+type scalingEntry struct {
+	Shards        int     `json:"shards"`
+	Multicore     bool    `json:"multicore"`
+	Goodput       float64 `json:"goodput_req_per_sec"`
+	Sent          uint64  `json:"sent"`
+	Lost          uint64  `json:"lost"`
+	ViolationRate float64 `json:"violation_rate"`
+	WallP50Ns     int64   `json:"wall_p50_ns"`
+	WallP99Ns     int64   `json:"wall_p99_ns"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
-	Generated  string       `json:"generated"`
-	GoVersion  string       `json:"go_version"`
-	Cores      int          `json:"cores"`
-	Note       string       `json:"note"`
-	Benchmarks []benchEntry `json:"benchmarks"`
-	Load       []loadEntry  `json:"load"`
-	Scheduler  []benchEntry `json:"scheduler,omitempty"`
+	Generated   string         `json:"generated"`
+	GoVersion   string         `json:"go_version"`
+	Cores       int            `json:"cores"`
+	Note        string         `json:"note"`
+	Benchmarks  []benchEntry   `json:"benchmarks"`
+	Load        []loadEntry    `json:"load"`
+	Scaling     []scalingEntry `json:"scaling,omitempty"`
+	ScalingNote string         `json:"scaling_note,omitempty"`
+	Scheduler   []benchEntry   `json:"scheduler,omitempty"`
 }
 
 func main() {
@@ -73,6 +89,7 @@ func main() {
 		out           = flag.String("out", "BENCH_serve.json", "output path")
 		quick         = flag.Bool("quick", false, "shorter runs (CI smoke); figures are noisier")
 		skipScheduler = flag.Bool("skip-scheduler", false, "skip the go-test scheduler benchmarks")
+		skipScaling   = flag.Bool("skip-scaling", false, "skip the multi-core shard-scaling runs")
 		loadDur       = flag.Duration("load-duration", 2*time.Second, "wall length of each goodput run")
 	)
 	flag.Parse()
@@ -113,6 +130,27 @@ func main() {
 		rep.Load = append(rep.Load, e)
 		log.Printf("clockwork-bench:   %-6s batch=%-3d goodput=%9.1f req/s  lost=%d dup=%d",
 			e.Transport, e.Batch, e.Goodput, e.Lost, e.Duplicates)
+	}
+
+	if !*skipScaling {
+		log.Printf("clockwork-bench: multi-core shard scaling (%v each)", *loadDur)
+		for _, shape := range []struct {
+			shards    int
+			multicore bool
+		}{{1, false}, {4, false}, {4, true}} {
+			e, err := runScaling(shape.shards, shape.multicore, *loadDur)
+			if err != nil {
+				log.Fatalf("clockwork-bench: scaling shards=%d multicore=%v: %v",
+					shape.shards, shape.multicore, err)
+			}
+			rep.Scaling = append(rep.Scaling, e)
+			log.Printf("clockwork-bench:   shards=%d multicore=%-5v goodput=%9.1f req/s  lost=%d",
+				e.Shards, e.Multicore, e.Goodput, e.Lost)
+		}
+		rep.ScalingNote = fmt.Sprintf(
+			"multicore runs one engine goroutine per shard; speedup needs >= shards physical cores "+
+				"(this host has %d — on a single core the figures measure sync-protocol overhead, "+
+				"expect parity at best, not the >=2.5x a 4-core host shows)", runtime.NumCPU())
 	}
 
 	if !*skipScheduler {
@@ -333,6 +371,58 @@ func runLoad(transport string, batch int, dur time.Duration) (loadEntry, error) 
 		Sent:          rep.Sent,
 		Lost:          rep.Sent - rep.Completed - rep.Errors - rep.Shed,
 		Duplicates:    rep.Duplicates,
+		ViolationRate: rep.ViolationRate,
+		WallP50Ns:     rep.Wall.P50.Nanoseconds(),
+		WallP99Ns:     rep.Wall.P99.Nanoseconds(),
+	}, nil
+}
+
+// runScaling measures the shard-scaling shape: 4 workers, 8 model
+// copies, stream transport with 32-deep client batches, N scheduler
+// shards — single-engine vs one engine per shard. On a host with >=
+// shards cores the multicore figure should scale with the shard count;
+// on fewer cores it measures the bounded-skew sync protocol's overhead.
+func runScaling(shards int, multicore bool, dur time.Duration) (scalingEntry, error) {
+	sys, err := clockwork.New(clockwork.Config{
+		Workers:        4,
+		GPUsPerWorker:  1,
+		Shards:         shards,
+		EnginePerShard: multicore,
+	})
+	if err != nil {
+		return scalingEntry{}, err
+	}
+	if _, err := sys.RegisterCopies("res", "resnet50_v1b", 8); err != nil {
+		return scalingEntry{}, err
+	}
+	srv := serve.New(sys, serve.Options{Speed: 500})
+	defer shutdown(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return scalingEntry{}, err
+	}
+	go func() { _ = srv.ServeStream(ln) }()
+	sc, err := serve.DialStream(ln.Addr().String(), serve.StreamOptions{Conns: 2})
+	if err != nil {
+		return scalingEntry{}, err
+	}
+	defer sc.Close()
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		SLO:         500 * time.Millisecond,
+		Concurrency: 16,
+		Duration:    dur,
+		Batch:       32,
+		Transport:   sc,
+	})
+	if err != nil {
+		return scalingEntry{}, err
+	}
+	return scalingEntry{
+		Shards:        shards,
+		Multicore:     multicore,
+		Goodput:       rep.Goodput,
+		Sent:          rep.Sent,
+		Lost:          rep.Sent - rep.Completed - rep.Errors - rep.Shed,
 		ViolationRate: rep.ViolationRate,
 		WallP50Ns:     rep.Wall.P50.Nanoseconds(),
 		WallP99Ns:     rep.Wall.P99.Nanoseconds(),

@@ -14,13 +14,16 @@
 //	clockworkd -addr 127.0.0.1:8400 -stream-addr 127.0.0.1:8401 \
 //	    -workers 8 -shards 4 -speed 100 -preload resnet50_v1b:8,densenet161:4
 //	clockworkd -addr :8400 -stream-addr :8401 -max-inflight 1024
+//	clockworkd -addr :8400 -workers 8 -shards 4 -multicore
 //
 // The -speed flag scales virtual time against wall time: 1 serves in
 // real time on the paper's simulated hardware; 100 runs the simulated
 // cluster a hundredfold faster, for load tests that don't want to wait.
 // -max-inflight bounds the admission window shared by both transports:
 // beyond it HTTP answers 429 (Retry-After) and the stream answers typed
-// overloaded error frames.
+// overloaded error frames. -multicore runs each scheduler shard on its
+// own engine and goroutine, synchronised within a bounded virtual-clock
+// skew (-skew-bound), so an N-shard daemon can use N cores.
 package main
 
 import (
@@ -48,6 +51,8 @@ func main() {
 		workers      = flag.Int("workers", 1, "worker machines")
 		gpus         = flag.Int("gpus", 1, "GPUs per worker")
 		shards       = flag.Int("shards", 1, "control-plane scheduler shards")
+		multicore    = flag.Bool("multicore", false, "one engine+goroutine per shard (bounded-skew sync; needs -shards > 1 to matter)")
+		skewBound    = flag.Duration("skew-bound", 0, "max virtual-clock skew between shard engines with -multicore (0 = derive from network latency and speed)")
 		policy       = flag.String("policy", string(clockwork.PolicyClockwork), "serving policy (see -list-policies)")
 		listPolicies = flag.Bool("list-policies", false, "print registered policies and exit")
 		speed        = flag.Float64("speed", 1.0, "virtual-vs-wall clock multiplier")
@@ -65,11 +70,13 @@ func main() {
 	}
 
 	sys, err := clockwork.New(clockwork.Config{
-		Workers:       *workers,
-		GPUsPerWorker: *gpus,
-		Shards:        *shards,
-		Policy:        clockwork.Policy(*policy),
-		Seed:          *seed,
+		Workers:        *workers,
+		GPUsPerWorker:  *gpus,
+		Shards:         *shards,
+		EnginePerShard: *multicore,
+		SkewBound:      *skewBound,
+		Policy:         clockwork.Policy(*policy),
+		Seed:           *seed,
 	})
 	if err != nil {
 		log.Fatalf("clockworkd: %v", err)
@@ -84,8 +91,8 @@ func main() {
 		log.Fatalf("clockworkd: %v", err)
 	}
 	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight})
-	log.Printf("clockworkd: listening on %s (workers=%d gpus=%d shards=%d policy=%s speed=%gx models=%d max-inflight=%d)",
-		ln.Addr(), *workers, *gpus, *shards, *policy, srv.Live().Speed(), len(names), *maxInFlight)
+	log.Printf("clockworkd: listening on %s (workers=%d gpus=%d shards=%d multicore=%v policy=%s speed=%gx models=%d max-inflight=%d)",
+		ln.Addr(), *workers, *gpus, *shards, *multicore, *policy, srv.Live().Speed(), len(names), *maxInFlight)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

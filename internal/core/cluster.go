@@ -44,6 +44,29 @@ type ClusterConfig struct {
 	// zero GPUs.
 	Shards int
 
+	// EnginePerShard gives every shard its own event engine — and, in
+	// live mode, its own pacing goroutine — so an N-shard control plane
+	// can use N cores. Each shard's controller, workers and client link
+	// live on that shard's engine; cross-shard interactions (submission
+	// forwarding after a migration) travel through the cluster's
+	// cross-shard injection hook, and whole-cluster mutations
+	// (registration, migration, rebalancing) require every engine to be
+	// paused (live mode: a Live.Do barrier). Simulation entry points
+	// (RunFor/RunUntil) and Trace capture need the single-engine
+	// control plane and are rejected. Bit-exact reproducibility is a
+	// single-engine property: with EnginePerShard the cross-shard event
+	// interleaving is wall-clock dependent, exactly like injection
+	// timing in live mode.
+	EnginePerShard bool
+
+	// SkewBound caps how far one shard's virtual clock may run ahead of
+	// a lagging sibling's in EnginePerShard mode (the conservative-PDES
+	// lookahead). Zero derives it from the cross-shard interaction
+	// floor: no shard can affect another in under one network latency,
+	// widened so an OS scheduling quantum at high speed multipliers
+	// does not throttle healthy shards. Ignored without EnginePerShard.
+	SkewBound time.Duration
+
 	// RebalanceInterval is the cross-shard rebalancer's period (default
 	// 1s of virtual time; only armed when Shards > 1). RebalanceFactor
 	// is the demand-skew trigger: a rebalance pass migrates models when
@@ -134,6 +157,8 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 // ownership and a periodic rebalancer migrating models between shards
 // when demand skews (see rebalance.go).
 type Cluster struct {
+	// Eng is the event engine — the only engine with one scheduling
+	// domain (the default), shard 0's engine with EnginePerShard.
 	Eng *simclock.Engine
 	// Ctl is shard 0's controller — the entire control plane when
 	// Shards == 1, kept as the compatibility handle for experiment
@@ -145,9 +170,29 @@ type Cluster struct {
 	Workers []*worker.Worker
 	Metrics *Metrics
 
-	cfg        ClusterConfig
-	src        *rng.Source
-	clientLink *network.Duplex
+	cfg ClusterConfig
+	src *rng.Source
+
+	// engines holds one engine per scheduling domain: length 1 without
+	// EnginePerShard, one per shard with it. clientLinks mirrors it —
+	// each engine gets its own client-side duplex so submissions enter
+	// and responses leave on the engine that owns them.
+	engines     []*simclock.Engine
+	clientLinks []*network.Duplex
+
+	// route is the lock-free model→shard routing hint for goroutines
+	// outside any engine (live admission routing). It tracks modelShard
+	// but may be momentarily stale across a migration; a submission
+	// landing on a stale shard is forwarded to the real owner through
+	// crossInject, so staleness costs one extra network hop, never
+	// correctness.
+	route sync.Map
+
+	// crossInject delivers fn onto another shard's engine at virtual
+	// instant at (EnginePerShard only; the live layer installs it
+	// before any engine runs). It reports false when the driver has
+	// stopped.
+	crossInject func(shard int, at simclock.Time, fn func()) bool
 
 	// ---- shard bookkeeping (cluster-global; controllers only know
 	// their own slice) ----
@@ -180,36 +225,98 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if err := cfg.validateShards(); err != nil {
 		panic("core: " + err.Error())
 	}
-	eng := simclock.NewEngine()
+	nEng := 1
+	if cfg.EnginePerShard {
+		nEng = cfg.Shards
+	}
+	engines := make([]*simclock.Engine, nEng)
+	for i := range engines {
+		engines[i] = simclock.NewEngine()
+	}
 
 	cl := &Cluster{
-		Eng:        eng,
+		Eng:        engines[0],
 		cfg:        cfg,
 		src:        rng.NewSource(cfg.Seed),
-		clientLink: network.NewDuplex(eng),
+		engines:    engines,
 		Metrics:    newMetrics(cfg.MetricsInterval),
 		modelShard: make(map[string]int),
 		zoos:       make(map[string]*modelzoo.Model),
+	}
+	if nEng > 1 {
+		cl.Metrics.setConcurrent()
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		ccfg := cfg.Controller
 		ccfg.IDStart = uint64(i)
 		ccfg.IDStride = uint64(cfg.Shards)
-		cl.Ctls = append(cl.Ctls, NewController(eng, ccfg, cl.newScheduler()))
+		cl.Ctls = append(cl.Ctls, NewController(cl.engFor(i), ccfg, cl.newScheduler()))
 	}
 	cl.Ctl = cl.Ctls[0]
-	cl.clientLink.AtoB.Latency = cfg.NetLatency
-	cl.clientLink.BtoA.Latency = cfg.NetLatency
-	cl.clientLink.AtoB.BytesPerSecond = cfg.ClientBandwidth
-	cl.clientLink.BtoA.BytesPerSecond = cfg.ClientBandwidth
+	for _, eng := range engines {
+		link := network.NewDuplex(eng)
+		link.AtoB.Latency = cfg.NetLatency
+		link.BtoA.Latency = cfg.NetLatency
+		link.AtoB.BytesPerSecond = cfg.ClientBandwidth
+		link.BtoA.BytesPerSecond = cfg.ClientBandwidth
+		cl.clientLinks = append(cl.clientLinks, link)
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		cl.addWorker()
 	}
-	if cfg.Shards > 1 {
+	// With one engine per shard there is no shared engine to carry the
+	// periodic rebalance timer; the live layer drives RebalanceOnce from
+	// the wall clock under a stop-the-world barrier instead.
+	if cfg.Shards > 1 && !cfg.EnginePerShard {
 		cl.armRebalancer()
 	}
 	return cl
+}
+
+// engFor returns the engine hosting shard — the shared engine without
+// EnginePerShard, the shard's own otherwise.
+func (cl *Cluster) engFor(shard int) *simclock.Engine {
+	if len(cl.engines) == 1 {
+		return cl.engines[0]
+	}
+	return cl.engines[shard]
+}
+
+// linkIdx maps a shard to its client-link index (0 without
+// EnginePerShard: all shards share one duplex).
+func (cl *Cluster) linkIdx(shard int) int {
+	if len(cl.clientLinks) == 1 {
+		return 0
+	}
+	return shard
+}
+
+func (cl *Cluster) multiEngine() bool { return len(cl.engines) > 1 }
+
+// EnginePerShard reports whether the cluster runs one engine per shard.
+func (cl *Cluster) EnginePerShard() bool { return cl.multiEngine() }
+
+// Engines returns the cluster's engines in shard order (length 1
+// without EnginePerShard). The live layer paces them.
+func (cl *Cluster) Engines() []*simclock.Engine { return cl.engines }
+
+// SetCrossShardInject installs the cross-shard delivery hook
+// (EnginePerShard mode). Must be called before any engine runs.
+func (cl *Cluster) SetCrossShardInject(fn func(shard int, at simclock.Time, fn func()) bool) {
+	cl.crossInject = fn
+}
+
+// OwnerShardHint resolves model's owning shard from the lock-free
+// routing hint — safe from any goroutine, possibly one migration stale
+// (submissions forwarded cross-shard absorb the staleness). ok is false
+// for unregistered models.
+func (cl *Cluster) OwnerShardHint(model string) (int, bool) {
+	s, ok := cl.route.Load(model)
+	if !ok {
+		return 0, false
+	}
+	return s.(int), true
 }
 
 func (c ClusterConfig) validateShards() error {
@@ -218,6 +325,9 @@ func (c ClusterConfig) validateShards() error {
 	}
 	if c.Shards > 1 && c.NewScheduler == nil && c.Scheduler != nil {
 		return fmt.Errorf("Shards=%d needs NewScheduler (a per-shard factory); a single Scheduler instance cannot drive multiple shards", c.Shards)
+	}
+	if c.EnginePerShard && c.Trace != nil {
+		return fmt.Errorf("EnginePerShard cannot capture a Trace: the decision stream interleaves across engines nondeterministically")
 	}
 	return nil
 }
@@ -279,14 +389,14 @@ func (cl *Cluster) addWorker() int {
 		Noise:          cl.cfg.Noise,
 		BestEffort:     cl.cfg.WorkerBestEffort,
 	}.Resolved()
-	w := worker.New(cl.Eng, cl.src, wcfg)
-	link := network.NewDuplex(cl.Eng)
+	w := worker.New(cl.engFor(shard), cl.src, wcfg)
+	link := network.NewDuplex(cl.engFor(shard))
 	link.AtoB.Latency = cl.cfg.NetLatency
 	link.BtoA.Latency = cl.cfg.NetLatency
 	link.AtoB.BytesPerSecond = cl.cfg.WorkerBandwidth
 	link.BtoA.BytesPerSecond = cl.cfg.WorkerBandwidth
 
-	eng := cl.Eng
+	eng := cl.engFor(shard)
 	wi := w
 	li := link
 	ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
@@ -431,6 +541,7 @@ func (cl *Cluster) UnregisterModel(name string) error {
 		return err
 	}
 	delete(cl.modelShard, name)
+	cl.route.Delete(name)
 	delete(cl.zoos, name)
 	for i, n := range cl.modelOrder {
 		if n == name {
@@ -524,6 +635,7 @@ func (cl *Cluster) RegisterModel(name string, zoo *modelzoo.Model) error {
 		return err
 	}
 	cl.modelShard[name] = shard
+	cl.route.Store(name, shard)
 	cl.modelOrder = append(cl.modelOrder, name)
 	cl.zoos[name] = zoo
 	for _, w := range cl.Workers {
@@ -661,8 +773,21 @@ func (cl *Cluster) Submit(model string, slo time.Duration, onDone func(Response,
 // resolved when the request arrives at the control plane, so a model
 // migrated mid-transit lands on its new shard, and one unregistered
 // mid-transit fails the request rather than corrupting controller
-// state.
+// state. With EnginePerShard the caller must already be on the owning
+// shard's engine goroutine — route with OwnerShardHint and use
+// SubmitRequestOn via a shard-targeted injection.
 func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Duration)) (*Handle, error) {
+	local, _ := cl.modelShard[spec.Model] // unknown models rejected below
+	return cl.SubmitRequestOn(local, spec, onDone)
+}
+
+// SubmitRequestOn is SubmitRequest entered on shard local's engine: the
+// input travels that shard's client link and the submission timestamp
+// reads that shard's clock. If the model's owner turns out to be a
+// different shard (a stale routing hint after a migration), the request
+// is forwarded once over the shard interconnect at the cross-shard
+// network latency.
+func (cl *Cluster) SubmitRequestOn(local int, spec SubmitSpec, onDone func(Response, time.Duration)) (*Handle, error) {
 	if spec.Model == "" {
 		return nil, fmt.Errorf("%w: empty model name", ErrInvalidRequest)
 	}
@@ -672,9 +797,10 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 	if spec.MaxBatch < 0 {
 		return nil, fmt.Errorf("%w: negative batch cap %d", ErrInvalidRequest, spec.MaxBatch)
 	}
-	sentAt := cl.Eng.Now()
-	submitShard, ok := cl.modelShard[spec.Model]
-	if !ok {
+	if local < 0 || local >= len(cl.Ctls) {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrNoSuchShard, local, len(cl.Ctls))
+	}
+	if _, ok := cl.modelShard[spec.Model]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, spec.Model)
 	}
 	zoo := cl.zoos[spec.Model]
@@ -683,68 +809,168 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 	if cl.cfg.ZeroLengthInputs {
 		inputBytes = 0
 	}
-	cl.clientLink.AtoB.Send(inputBytes, func() {
-		// A Cancel issued while the request was on the wire is applied
-		// inside the controller's submission, before the scheduler can
-		// dispatch — the in-transit cancel is authoritative.
-		h.mu.Lock()
-		spec.preCancelled = h.cancelPending
-		h.mu.Unlock()
-		ctl := cl.ctlForModel(spec.Model, submitShard)
-		req := ctl.SubmitSpec(spec, func(resp Response) {
-			if cl.cfg.Trace != nil {
-				ok := resp.Success
-				cl.cfg.Trace.Append(tracelog.Event{
-					At: cl.Eng.Now().Duration(), Kind: tracelog.KindResponse,
-					RequestID: resp.RequestID, Model: resp.Model,
-					Success: &ok, Reason: resp.Reason.String(), Batch: resp.Batch,
-				})
-			}
-			outBytes := zoo.OutputBytes()
-			if !resp.Success {
-				outBytes = 0
-			}
-			cl.clientLink.BtoA.Send(outBytes, func() {
-				latency := cl.Eng.Now().Sub(sentAt)
-				// Attribute the response to the shard that owned the
-				// model at completion (it may have migrated since
-				// submission).
-				shard := submitShard
-				if s, ok := cl.modelShard[resp.Model]; ok {
-					shard = s
-				}
-				cl.Metrics.record(cl.Eng.Now(), shard, resp, latency, spec.SLO)
-				h.mu.Lock()
-				h.done = true
-				h.resp = resp
-				h.latency = latency
-				h.mu.Unlock()
-				// Publish completion before the callback so a callback
-				// that hands the result to another goroutine never sees
-				// its own handle still pending.
-				close(h.doneCh)
-				if onDone != nil {
-					onDone(resp, latency)
-				}
-			})
-		})
-		if req != nil {
-			h.mu.Lock()
-			h.req = req
-			h.mu.Unlock()
-			if cl.cfg.Trace != nil {
-				cl.cfg.Trace.Append(tracelog.Event{
-					At: cl.Eng.Now().Duration(), Kind: tracelog.KindRequest,
-					RequestID: req.ID, Model: req.Model, SLO: req.SLO,
-				})
-			}
-		}
-	})
+	s := &submission{
+		cl: cl, spec: spec, h: h, zoo: zoo,
+		local: local, sentAt: cl.engFor(local).Now(), onDone: onDone,
+	}
+	cl.clientLinks[cl.linkIdx(local)].AtoB.SendRun(inputBytes, s)
 	return h, nil
 }
 
-// RunFor advances the cluster by d.
-func (cl *Cluster) RunFor(d time.Duration) { cl.Eng.RunFor(d) }
+// submission carries one request across its client-side network hops.
+// It is the hops' preallocated event receiver (simclock.Runner): one
+// struct serves the client→controller delivery, the cross-shard
+// forward, and the response→client completion, so the per-request
+// serving path schedules all of them without per-event closures.
+type submission struct {
+	cl     *Cluster
+	spec   SubmitSpec
+	h      *Handle
+	zoo    *modelzoo.Model
+	local  int // shard whose engine currently hosts this submission
+	sentAt simclock.Time
+	onDone func(Response, time.Duration)
 
-// RunUntil advances the cluster to instant t.
-func (cl *Cluster) RunUntil(t simclock.Time) { cl.Eng.RunUntil(t) }
+	resp  Response
+	phase uint8
+}
+
+const (
+	subDeliver  uint8 = iota // next Run: arrive at the controller
+	subComplete              // next Run: arrive back at the client
+)
+
+// Run implements simclock.Runner, dispatching on the submission's phase.
+func (s *submission) Run() {
+	if s.phase == subDeliver {
+		s.deliver()
+	} else {
+		s.complete()
+	}
+}
+
+// deliver runs at the controller side of the client link: resolve the
+// owner (it may have changed while the input was on the wire), forward
+// across shards if the owner lives on another engine, then submit.
+func (s *submission) deliver() {
+	cl := s.cl
+	owner := s.local
+	if o, ok := cl.modelShard[s.spec.Model]; ok {
+		owner = o
+	}
+	if owner != s.local && cl.multiEngine() {
+		// The owner lives on another engine: one hop over the shard
+		// interconnect. The delivery instant is stamped on the sending
+		// shard's clock; the destination clamps it forward if its own
+		// clock is already past it (skew-bounded by the driver).
+		if ci := cl.crossInject; ci != nil {
+			at := cl.engFor(s.local).Now().Add(cl.cfg.NetLatency)
+			prev := s.local
+			s.local = owner
+			if ci(owner, at, s.Run) {
+				return
+			}
+			// Driver stopped mid-forward: answer on the local shard,
+			// where the model is unregistered — a deterministic failure
+			// rather than a cross-engine race.
+			s.local = prev
+		}
+		owner = s.local
+	}
+	// A Cancel issued while the request was on the wire is applied
+	// inside the controller's submission, before the scheduler can
+	// dispatch — the in-transit cancel is authoritative.
+	s.h.mu.Lock()
+	s.spec.preCancelled = s.h.cancelPending
+	s.h.mu.Unlock()
+	s.local = owner
+	ctl := cl.Ctls[owner]
+	req := ctl.SubmitSpec(s.spec, s.onResponse)
+	if req != nil {
+		s.h.mu.Lock()
+		s.h.req = req
+		s.h.mu.Unlock()
+		if cl.cfg.Trace != nil {
+			cl.cfg.Trace.Append(tracelog.Event{
+				At: cl.engFor(owner).Now().Duration(), Kind: tracelog.KindRequest,
+				RequestID: req.ID, Model: req.Model, SLO: req.SLO,
+			})
+		}
+	}
+}
+
+// onResponse receives the controller's terminal outcome and sends it
+// back over the owning shard's client link.
+func (s *submission) onResponse(resp Response) {
+	cl := s.cl
+	if cl.cfg.Trace != nil {
+		ok := resp.Success
+		cl.cfg.Trace.Append(tracelog.Event{
+			At: cl.engFor(s.local).Now().Duration(), Kind: tracelog.KindResponse,
+			RequestID: resp.RequestID, Model: resp.Model,
+			Success: &ok, Reason: resp.Reason.String(), Batch: resp.Batch,
+		})
+	}
+	// The responding controller is the model's current owner; follow it
+	// (after a barrier-time migration the response must leave on the
+	// adopting shard's link and engine).
+	if o, ok := cl.modelShard[resp.Model]; ok {
+		s.local = o
+	}
+	outBytes := s.zoo.OutputBytes()
+	if !resp.Success {
+		outBytes = 0
+	}
+	s.resp = resp
+	s.phase = subComplete
+	cl.clientLinks[cl.linkIdx(s.local)].BtoA.SendRun(outBytes, s)
+}
+
+// complete runs at the client side of the response hop: measure
+// latency, record metrics, publish the handle.
+func (s *submission) complete() {
+	cl := s.cl
+	h := s.h
+	now := cl.engFor(s.local).Now()
+	latency := now.Sub(s.sentAt)
+	// Attribute the response to the shard that owned the model at
+	// completion (it may have migrated since submission).
+	shard := s.local
+	if o, ok := cl.modelShard[s.resp.Model]; ok {
+		shard = o
+	}
+	cl.Metrics.record(now, shard, s.resp, latency, s.spec.SLO)
+	h.mu.Lock()
+	h.done = true
+	h.resp = s.resp
+	h.latency = latency
+	h.mu.Unlock()
+	// Publish completion before the callback so a callback that hands
+	// the result to another goroutine never sees its own handle still
+	// pending.
+	close(h.doneCh)
+	if s.onDone != nil {
+		s.onDone(s.resp, latency)
+	}
+}
+
+// RunFor advances the cluster by d. Panics with EnginePerShard: a
+// multi-engine cluster is live-only (its engines advance together only
+// under the wall-clock driver's skew protocol).
+func (cl *Cluster) RunFor(d time.Duration) {
+	cl.checkSimulable()
+	cl.Eng.RunFor(d)
+}
+
+// RunUntil advances the cluster to instant t. Panics with
+// EnginePerShard (see RunFor).
+func (cl *Cluster) RunUntil(t simclock.Time) {
+	cl.checkSimulable()
+	cl.Eng.RunUntil(t)
+}
+
+func (cl *Cluster) checkSimulable() {
+	if cl.multiEngine() {
+		panic("core: RunFor/RunUntil on an EnginePerShard cluster; drive it live (StartLive)")
+	}
+}

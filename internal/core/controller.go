@@ -524,6 +524,7 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 		OnResponse:  onResponse,
 		deadline:    now.Add(spec.SLO - margin),
 		execEst:     c.EstimateExec(mi, 1),
+		ctl:         c,
 	}
 	r.coldStart = len(mi.residentOn) == 0
 	if r.coldStart {
@@ -554,7 +555,7 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 	// any fruitless work"). Baselines execute late requests instead.
 	if !c.cfg.DisableAdmissionControl {
 		lastChance := r.deadline.Add(-r.execEst)
-		r.cancelTmr = c.eng.At(lastChance, func() { c.cancelRequest(mi, r) })
+		r.cancelTmr = c.eng.AtRun(lastChance, r)
 	}
 
 	c.schd.OnRequest(r)
@@ -621,10 +622,8 @@ func (c *Controller) noteQueueMaybeEmpty(mi *ModelInfo) {
 }
 
 func (c *Controller) respond(r *Request, resp Response) {
-	if r.cancelTmr != nil {
-		r.cancelTmr.Stop()
-		r.cancelTmr = nil
-	}
+	r.cancelTmr.Stop()
+	r.cancelTmr = simclock.Timer{}
 	if r.OnResponse != nil {
 		r.OnResponse(resp)
 	}
@@ -655,13 +654,9 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 		// rejected by the worker (a timing misprediction), the client
 		// learns of the failure AT the deadline, never after — the
 		// paper's failed requests "timed out at 100ms".
-		if r.cancelTmr != nil {
-			r.cancelTmr.Stop()
-			r.cancelTmr = nil
-		}
+		r.cancelTmr.Stop()
 		if !c.cfg.DisableAdmissionControl {
-			req := r
-			r.cancelTmr = c.eng.At(r.deadline, func() { c.timeoutRequest(req) })
+			r.cancelTmr = c.eng.AtRun(r.deadline, r)
 		}
 	}
 	if mi.demand < 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"clockwork/internal/simclock"
@@ -12,6 +13,15 @@ import (
 // everything the paper's evaluation figures plot.
 type Metrics struct {
 	interval time.Duration
+
+	// concurrent switches the write paths (record, the device busy
+	// callbacks) onto mu. The single-engine control plane leaves it off
+	// — everything runs on one goroutine and the hot path pays nothing;
+	// a multi-engine cluster (one engine per shard) sets it at
+	// construction. Reads are only consistent when no engine is running
+	// — in live multi-engine mode, under a Live.Do barrier.
+	concurrent bool
+	mu         sync.Mutex
 
 	// LatencyAll covers every request including failures (the paper's
 	// CDFs include rejected requests); LatencyGood covers only
@@ -138,6 +148,21 @@ func newMetrics(interval time.Duration) *Metrics {
 // Interval returns the bucket width shared by all series.
 func (m *Metrics) Interval() time.Duration { return m.interval }
 
+// setConcurrent arms the write-path mutex; call before any engine runs.
+func (m *Metrics) setConcurrent() { m.concurrent = true }
+
+func (m *Metrics) lock() {
+	if m.concurrent {
+		m.mu.Lock()
+	}
+}
+
+func (m *Metrics) unlock() {
+	if m.concurrent {
+		m.mu.Unlock()
+	}
+}
+
 func (m *Metrics) attachGPUs(w *worker.Worker) {
 	for i := 0; i < w.NumGPUs(); i++ {
 		g := w.GPU(i)
@@ -146,14 +171,18 @@ func (m *Metrics) attachGPUs(w *worker.Worker) {
 			if prevDev != nil {
 				prevDev(from, to)
 			}
+			m.lock()
 			m.GPUUtil.AddBusy(from, to)
+			m.unlock()
 		}
 		prevH2D := g.H2D.OnBusy
 		g.H2D.OnBusy = func(from, to simclock.Time) {
 			if prevH2D != nil {
 				prevH2D(from, to)
 			}
+			m.lock()
 			m.PCIUtil.AddBusy(from, to)
+			m.unlock()
 		}
 		m.NumGPUs++
 	}
@@ -200,6 +229,8 @@ func (m *Metrics) ShardStats(i int) ShardBin {
 // record ingests one client-observed response, attributed to the
 // scheduler shard owning the model at completion.
 func (m *Metrics) record(now simclock.Time, shard int, resp Response, latency, slo time.Duration) {
+	m.lock()
+	defer m.unlock()
 	idx := m.bucket(now)
 	m.LatencyAll.Observe(latency)
 	m.latencyHist(idx).Observe(latency)

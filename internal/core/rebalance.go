@@ -107,6 +107,7 @@ func (cl *Cluster) MigrateModel(name string, toShard int) error {
 	// owner from inside adoption (scheduler callbacks, cancels) sees
 	// the new shard.
 	cl.modelShard[name] = toShard
+	cl.route.Store(name, toShard)
 	cl.migrations++
 	if err := cl.Ctls[toShard].AdoptModel(name, zoo, reqs); err != nil {
 		// Adoption can only fail on a duplicate name within the target

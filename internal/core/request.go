@@ -106,7 +106,33 @@ type Request struct {
 	deadline  simclock.Time
 	coldStart bool
 	execEst   time.Duration // batch-1 estimate at arrival (demand accounting)
-	cancelTmr *simclock.Timer
+	// ctl is the controller currently owning the request (retargeted on
+	// migration); cancelTmr is the armed admission/deadline timer. Both
+	// serve Run below.
+	ctl       *Controller
+	cancelTmr simclock.Timer
+}
+
+// Run implements simclock.Runner: the request doubles as its own timer
+// event. While queued the armed timer is the §4.1 admission cancel
+// (fired at the last instant a batch-1 warm execution could still meet
+// the deadline); once in flight it is the deadline timeout. Dispatching
+// on state here lets both timers share one preallocated receiver — the
+// request itself — so the per-request hot path arms timers without
+// allocating a closure per arm.
+func (r *Request) Run() {
+	c := r.ctl
+	if c == nil {
+		return
+	}
+	switch r.state {
+	case stateQueued:
+		if mi, ok := c.models[r.Model]; ok {
+			c.cancelRequest(mi, r)
+		}
+	case stateInFlight:
+		c.timeoutRequest(r)
+	}
 }
 
 // Deadline returns the instant the response stops being useful.

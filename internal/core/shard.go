@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clockwork/internal/modelzoo"
+	"clockwork/internal/simclock"
 )
 
 // This file holds the controller-side primitives of the sharded control
@@ -95,10 +96,8 @@ func (c *Controller) ExtractModel(name string) (*modelzoo.Model, []*Request, err
 	// not fire on requests it no longer owns.
 	reqs := append([]*Request(nil), mi.queue...)
 	for _, r := range reqs {
-		if r.cancelTmr != nil {
-			r.cancelTmr.Stop()
-			r.cancelTmr = nil
-		}
+		r.cancelTmr.Stop()
+		r.cancelTmr = simclock.Timer{}
 	}
 	for i := range mi.queue {
 		mi.queue[i] = nil
@@ -150,6 +149,7 @@ func (c *Controller) AdoptModel(name string, zoo *modelzoo.Model, reqs []*Reques
 		if r.state != stateQueued {
 			continue // answered before the migration was decided
 		}
+		r.ctl = c // the request's armed timers now dispatch here
 		r.execEst = c.EstimateExec(mi, 1)
 		mi.enqueue(r)
 		mi.demand += r.execEst
@@ -163,8 +163,7 @@ func (c *Controller) AdoptModel(name string, zoo *modelzoo.Model, reqs []*Reques
 			continue
 		}
 		if !c.cfg.DisableAdmissionControl {
-			req := r
-			r.cancelTmr = c.eng.At(r.deadline.Add(-r.execEst), func() { c.cancelRequest(mi, req) })
+			r.cancelTmr = c.eng.AtRun(r.deadline.Add(-r.execEst), r)
 		}
 		c.schd.OnRequest(r)
 	}

@@ -43,11 +43,28 @@ func NewLink(eng *simclock.Engine) *Link {
 // receiver when it arrives. Zero-byte messages still pay propagation
 // latency (request metadata).
 func (l *Link) Send(bytes int64, deliver func()) {
-	if bytes < 0 {
-		panic(fmt.Sprintf("network: negative message size %d", bytes))
-	}
 	if deliver == nil {
 		panic("network: nil deliver")
+	}
+	l.eng.Schedule(l.arrivalAt(bytes), deliver)
+}
+
+// SendRun is Send with a preallocated receiver instead of a closure —
+// the allocation-free form for per-request hops whose receiver already
+// exists (see simclock.Runner). Serialisation, latency and jitter are
+// identical to Send.
+func (l *Link) SendRun(bytes int64, r simclock.Runner) {
+	if r == nil {
+		panic("network: nil receiver")
+	}
+	l.eng.ScheduleRun(l.arrivalAt(bytes), r)
+}
+
+// arrivalAt advances the link's serialisation horizon for a message of
+// the given size and returns the instant it is delivered.
+func (l *Link) arrivalAt(bytes int64) simclock.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("network: negative message size %d", bytes))
 	}
 	var ser time.Duration
 	if l.BytesPerSecond > 0 {
@@ -61,7 +78,7 @@ func (l *Link) Send(bytes int64, deliver func()) {
 	}
 	l.sent++
 	l.bytesSent += uint64(bytes)
-	l.eng.Schedule(l.busyUntil.Add(delay), deliver)
+	return l.busyUntil.Add(delay)
 }
 
 // Sent returns the number of messages transmitted.

@@ -40,6 +40,7 @@ func (t *Timer) Stop() bool {
 	}
 	t.ev.cancelled = true
 	t.ev.fn = nil
+	t.ev.r = nil
 	return true
 }
 
@@ -48,15 +49,32 @@ func (t *Timer) Pending() bool {
 	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && !t.ev.fired
 }
 
-// When returns the instant the timer is scheduled for. Only meaningful
-// while Pending.
-func (t *Timer) When() Time { return t.ev.at }
+// When returns the instant the timer is scheduled for, or the zero Time
+// once the timer is no longer pending — fired, stopped, or its pooled
+// event node recycled for an unrelated event. (Without the generation
+// guard a stale handle would report the *reused* node's instant.)
+func (t *Timer) When() Time {
+	if !t.Pending() {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Runner is the closure-free event representation: a preallocated
+// receiver whose Run method is the event body. The serving hot path
+// schedules a dozen events per request; giving recurring events (cancel
+// timers, network hops) a permanent receiver instead of a fresh closure
+// removes their per-event allocations.
+type Runner interface {
+	Run()
+}
 
 type event struct {
 	at        Time
 	seq       uint64
 	gen       uint32
 	fn        func()
+	r         Runner // event body when fn is nil
 	index     int
 	cancelled bool
 	fired     bool
@@ -123,9 +141,33 @@ func (e *Engine) Schedule(t Time, fn func()) {
 	e.schedule(t, fn)
 }
 
+// ScheduleRun is Schedule with a preallocated Runner instead of a
+// closure: the fully allocation-free scheduling form for recurring
+// per-request events. Ordering is identical to Schedule — the event
+// representation does not affect the (instant, sequence) key.
+func (e *Engine) ScheduleRun(t Time, r Runner) {
+	e.scheduleEv(t, nil, r)
+}
+
+// AtRun is At with a preallocated Runner, returning the Timer by value
+// so cancellable hot-path events (admission-control timers) need no
+// handle allocation either. The zero Timer is valid: Stop and Pending
+// report false, When reports 0.
+func (e *Engine) AtRun(t Time, r Runner) Timer {
+	ev := e.scheduleEv(t, nil, r)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
 func (e *Engine) schedule(t Time, fn func()) *event {
 	if fn == nil {
 		panic("simclock: schedule with nil fn")
+	}
+	return e.scheduleEv(t, fn, nil)
+}
+
+func (e *Engine) scheduleEv(t Time, fn func(), r Runner) *event {
+	if fn == nil && r == nil {
+		panic("simclock: schedule with nil event body")
 	}
 	if t < e.now {
 		t = e.now
@@ -135,10 +177,10 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, e.seq, fn
+		ev.at, ev.seq, ev.fn, ev.r = t, e.seq, fn, r
 		ev.cancelled, ev.fired = false, false
 	} else {
-		ev = &event{at: t, seq: e.seq, fn: fn}
+		ev = &event{at: t, seq: e.seq, fn: fn, r: r}
 	}
 	e.seq++
 	heap.Push(&e.pq, ev)
@@ -150,6 +192,7 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.r = nil
 	if len(e.free) < 4096 {
 		e.free = append(e.free, ev)
 	}
@@ -174,10 +217,14 @@ func (e *Engine) Step() bool {
 			e.now = ev.at
 		}
 		ev.fired = true
-		fn := ev.fn
+		fn, r := ev.fn, ev.r
 		e.recycle(ev)
 		e.stepped++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			r.Run()
+		}
 		return true
 	}
 	return false

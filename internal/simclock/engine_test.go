@@ -275,6 +275,9 @@ func TestEngineStringer(t *testing.T) {
 func TestTimerStaleAfterRecycle(t *testing.T) {
 	eng := NewEngine()
 	stale := eng.At(Time(10), func() {})
+	if got := stale.When(); got != Time(10) {
+		t.Fatalf("pending When() = %v, want 10", got)
+	}
 	eng.Run() // fires and recycles the node
 	// Schedule enough new events to guarantee the recycled node is
 	// back in use.
@@ -288,9 +291,81 @@ func TestTimerStaleAfterRecycle(t *testing.T) {
 	if stale.Stop() {
 		t.Fatal("fired timer Stop() returned true after node recycling")
 	}
+	// The recycled node now holds an unrelated event at an unrelated
+	// instant: the stale handle must not report it as its own.
+	if got := stale.When(); got != 0 {
+		t.Fatalf("stale Timer.When() = %v after node recycling, want 0", got)
+	}
 	eng.Run()
 	if fired != 8 {
 		t.Fatalf("stale Timer.Stop cancelled a recycled event: fired=%d, want 8", fired)
+	}
+}
+
+// TestTimerWhenLifecycle: When reports the scheduled instant only while
+// the timer is pending — 0 after firing and after Stop.
+func TestTimerWhenLifecycle(t *testing.T) {
+	eng := NewEngine()
+	tm := eng.At(Time(7), func() {})
+	if got := tm.When(); got != Time(7) {
+		t.Fatalf("When() = %v, want 7", got)
+	}
+	tm.Stop()
+	if got := tm.When(); got != 0 {
+		t.Fatalf("When() after Stop = %v, want 0", got)
+	}
+	fired := eng.At(Time(9), func() {})
+	eng.Run()
+	if got := fired.When(); got != 0 {
+		t.Fatalf("When() after firing = %v, want 0", got)
+	}
+}
+
+// testRunner records Run invocations for the closure-free event form.
+type testRunner struct {
+	order *[]int
+	tag   int
+}
+
+func (r *testRunner) Run() { *r.order = append(*r.order, r.tag) }
+
+// TestRunnerEventsInterleave: ScheduleRun/AtRun events order identically
+// to closure events — the representation must not affect (at, seq)
+// ordering.
+func TestRunnerEventsInterleave(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(Time(5), func() { order = append(order, 1) })
+	eng.ScheduleRun(Time(5), &testRunner{order: &order, tag: 2})
+	eng.AtRun(Time(5), &testRunner{order: &order, tag: 3})
+	eng.ScheduleRun(Time(3), &testRunner{order: &order, tag: 0})
+	eng.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("order = %v, want [0 1 2 3]", order)
+		}
+	}
+}
+
+// TestAtRunValueTimer: the value Timer from AtRun stops its event, and
+// the zero Timer is inert.
+func TestAtRunValueTimer(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	tm := eng.AtRun(Time(5), &testRunner{order: &order, tag: 99})
+	if !tm.Pending() || tm.When() != Time(5) {
+		t.Fatalf("value timer not pending at 5: pending=%v when=%v", tm.Pending(), tm.When())
+	}
+	if !tm.Stop() {
+		t.Fatal("value timer Stop() = false while pending")
+	}
+	var zero Timer
+	if zero.Pending() || zero.Stop() || zero.When() != 0 {
+		t.Fatal("zero Timer is not inert")
+	}
+	eng.Run()
+	if len(order) != 0 {
+		t.Fatalf("stopped Runner event still ran: %v", order)
 	}
 }
 

@@ -1,0 +1,416 @@
+package simclock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MultiDriver paces N engines — one per control-plane shard — against a
+// single shared wall-clock origin, each on its own goroutine, so an
+// N-shard system uses N cores instead of serialising every shard's
+// events through one RealtimeDriver. Each engine keeps its
+// single-goroutine determinism: only its own pacer goroutine ever
+// touches it, and cross-engine work arrives exclusively through the
+// same staged-injection mechanism RealtimeDriver uses.
+//
+// # Skew protocol (conservative lookahead)
+//
+// Wall pacing already keeps healthy engines loosely synchronised: no
+// pacer advances its clock beyond the wall-implied virtual instant. The
+// protocol below additionally bounds how far an engine may run AHEAD of
+// a struggling sibling — the classic conservative PDES rule, with the
+// lookahead derived from the cross-shard interaction floor (no shard
+// can affect another in less than one network latency):
+//
+//   - every pacer publishes its engine's virtual clock atomically after
+//     each step;
+//   - no pacer advances its clock beyond min(other clocks) + lookahead;
+//   - a pacer blocked with nothing due is "parked" and deemed current
+//     with the wall clock, so idle shards never throttle busy ones;
+//   - the bound gates only clock ADVANCEMENT — events at or before the
+//     current instant (injections, barrier rendezvous) always execute,
+//     which is what makes the stop-the-world Barrier deadlock-free
+//     even when a shard is throttled.
+//
+// A throttled pacer still advances its clock up to the bound, so two
+// mutually-throttled shards ratchet each other forward lookahead by
+// lookahead instead of deadlocking.
+//
+// Determinism boundary: each engine's execution remains deterministic
+// given its own event sequence, but the interleaving ACROSS engines is
+// wall-clock dependent — exactly the nondeterminism live serving
+// already has at the injection boundary. Bit-exact reproducibility is a
+// single-engine property; the skew bound limits cross-shard clock
+// divergence so latency accounting stays comparable across shards.
+type MultiDriver struct {
+	speed     float64
+	lookahead time.Duration
+
+	start        time.Time
+	virtualStart Time
+
+	shards []*shardPacer
+
+	done chan struct{} // closed when Run returns (every pacer exited)
+
+	barMu sync.Mutex // serialises barriers
+}
+
+// ErrStopped reports that a driver stopped before it could run the
+// submitted work.
+var ErrStopped = errors.New("simclock: driver stopped")
+
+// skewPoll bounds how long a throttled pacer waits before re-reading
+// its siblings' clocks.
+const skewPoll = 500 * time.Microsecond
+
+// shardPacer runs one engine against the shared origin. Mirrors
+// RealtimeDriver's loop, plus the skew gate and the published clock.
+type shardPacer struct {
+	d   *MultiDriver
+	idx int
+	eng *Engine
+
+	mu      sync.Mutex // guards pending and closed, never held during Step
+	pending []pendingInjection
+	closed  bool
+	wake    chan struct{}
+
+	clock  atomic.Int64 // published virtual clock (ns)
+	parked atomic.Bool  // blocked, caught up to the wall: deemed wall-current
+}
+
+// pendingInjection is one staged cross-goroutine event. at <= the
+// engine's current instant (including the zero Time) means "as soon as
+// possible". abort, if non-nil, runs when the driver stops before fn
+// could reach the engine; exactly one of fn/abort ever runs.
+type pendingInjection struct {
+	at    Time
+	fn    func()
+	abort func()
+}
+
+// NewMultiDriver wraps engines, one pacer each. speed is the shared
+// virtual-vs-wall multiplier (≤ 0 means 1.0). lookahead is the skew
+// bound in virtual time (≤ 0 means no bound beyond wall pacing); the
+// cluster layer derives it from the network-latency floor, widened so
+// an OS scheduling quantum at high speed multipliers does not throttle
+// healthy shards (see clockwork.StartLive).
+func NewMultiDriver(engines []*Engine, speed float64, lookahead time.Duration) *MultiDriver {
+	if len(engines) == 0 {
+		panic("simclock: NewMultiDriver with no engines")
+	}
+	if speed <= 0 {
+		speed = 1.0
+	}
+	m := &MultiDriver{
+		speed:     speed,
+		lookahead: lookahead,
+		done:      make(chan struct{}),
+	}
+	for i, eng := range engines {
+		m.shards = append(m.shards, &shardPacer{
+			d:    m,
+			idx:  i,
+			eng:  eng,
+			wake: make(chan struct{}, 1),
+		})
+	}
+	return m
+}
+
+// Shards returns the number of engines driven.
+func (m *MultiDriver) Shards() int { return len(m.shards) }
+
+// Lookahead returns the skew bound in virtual time (0 = unbounded).
+func (m *MultiDriver) Lookahead() time.Duration { return m.lookahead }
+
+// ShardClock returns shard i's last published virtual clock — an
+// observability read, racy by one event against the running pacer.
+func (m *MultiDriver) ShardClock(i int) Time {
+	return Time(m.shards[i].clock.Load())
+}
+
+// Run starts one pacer goroutine per engine and blocks until stop is
+// closed and every pacer has exited. Engines are assumed to share a
+// common virtual instant at entry (a freshly built cluster: all at 0);
+// the common origin is the latest of their clocks. Run must be called
+// at most once.
+func (m *MultiDriver) Run(stop <-chan struct{}) {
+	m.start = time.Now()
+	var vs Time
+	for _, p := range m.shards {
+		if n := p.eng.Now(); n > vs {
+			vs = n
+		}
+		p.clock.Store(int64(p.eng.Now()))
+	}
+	m.virtualStart = vs
+	var wg sync.WaitGroup
+	for _, p := range m.shards {
+		wg.Add(1)
+		go func(p *shardPacer) {
+			defer wg.Done()
+			p.run(stop)
+		}(p)
+	}
+	wg.Wait()
+	close(m.done)
+}
+
+// wallVirtual maps the current wall instant to shared virtual time.
+func (m *MultiDriver) wallVirtual() Time {
+	return m.virtualStart.Add(time.Duration(float64(time.Since(m.start)) * m.speed))
+}
+
+// wallAt maps a virtual instant back to the wall instant it is due.
+func (m *MultiDriver) wallAt(v Time) time.Time {
+	return m.start.Add(time.Duration(float64(v-m.virtualStart) / m.speed))
+}
+
+// floorBound returns the highest virtual instant shard self may advance
+// to: min over the other shards' effective clocks, plus the lookahead.
+// A parked sibling's effective clock is the wall-implied instant (it
+// will not run anything earlier), so sleepers never hold the fleet
+// back. MaxTime means unbounded (single shard, or no lookahead).
+func (m *MultiDriver) floorBound(self int, wv Time) Time {
+	if len(m.shards) == 1 || m.lookahead <= 0 {
+		return MaxTime
+	}
+	floor := MaxTime
+	for i, s := range m.shards {
+		if i == self {
+			continue
+		}
+		c := Time(s.clock.Load())
+		if s.parked.Load() && wv > c {
+			c = wv
+		}
+		if c < floor {
+			floor = c
+		}
+	}
+	if floor == MaxTime {
+		return MaxTime
+	}
+	return floor.Add(m.lookahead)
+}
+
+// Inject schedules fn onto shard's engine at its then-current instant,
+// from any goroutine. It reports whether the driver accepted fn; false
+// means the driver has stopped and fn will never run.
+func (m *MultiDriver) Inject(shard int, fn func()) bool {
+	return m.shards[shard].inject(pendingInjection{fn: fn})
+}
+
+// InjectOrAbort is Inject with a guaranteed disposition: fn runs on the
+// shard's engine, or abort is called (possibly synchronously, possibly
+// from the stopping driver) — exactly one of the two, so resources
+// staked on fn's execution cannot leak across a stop.
+func (m *MultiDriver) InjectOrAbort(shard int, fn, abort func()) {
+	if !m.shards[shard].inject(pendingInjection{fn: fn, abort: abort}) {
+		abort()
+	}
+}
+
+// Handoff schedules fn onto shard's engine at virtual instant at (or
+// the engine's current instant, whichever is later) — the cross-shard
+// delivery primitive. The sending shard stamps at = its own now plus
+// the cross-shard network latency; the clamp absorbs any residual
+// skew, which the lookahead bounds.
+func (m *MultiDriver) Handoff(shard int, at Time, fn func()) bool {
+	return m.shards[shard].inject(pendingInjection{at: at, fn: fn})
+}
+
+// Barrier pauses every shard at a rendezvous and runs fn exclusively —
+// the stop-the-world primitive for cross-shard mutations (model
+// migration, registration, consistent metric snapshots). fn runs on
+// the caller's goroutine while every engine goroutine is blocked at
+// its rendezvous, so fn may touch any shard's state. Returns
+// ErrStopped (without running fn) if the driver stops first.
+//
+// Deadlock-freedom: the rendezvous is an injection, and injections
+// execute at the current instant regardless of the skew gate, so even
+// a throttled shard reaches its rendezvous promptly.
+func (m *MultiDriver) Barrier(fn func()) error {
+	m.barMu.Lock()
+	defer m.barMu.Unlock()
+	var arrive sync.WaitGroup
+	arrive.Add(len(m.shards))
+	release := make(chan struct{})
+	ok := true
+	for _, p := range m.shards {
+		if !p.inject(pendingInjection{
+			fn:    func() { arrive.Done(); <-release },
+			abort: arrive.Done,
+		}) {
+			arrive.Done()
+			ok = false
+		}
+	}
+	arrived := make(chan struct{})
+	go func() {
+		arrive.Wait()
+		close(arrived)
+	}()
+	var err error
+	select {
+	case <-arrived:
+		if ok {
+			fn()
+		} else {
+			err = ErrStopped
+		}
+	case <-m.done:
+		// At least one pacer exited before its rendezvous; its abort
+		// hook has fired (or will), so arrive converges. Do not run fn:
+		// the surviving engines are no longer all paused.
+		err = ErrStopped
+	}
+	close(release)
+	<-arrived
+	return err
+}
+
+// ---- pacer ----
+
+func (p *shardPacer) inject(inj pendingInjection) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.pending = append(p.pending, inj)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (p *shardPacer) takePending() []pendingInjection {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pend := p.pending
+	p.pending = nil
+	return pend
+}
+
+func (p *shardPacer) close() {
+	p.mu.Lock()
+	p.closed = true
+	dropped := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	for _, inj := range dropped {
+		if inj.abort != nil {
+			inj.abort()
+		}
+	}
+}
+
+func (p *shardPacer) publish() {
+	p.clock.Store(int64(p.eng.Now()))
+}
+
+// run is the pacing loop: RealtimeDriver's idle-advance / transfer /
+// sleep-until-due cycle, with the skew gate capping every clock
+// advancement at the sibling floor plus lookahead.
+func (p *shardPacer) run(stop <-chan struct{}) {
+	m := p.d
+	for {
+		// A dense workload keeps events perpetually overdue, so the loop
+		// may never reach a blocking select — poll stop here so shutdown
+		// is prompt regardless of load.
+		select {
+		case <-stop:
+			p.close()
+			return
+		default:
+		}
+		wv := m.wallVirtual()
+		bound := m.floorBound(p.idx, wv)
+		// Idle-advance toward the wall-implied instant (never beyond
+		// the skew bound) so injections land where a wall observer
+		// expects.
+		target := wv
+		if bound < target {
+			target = bound
+		}
+		if p.eng.NextEventAt() > target && target > p.eng.Now() {
+			p.eng.RunUntil(target)
+			p.publish()
+		}
+		for _, inj := range p.takePending() {
+			at := inj.at
+			if at < p.eng.Now() {
+				at = p.eng.Now()
+			}
+			p.eng.Schedule(at, inj.fn)
+		}
+		next := p.eng.NextEventAt()
+
+		if next == MaxTime {
+			// Nothing due, nothing queued: sleep until injected work
+			// arrives. The shard is wall-current for skew purposes.
+			p.parked.Store(true)
+			select {
+			case <-stop:
+				p.parked.Store(false)
+				p.close()
+				return
+			case <-p.wake:
+				p.parked.Store(false)
+				continue
+			}
+		}
+
+		if next > bound && next > p.eng.Now() {
+			// Conservative stall: a sibling lags more than the
+			// lookahead behind this shard's next event. Only clock
+			// ADVANCEMENT is gated — an event at or before the current
+			// instant (an injection, a barrier rendezvous) falls
+			// through and executes — and the clock has already
+			// ratcheted up to the bound above, so mutual stalls
+			// leapfrog forward rather than deadlock.
+			select {
+			case <-stop:
+				p.close()
+				return
+			case <-p.wake:
+			case <-time.After(skewPoll):
+			}
+			continue
+		}
+
+		due := m.wallAt(next)
+		if delay := time.Until(due); delay > 0 {
+			// Sleeping until the due instant: deemed wall-current only
+			// when the clock actually reached the wall (a shard capped
+			// at the skew bound must not overstate its floor).
+			caughtUp := p.eng.Now() >= wv
+			if caughtUp {
+				p.parked.Store(true)
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-stop:
+				timer.Stop()
+				p.parked.Store(false)
+				p.close()
+				return
+			case <-p.wake:
+				timer.Stop()
+				p.parked.Store(false)
+				continue
+			case <-timer.C:
+				p.parked.Store(false)
+			}
+		}
+		p.eng.Step()
+		p.publish()
+	}
+}

@@ -1,0 +1,210 @@
+package simclock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func startMulti(t *testing.T, n int, speed float64, lookahead time.Duration) (*MultiDriver, []*Engine, func()) {
+	t.Helper()
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	m := NewMultiDriver(engines, speed, lookahead)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		m.Run(stop)
+		close(done)
+	}()
+	var once sync.Once
+	return m, engines, func() {
+		once.Do(func() { close(stop) })
+		<-done
+	}
+}
+
+// TestMultiInjectRoutesToShard: injections run on the engine they were
+// addressed to.
+func TestMultiInjectRoutesToShard(t *testing.T) {
+	m, engines, stopFn := startMulti(t, 3, 1000, 0)
+	defer stopFn()
+	var wg sync.WaitGroup
+	var ran [3]atomic.Bool
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		if !m.Inject(i, func() {
+			// The engine is only ever touched by its own pacer: a Now()
+			// read here proves we are on shard i's goroutine.
+			_ = engines[i].Now()
+			ran[i].Store(true)
+			wg.Done()
+		}) {
+			t.Fatalf("Inject(%d) refused while running", i)
+		}
+	}
+	waitDone(t, &wg, 5*time.Second)
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("shard %d injection did not run", i)
+		}
+	}
+}
+
+// TestMultiInjectAfterStop: a stopped driver refuses injections and
+// fires abort hooks for refused and stranded work.
+func TestMultiInjectAfterStop(t *testing.T) {
+	m, _, stopFn := startMulti(t, 2, 1000, 0)
+	stopFn()
+	if m.Inject(0, func() { t.Error("ran after stop") }) {
+		t.Fatal("Inject accepted after stop")
+	}
+	aborted := false
+	m.InjectOrAbort(1, func() { t.Error("ran after stop") }, func() { aborted = true })
+	if !aborted {
+		t.Fatal("InjectOrAbort did not abort after stop")
+	}
+}
+
+// TestMultiBarrier: Barrier runs fn while every pacer is blocked at its
+// rendezvous, and returns ErrStopped after the driver stops.
+func TestMultiBarrier(t *testing.T) {
+	m, engines, stopFn := startMulti(t, 4, 2000, 0)
+	// Keep every shard busy with self-rescheduling work so the barrier
+	// has to interrupt live engines, not idle ones.
+	for i := range engines {
+		i := i
+		var tick func()
+		tick = func() { engines[i].After(100*time.Microsecond, tick) }
+		m.Inject(i, tick)
+	}
+	for round := 0; round < 10; round++ {
+		ran := false
+		if err := m.Barrier(func() {
+			// With all four engines paused, reading all clocks is safe.
+			for i := range engines {
+				_ = engines[i].Now()
+			}
+			ran = true
+		}); err != nil || !ran {
+			t.Fatalf("round %d: Barrier err=%v ran=%v", round, err, ran)
+		}
+	}
+	stopFn()
+	if err := m.Barrier(func() { t.Error("barrier fn ran after stop") }); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Barrier after stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestMultiBarrierDuringStop: a barrier issued concurrently with stop
+// must converge (run or ErrStopped), never hang.
+func TestMultiBarrierDuringStop(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		m, _, stopFn := startMulti(t, 3, 1000, 0)
+		got := make(chan error, 1)
+		go func() { got <- m.Barrier(func() {}) }()
+		stopFn()
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Barrier hung across a concurrent stop")
+		}
+	}
+}
+
+// TestMultiHandoffClamped: cross-shard handoffs land at the stamped
+// instant or the destination's current instant, whichever is later.
+func TestMultiHandoffClamped(t *testing.T) {
+	m, engines, stopFn := startMulti(t, 2, 10000, 0)
+	defer stopFn()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var src, dst Time
+	m.Inject(0, func() {
+		src = engines[0].Now()
+		at := src.Add(50 * time.Microsecond)
+		if !m.Handoff(1, at, func() {
+			dst = engines[1].Now()
+			wg.Done()
+		}) {
+			t.Error("Handoff refused while running")
+			wg.Done()
+		}
+	})
+	waitDone(t, &wg, 5*time.Second)
+	if dst < src.Add(50*time.Microsecond) && dst < engines[1].Now() {
+		t.Fatalf("handoff delivered early: src=%v dst=%v", src, dst)
+	}
+}
+
+// TestMultiSkewBound: while one shard is wedged inside a long event
+// (its clock frozen, not parked), a sibling with runnable work must not
+// advance more than the lookahead past it.
+func TestMultiSkewBound(t *testing.T) {
+	const lookahead = 2 * time.Millisecond
+	const speed = 100.0
+	m, engines, stopFn := startMulti(t, 2, speed, lookahead)
+	defer stopFn()
+
+	wedged := make(chan struct{})
+	releaseWedge := make(chan struct{})
+	m.Inject(0, func() {
+		close(wedged)
+		<-releaseWedge // freeze shard 0's clock mid-event
+	})
+	<-wedged
+	frozen := m.ShardClock(0)
+
+	// Shard 1: dense self-rescheduling work that would race far ahead
+	// of the wall if unthrottled, and far past shard 0 without the
+	// bound (the wall alone allows speed×elapsed of divergence).
+	var tick func()
+	tick = func() { engines[1].After(10*time.Microsecond, tick) }
+	m.Inject(1, tick)
+
+	time.Sleep(100 * time.Millisecond) // wall headroom ≈ 10s of virtual time
+	ahead := m.ShardClock(1) - frozen
+	close(releaseWedge)
+	// Allowed: lookahead plus one pending event's worth of slop.
+	if slack := lookahead + time.Millisecond; time.Duration(ahead) > slack {
+		t.Fatalf("shard 1 ran %v ahead of the wedged shard 0, want <= %v", time.Duration(ahead), slack)
+	}
+}
+
+// TestMultiIdleShardDoesNotThrottle: a parked (idle) shard is deemed
+// wall-current, so a busy sibling keeps pace with the wall clock.
+func TestMultiIdleShardDoesNotThrottle(t *testing.T) {
+	const speed = 1000.0
+	m, engines, stopFn := startMulti(t, 2, speed, time.Millisecond)
+	defer stopFn()
+	// Shard 0 stays empty (parked). Shard 1 runs dense work.
+	var tick func()
+	tick = func() { engines[1].After(500*time.Microsecond, tick) }
+	m.Inject(1, tick)
+	time.Sleep(50 * time.Millisecond)
+	// At speed 1000, 50ms wall ≈ 50s virtual. The busy shard must have
+	// advanced far beyond the 1ms lookahead — i.e. the idle sibling did
+	// not hold it back.
+	if got := time.Duration(m.ShardClock(1)); got < time.Second {
+		t.Fatalf("busy shard at %v after 50ms wall at speed %v: idle sibling throttled it", got, speed)
+	}
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup, timeout time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for injected work")
+	}
+}

@@ -20,9 +20,18 @@ type RealtimeDriver struct {
 	speed float64
 
 	mu      sync.Mutex // guards pending and closed, never held during Step
-	pending []func()
+	pending []pendingFn
 	closed  bool
 	wake    chan struct{}
+}
+
+// pendingFn is one staged injection. abort, if non-nil, is called when
+// the driver stops before fn could reach the engine — the hook callers
+// holding resources against fn's execution (admission slots, pooled
+// buffers) use to reclaim them. Exactly one of fn/abort ever runs.
+type pendingFn struct {
+	fn    func()
+	abort func()
 }
 
 // NewRealtimeDriver wraps eng. speed scales virtual time against wall
@@ -37,22 +46,43 @@ func NewRealtimeDriver(eng *Engine, speed float64) *RealtimeDriver {
 
 // Inject schedules fn onto the engine from any goroutine — including the
 // engine goroutine itself, from inside an event callback. It runs at the
-// engine's then-current instant (i.e. "as soon as possible"). After the
-// driver stops, Inject is a safe no-op.
-func (d *RealtimeDriver) Inject(fn func()) {
-	d.mu.Lock()
-	if !d.closed {
-		d.pending = append(d.pending, fn)
+// engine's then-current instant (i.e. "as soon as possible"). It reports
+// whether the driver accepted fn: false means the driver has stopped and
+// fn will never run, so a caller holding resources against fn's
+// execution (admission slots, pooled buffers) must reclaim them itself.
+func (d *RealtimeDriver) Inject(fn func()) bool {
+	return d.inject(fn, nil)
+}
+
+// InjectOrAbort is Inject with a guaranteed disposition: fn runs on the
+// engine, or — if the driver has stopped, or stops before fn can reach
+// the engine — abort is called instead (possibly synchronously, possibly
+// later from the stopping driver's goroutine). Exactly one of the two
+// runs; Inject's boolean cannot make that promise, because a stop can
+// race the staged closure out of existence after Inject returned true.
+func (d *RealtimeDriver) InjectOrAbort(fn, abort func()) {
+	if !d.inject(fn, abort) {
+		abort()
 	}
+}
+
+func (d *RealtimeDriver) inject(fn, abort func()) bool {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false
+	}
+	d.pending = append(d.pending, pendingFn{fn: fn, abort: abort})
 	d.mu.Unlock()
 	select {
 	case d.wake <- struct{}{}:
 	default:
 	}
+	return true
 }
 
 // takePending transfers the staged injections, preserving Inject order.
-func (d *RealtimeDriver) takePending() []func() {
+func (d *RealtimeDriver) takePending() []pendingFn {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p := d.pending
@@ -68,6 +98,15 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 	start := time.Now()
 	virtualStart := d.eng.Now()
 	for {
+		// A dense workload keeps events perpetually overdue, so the loop
+		// may never reach a blocking select — poll stop here so shutdown
+		// is prompt regardless of load.
+		select {
+		case <-stop:
+			d.close()
+			return
+		default:
+		}
 		// Keep the virtual clock tracking the wall clock across idle
 		// gaps: when nothing is due before the wall-implied instant,
 		// advance the clock to it, so injections land at the instant a
@@ -79,8 +118,8 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 		if d.eng.NextEventAt() > wv && wv > d.eng.Now() {
 			d.eng.RunUntil(wv)
 		}
-		for _, fn := range d.takePending() {
-			d.eng.Schedule(d.eng.Now(), fn)
+		for _, p := range d.takePending() {
+			d.eng.Schedule(d.eng.Now(), p.fn)
 		}
 		next := d.eng.NextEventAt()
 
@@ -118,6 +157,15 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 func (d *RealtimeDriver) close() {
 	d.mu.Lock()
 	d.closed = true
+	dropped := d.pending
 	d.pending = nil
 	d.mu.Unlock()
+	// Staged injections that never reached the engine are dropped; those
+	// that posted an abort hook get told, so no resource staked on an
+	// injected closure can leak across a stop.
+	for _, p := range dropped {
+		if p.abort != nil {
+			p.abort()
+		}
+	}
 }

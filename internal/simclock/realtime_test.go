@@ -109,10 +109,18 @@ func TestRealtimeDriverInjectAfterStop(t *testing.T) {
 
 	queued := e.Len()
 	for i := 0; i < 100; i++ {
-		d.Inject(func() { t.Error("injected fn ran after close") })
+		if d.Inject(func() { t.Error("injected fn ran after close") }) {
+			t.Fatal("Inject reported accepted after close")
+		}
 	}
 	if e.Len() != queued {
 		t.Errorf("Inject after close queued events: %d -> %d", queued, e.Len())
+	}
+	// InjectOrAbort must resolve to the abort hook, synchronously here.
+	aborted := false
+	d.InjectOrAbort(func() { t.Error("injected fn ran after close") }, func() { aborted = true })
+	if !aborted {
+		t.Fatal("InjectOrAbort after close did not run the abort hook")
 	}
 }
 

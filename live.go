@@ -3,18 +3,26 @@ package clockwork
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"clockwork/internal/simclock"
 )
 
 // This file is the bridge between the deterministic virtual-clock world
-// and live serving: StartLive paces a System's engine against the wall
-// clock on a dedicated goroutine, and Live is the handle concurrent
-// callers use to get onto that goroutine. The determinism boundary is
-// exactly here — everything below the engine is the same event-driven
+// and live serving: StartLive paces a System's engine(s) against the
+// wall clock on dedicated goroutines, and Live is the handle concurrent
+// callers use to get onto those goroutines. The determinism boundary is
+// exactly here — everything below the engines is the same event-driven
 // machinery the simulations run, and the only nondeterminism a live
 // system sees is the arrival timing of injected work (see
 // ARCHITECTURE.md, "Serving plane").
+//
+// With Config.EnginePerShard the system runs one engine per control-
+// plane shard, each paced by its own goroutine under a bounded-skew
+// virtual-time sync protocol (simclock.MultiDriver). Live then offers
+// shard-addressed injection (InjectOn) and turns Do into a
+// stop-the-world barrier so whole-cluster reads and mutations still see
+// quiescent state.
 
 // ErrLiveStopped is returned by Live.Do when the driver has stopped
 // before the submitted function could run.
@@ -22,15 +30,17 @@ var ErrLiveStopped = errors.New("clockwork: live driver stopped")
 
 // Live paces a System against the wall clock so it can serve real
 // traffic. All engine-side work — submissions, control-plane calls,
-// metrics reads — must be funnelled through Inject or Do; the driver
-// serialises everything on one goroutine, preserving the engine's
-// single-threaded discipline without any locks in the engine itself.
+// metrics reads — must be funnelled through Inject/InjectOn or Do; the
+// drivers serialise everything per engine goroutine, preserving each
+// engine's single-threaded discipline without any locks in the engines
+// themselves.
 //
 // At most one Live driver may be active per System, and while it runs
 // the System's RunFor/RunUntil must not be called.
 type Live struct {
 	sys   *System
-	drv   *simclock.RealtimeDriver
+	drv   *simclock.RealtimeDriver // single-engine mode
+	multi *simclock.MultiDriver    // engine-per-shard mode
 	speed float64
 
 	stop     chan struct{}
@@ -38,27 +48,93 @@ type Live struct {
 	stopOnce sync.Once
 }
 
-// StartLive starts pacing the system's engine against the wall clock on
-// a new goroutine and returns the live handle. speed scales virtual
-// time against wall time: 1.0 serves in real time, 100.0 runs the
-// virtual clock a hundredfold faster (speeds <= 0 mean 1.0). The driver
-// runs until Stop.
+// StartLive starts pacing the system's engine(s) against the wall clock
+// and returns the live handle. speed scales virtual time against wall
+// time: 1.0 serves in real time, 100.0 runs the virtual clock a
+// hundredfold faster (speeds <= 0 mean 1.0). The driver runs until
+// Stop.
+//
+// With Config.EnginePerShard each shard gets its own pacing goroutine;
+// the shards' clocks stay within the bounded-skew window (Config
+// .SkewBound, or the derived cross-shard interaction floor) of each
+// other, and a wall-clock ticker drives the cross-shard rebalancer
+// under a barrier.
 func (s *System) StartLive(speed float64) *Live {
 	if speed <= 0 {
 		speed = 1.0
 	}
 	l := &Live{
 		sys:   s,
-		drv:   simclock.NewRealtimeDriver(s.cluster.Eng, speed),
 		speed: speed,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	cl := s.cluster
+	if !cl.EnginePerShard() {
+		l.drv = simclock.NewRealtimeDriver(cl.Eng, speed)
+		go func() {
+			l.drv.Run(l.stop)
+			close(l.done)
+		}()
+		return l
+	}
+
+	l.multi = simclock.NewMultiDriver(cl.Engines(), speed, s.liveLookahead(speed))
+	// Cross-shard deliveries (submission forwards after a migration)
+	// must be wired before any engine runs: the hook hands the event to
+	// the destination shard's pacer, which clamps it to that shard's
+	// current instant if the requested time already passed.
+	cl.SetCrossShardInject(func(shard int, at simclock.Time, fn func()) bool {
+		return l.multi.Handoff(shard, at, fn)
+	})
 	go func() {
-		l.drv.Run(l.stop)
+		l.multi.Run(l.stop)
 		close(l.done)
 	}()
+	// With one engine per shard there is no shared engine to carry the
+	// periodic rebalance timer (see core.NewCluster); drive it from the
+	// wall clock instead, scaled so the virtual cadence matches the
+	// configured RebalanceInterval. Each pass runs under the same
+	// stop-the-world barrier every whole-cluster mutation uses.
+	if cl.ShardCount() > 1 {
+		period := time.Duration(float64(cl.Config().RebalanceInterval) / speed)
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(period)
+			defer t.Stop()
+			for {
+				select {
+				case <-l.done:
+					return
+				case <-t.C:
+					_ = l.Do(func() { cl.RebalanceOnce() })
+				}
+			}
+		}()
+	}
 	return l
+}
+
+// liveLookahead derives the MultiDriver's bounded-skew window: the
+// configured SkewBound if set, otherwise the cross-shard interaction
+// floor — no shard can affect another in less than one network latency
+// of virtual time — widened to cover an OS scheduling quantum at the
+// configured speed so a descheduled pacer does not throttle healthy
+// siblings.
+func (s *System) liveLookahead(speed float64) time.Duration {
+	cfg := s.cluster.Config()
+	if cfg.SkewBound > 0 {
+		return cfg.SkewBound
+	}
+	la := cfg.NetLatency
+	// 2ms of wall time is a generous scheduling quantum; at speed X the
+	// virtual clock covers X times that while a pacer is off-CPU.
+	if quantum := time.Duration(2 * float64(time.Millisecond) * speed); quantum > la {
+		la = quantum
+	}
+	return la
 }
 
 // Speed returns the effective virtual-vs-wall speed multiplier.
@@ -67,20 +143,67 @@ func (l *Live) Speed() float64 { return l.speed }
 // System returns the system this driver paces.
 func (l *Live) System() *System { return l.sys }
 
+// MultiEngine reports whether this driver paces one engine per shard
+// (Config.EnginePerShard).
+func (l *Live) MultiEngine() bool { return l.multi != nil }
+
 // Inject schedules fn onto the engine goroutine "as soon as possible"
 // (at the engine's current virtual instant) and returns without waiting
 // for it to run. Safe from any goroutine, including engine-side
 // callbacks (an OnResult handler may Inject a follow-up submission; it
-// runs on a later driver turn). After Stop, Inject is a silent no-op.
-func (l *Live) Inject(fn func()) { l.drv.Inject(fn) }
+// runs on a later driver turn). It reports whether the injection was
+// accepted: false means the driver has already stopped and fn will
+// never run — callers owning resources tied to fn must release them on
+// a false return (see serve.Server for the admission-window case).
+//
+// In multi-engine mode Inject lands on shard 0; use InjectOn to target
+// the shard owning the state fn touches.
+func (l *Live) Inject(fn func()) bool { return l.InjectOn(0, fn) }
 
-// Do runs fn on the engine goroutine and blocks until it has completed
-// — the synchronous companion to Inject, used for submissions and
-// consistent metric snapshots. It returns ErrLiveStopped if the driver
-// stopped before fn could run. Calling Do from inside an engine-side
-// callback deadlocks; use plain function calls there (the caller is
-// already on the engine goroutine).
+// InjectOn schedules fn onto shard's engine goroutine at that engine's
+// current virtual instant. It reports whether the injection was
+// accepted (false after Stop). Without EnginePerShard every shard lives
+// on the one engine and any shard index maps to it.
+func (l *Live) InjectOn(shard int, fn func()) bool {
+	if l.multi != nil {
+		return l.multi.Inject(shard, fn)
+	}
+	return l.drv.Inject(fn)
+}
+
+// InjectOrAbortOn is InjectOn with a guaranteed-exactly-once outcome:
+// either fn runs on the shard's engine goroutine, or abort runs (on the
+// caller's or the driver's goroutine) because the driver stopped before
+// fn could be delivered. Use it when fn owns resources — admission
+// slots, response channels — that must be released even across a racing
+// Stop.
+func (l *Live) InjectOrAbortOn(shard int, fn, abort func()) {
+	if l.multi != nil {
+		l.multi.InjectOrAbort(shard, fn, abort)
+		return
+	}
+	l.drv.InjectOrAbort(fn, abort)
+}
+
+// Do runs fn and blocks until it has completed — the synchronous
+// companion to Inject, used for submissions and consistent metric
+// snapshots. It returns ErrLiveStopped if the driver stopped before fn
+// could run. Calling Do from inside an engine-side callback deadlocks;
+// use plain function calls there (the caller is already on the engine
+// goroutine).
+//
+// Single-engine mode runs fn on the engine goroutine. In multi-engine
+// mode Do is a stop-the-world barrier: every shard's pacer parks at its
+// current instant, fn runs with all engines quiescent (and may touch
+// any shard's state — this is how whole-cluster mutations like
+// registration and migration stay race-free), then the pacers resume.
 func (l *Live) Do(fn func()) error {
+	if l.multi != nil {
+		if err := l.multi.Barrier(fn); err != nil {
+			return ErrLiveStopped
+		}
+		return nil
+	}
 	ran := make(chan struct{})
 	l.drv.Inject(func() {
 		fn()
@@ -102,12 +225,13 @@ func (l *Live) Do(fn func()) error {
 	}
 }
 
-// Stop halts the wall-clock driver and waits for its goroutine to exit.
-// Pending virtual events (in-flight requests, timers) are left in the
-// engine — callers that need a clean drain should stop admitting work
-// and wait for in-flight completions first, which is exactly what
-// serve.Server.Shutdown does. Stop is idempotent and safe from any
-// goroutine.
+// Stop halts the wall-clock driver(s) and waits for the goroutines to
+// exit. Pending virtual events (in-flight requests, timers) are left in
+// the engines — callers that need a clean drain should stop admitting
+// work and wait for in-flight completions first, which is exactly what
+// serve.Server.Shutdown does. Injections staged but not yet transferred
+// to an engine have their abort hooks run (see InjectOrAbortOn). Stop
+// is idempotent and safe from any goroutine.
 func (l *Live) Stop() {
 	l.stopOnce.Do(func() { close(l.stop) })
 	<-l.done

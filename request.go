@@ -160,6 +160,35 @@ func resultOf(r core.Response, l time.Duration) Result {
 // specs are typed errors (ErrUnknownModel, ErrInvalidRequest) — the
 // submission path no longer silently accepts unregistered names.
 func (s *System) SubmitRequest(req Request, onDone func(Result)) (*Handle, error) {
+	spec, cb := req.lower(onDone)
+	h, err := s.cluster.SubmitRequest(spec, cb)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{h: h}, nil
+}
+
+// SubmitRequestOn is SubmitRequest entered on a specific shard — the
+// routed form for Config.EnginePerShard systems, where the caller must
+// already be on shard's engine goroutine (via Live.InjectOn with the
+// shard from OwnerShard). If shard turns out not to own the model —
+// the routing hint was a migration stale — the submission is forwarded
+// to the real owner over the cross-shard network, costing one extra
+// hop. Out-of-range shards are ErrNoSuchShard. On a single-engine
+// system it is identical to SubmitRequest with the shard ignored (all
+// shards live on one engine).
+func (s *System) SubmitRequestOn(shard int, req Request, onDone func(Result)) (*Handle, error) {
+	spec, cb := req.lower(onDone)
+	h, err := s.cluster.SubmitRequestOn(shard, spec, cb)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{h: h}, nil
+}
+
+// lower translates the public request into the core submission spec and
+// completion callback.
+func (req Request) lower(onDone func(Result)) (core.SubmitSpec, func(core.Response, time.Duration)) {
 	spec := core.SubmitSpec{
 		Model:    req.Model,
 		SLO:      req.SLO,
@@ -180,11 +209,7 @@ func (s *System) SubmitRequest(req Request, onDone func(Result)) (*Handle, error
 			}
 		}
 	}
-	h, err := s.cluster.SubmitRequest(spec, cb)
-	if err != nil {
-		return nil, err
-	}
-	return &Handle{h: h}, nil
+	return spec, cb
 }
 
 // Submit issues an inference request with default options — the

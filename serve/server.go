@@ -284,6 +284,28 @@ var inferScratchPool = sync.Pool{
 	New: func() any { return &inferScratch{body: make([]byte, 0, 512)} },
 }
 
+// ownerShard picks the engine shard to inject a submission on: the
+// model's owner per the lock-free routing hint when the system runs one
+// engine per shard, shard 0 otherwise. An unregistered model maps to
+// shard 0, whose controller answers ErrUnknownModel.
+func (s *Server) ownerShard(model string) int {
+	if !s.live.MultiEngine() {
+		return 0
+	}
+	if shard, ok := s.sys.OwnerShard(model); ok {
+		return shard
+	}
+	return 0
+}
+
+// submitOutcome carries the engine-side result of a submission back to
+// the handler goroutine.
+type submitOutcome struct {
+	h       *clockwork.Handle
+	err     error
+	stopped bool
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if err := s.admit(); err != nil {
 		status, code := errToCode(err)
@@ -295,34 +317,66 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err)
 		return
 	}
-	defer s.release()
+	// The admission slot is held until the request reaches its OUTCOME,
+	// not until this handler returns: a handler abandoned by its client
+	// leaves a request still occupying the engine, and the in-flight
+	// window must keep counting it or MaxInFlight stops bounding
+	// engine-side work (the whole point of admission). rel is idempotent;
+	// whichever of these fires first wins:
+	//   - the request's OnResult (the normal case, on the engine turn),
+	//   - an early error path below (never submitted),
+	//   - stopCtx (the driver is freezing; the outcome will never come).
+	var relOnce sync.Once
+	rel := func() { relOnce.Do(s.release) }
+	stopRel := context.AfterFunc(s.stopCtx, rel)
+
 	sc := inferScratchPool.Get().(*inferScratch)
 	defer inferScratchPool.Put(sc)
 	sc.req = InferRequest{}
 	if !decodeJSONBuf(w, r, &sc.req, &sc.body) {
+		stopRel()
+		rel()
 		return
 	}
 	req := &sc.req
 
-	var h *clockwork.Handle
-	var err error
-	doErr := s.live.Do(func() {
-		h, err = s.sys.SubmitRequest(clockwork.Request{
+	// Inject on the shard owning the model (shard 0 on a single-engine
+	// system): a routed injection wakes one engine instead of
+	// barrier-stopping all of them, and InjectOrAbortOn guarantees
+	// exactly one of fn/abort runs even across a racing Stop, so the
+	// outcome channel always receives.
+	shard := s.ownerShard(req.Model)
+	outc := make(chan submitOutcome, 1)
+	s.live.InjectOrAbortOn(shard, func() {
+		h, err := s.sys.SubmitRequestOn(shard, clockwork.Request{
 			Model:        req.Model,
 			SLO:          req.SLO,
 			Priority:     req.Priority,
 			Tenant:       req.Tenant,
 			MaxBatchSize: req.MaxBatchSize,
+			OnResult: func(clockwork.Result) {
+				stopRel()
+				rel()
+			},
 		}, nil)
+		outc <- submitOutcome{h: h, err: err}
+	}, func() {
+		outc <- submitOutcome{stopped: true}
 	})
-	if doErr != nil {
-		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+	out := <-outc
+	if out.stopped {
+		stopRel()
+		rel()
+		writeError(w, http.StatusServiceUnavailable, "stopped", clockwork.ErrLiveStopped)
 		return
 	}
-	if err != nil {
-		writeAPIError(w, err)
+	if out.err != nil {
+		stopRel()
+		rel()
+		writeAPIError(w, out.err)
 		return
 	}
+	h := out.h
 	// Wait until completion, the client disconnecting, or the server
 	// giving up its drain (stopCtx) — the last so no handler is left
 	// waiting on a clock that stopped ticking.
@@ -335,7 +389,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// Distinguish the two release causes: the server abandoning its
 		// drain (stopCtx) vs. the client disconnecting. The request
 		// itself still runs to its outcome inside the engine (if the
-		// clock keeps ticking). Nothing useful reaches a gone client.
+		// clock keeps ticking) — and its admission slot stays charged
+		// until that outcome: nothing useful reaches a gone client, but
+		// the engine-side work is still real.
 		code := "client_gone"
 		if s.stopCtx.Err() != nil && r.Context().Err() == nil {
 			code = "draining"
@@ -550,14 +606,22 @@ var jsonBufPool = sync.Pool{
 	New: func() any { return bytes.NewBuffer(make([]byte, 0, 512)) },
 }
 
+// writeJSON buffer-encodes v before touching the ResponseWriter, so an
+// encode failure can still become a real 500 errorResponse instead of
+// the silent empty 200 the old direct-encode path produced (by the time
+// a streaming encoder fails, the 200 status line is already on the
+// wire).
 func writeJSON(w http.ResponseWriter, v any) {
 	buf := jsonBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	err := json.NewEncoder(buf).Encode(v)
-	w.Header().Set("Content-Type", "application/json")
-	if err == nil {
-		_, _ = w.Write(buf.Bytes())
+	if err != nil {
+		jsonBufPool.Put(buf)
+		writeError(w, http.StatusInternalServerError, "encode_failed", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 	jsonBufPool.Put(buf)
 }
 

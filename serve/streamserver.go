@@ -55,9 +55,12 @@ func (s *Server) ServeStream(ln net.Listener) error {
 }
 
 // streamInfer is one decoded, admitted inference awaiting injection.
+// shard is the engine it will be injected on — the model's owner per
+// the routing hint on a multi-engine system, always 0 otherwise.
 type streamInfer struct {
-	corr uint64
-	req  clockwork.Request
+	corr  uint64
+	shard int
+	req   clockwork.Request
 }
 
 // batchPool recycles the injection batches; ownership passes from the
@@ -149,7 +152,8 @@ func (s *Server) streamFrame(sc *streamConn, dec *stream.Decoder, typ uint8, p [
 			return true
 		}
 		*batch = append(*batch, streamInfer{
-			corr: f.Corr,
+			corr:  f.Corr,
+			shard: s.ownerShard(f.Model),
 			req: clockwork.Request{
 				Model:        f.Model,
 				SLO:          time.Duration(f.SLO),
@@ -164,12 +168,16 @@ func (s *Server) streamFrame(sc *streamConn, dec *stream.Decoder, typ uint8, p [
 		if err != nil {
 			return false
 		}
-		s.live.Inject(func() {
+		// A refused injection (driver stopped) must still answer the
+		// frame, or the client's correlation waits forever.
+		s.live.InjectOrAbortOn(0, func() {
 			m := outFramePool.Get().(*outFrame)
 			m.typ = stream.TypeModelList
 			m.corr = corr
 			m.models = append(m.models[:0], s.sys.Models()...)
 			sc.send(m)
+		}, func() {
+			sc.sendError(corr, errToWire(ErrDraining), "live driver stopped")
 		})
 		return true
 	default:
@@ -177,15 +185,52 @@ func (s *Server) streamFrame(sc *streamConn, dec *stream.Decoder, typ uint8, p [
 	}
 }
 
-// injectBatch hands the whole batch to the engine as ONE injected
+// injectBatch hands the whole batch to its engine as ONE injected
 // closure: however many requests the reader coalesced, the engine is
-// woken once and the driver pays one turn. Each request's completion
-// callback queues a result frame on the connection writer and releases
-// its admission slot — the slot is held until the outcome exists, so
-// the in-flight window means what it says even if the connection dies
-// first.
+// woken once and the driver pays one turn. On a multi-engine system the
+// batch is first partitioned by owner shard (each sub-batch wakes only
+// its own engine); the common case — every coalesced frame targeting
+// the same shard — stays a single injection with no re-slicing.
 func (s *Server) injectBatch(sc *streamConn, batch *[]streamInfer) {
-	s.live.Inject(func() {
+	b := *batch
+	mixed := false
+	for i := 1; i < len(b); i++ {
+		if b[i].shard != b[0].shard {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		s.injectBatchOn(b[0].shard, sc, batch)
+		return
+	}
+	parts := make(map[int]*[]streamInfer)
+	for i := range b {
+		p := parts[b[i].shard]
+		if p == nil {
+			p = batchPool.Get().(*[]streamInfer)
+			*p = (*p)[:0]
+			parts[b[i].shard] = p
+		}
+		*p = append(*p, b[i])
+	}
+	*batch = (*batch)[:0]
+	batchPool.Put(batch)
+	for shard, p := range parts {
+		s.injectBatchOn(shard, sc, p)
+	}
+}
+
+// injectBatchOn injects one single-shard batch. Each request's
+// completion callback queues a result frame on the connection writer
+// and releases its admission slot — the slot is held until the outcome
+// exists, so the in-flight window means what it says even if the
+// connection dies first. A stopped driver runs the abort path instead:
+// every admitted item is answered with a draining error frame and its
+// slot released, so Inject-after-Stop can neither strand slots (a drain
+// that never finishes) nor leave client correlations hanging.
+func (s *Server) injectBatchOn(shard int, sc *streamConn, batch *[]streamInfer) {
+	s.live.InjectOrAbortOn(shard, func() {
 		for i := range *batch {
 			it := &(*batch)[i]
 			corr := it.corr
@@ -212,10 +257,17 @@ func (s *Server) injectBatch(sc *streamConn, batch *[]streamInfer) {
 				sc.send(m)
 				s.release()
 			}
-			if _, err := s.sys.SubmitRequest(it.req, nil); err != nil {
+			if _, err := s.sys.SubmitRequestOn(shard, it.req, nil); err != nil {
 				sc.sendError(corr, errToWire(err), err.Error())
 				s.release()
 			}
+		}
+		*batch = (*batch)[:0]
+		batchPool.Put(batch)
+	}, func() {
+		for i := range *batch {
+			sc.sendError((*batch)[i].corr, errToWire(ErrDraining), "live driver stopped")
+			s.release()
 		}
 		*batch = (*batch)[:0]
 		batchPool.Put(batch)
