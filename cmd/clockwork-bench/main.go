@@ -1,7 +1,9 @@
 // Command clockwork-bench is the repo's perf-trajectory recorder: it
 // runs the serving-plane benchmarks (engine floor, HTTP round trip,
 // stream round trip, batched stream) and loopback closed-loop goodput
-// runs over both transports in-process, optionally shells out to the
+// runs over both transports in-process, measures the journal's
+// record-path overhead (off vs interval fsync vs fsync-per-ack) and
+// cold-recovery wall time, optionally shells out to the
 // scheduler benchmarks, and writes the results as machine-readable
 // JSON (BENCH_serve.json by convention) so future PRs can diff
 // performance against a committed baseline instead of prose.
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"clockwork"
+	"clockwork/journal"
 	"clockwork/serve"
 )
 
@@ -55,6 +58,30 @@ type loadEntry struct {
 	ViolationRate float64 `json:"violation_rate"`
 	WallP50Ns     int64   `json:"wall_p50_ns"`
 	WallP99Ns     int64   `json:"wall_p99_ns"`
+}
+
+// journalEntry is one journal-overhead run: the stream loopback shape
+// with the durable control plane off, recording with interval fsync
+// (the -journal default), or recording with fsync on every ack.
+type journalEntry struct {
+	Mode           string  `json:"mode"`
+	Goodput        float64 `json:"goodput_req_per_sec"`
+	Sent           uint64  `json:"sent"`
+	Lost           uint64  `json:"lost"`
+	ViolationRate  float64 `json:"violation_rate"`
+	WallP50Ns      int64   `json:"wall_p50_ns"`
+	WallP99Ns      int64   `json:"wall_p99_ns"`
+	JournalRecords uint64  `json:"journal_records,omitempty"`
+	JournalBytes   int64   `json:"journal_bytes,omitempty"`
+}
+
+// recoveryEntry times cold recovery (Load + Rebuild — what clockworkd
+// does on boot) of a synthetic journal.
+type recoveryEntry struct {
+	Records   int   `json:"records"`
+	Bytes     int64 `json:"bytes"`
+	LoadNs    int64 `json:"load_wall_ns"`
+	RebuildNs int64 `json:"rebuild_wall_ns"`
 }
 
 // scalingEntry is one multi-core scaling run: the same stream workload
@@ -81,6 +108,8 @@ type report struct {
 	Load        []loadEntry    `json:"load"`
 	Scaling     []scalingEntry `json:"scaling,omitempty"`
 	ScalingNote string         `json:"scaling_note,omitempty"`
+	Journal     []journalEntry `json:"journal,omitempty"`
+	Recovery    *recoveryEntry `json:"journal_recovery,omitempty"`
 	Scheduler   []benchEntry   `json:"scheduler,omitempty"`
 }
 
@@ -90,6 +119,7 @@ func main() {
 		quick         = flag.Bool("quick", false, "shorter runs (CI smoke); figures are noisier")
 		skipScheduler = flag.Bool("skip-scheduler", false, "skip the go-test scheduler benchmarks")
 		skipScaling   = flag.Bool("skip-scaling", false, "skip the multi-core shard-scaling runs")
+		skipJournal   = flag.Bool("skip-journal", false, "skip the journal record-overhead and recovery runs")
 		loadDur       = flag.Duration("load-duration", 2*time.Second, "wall length of each goodput run")
 	)
 	flag.Parse()
@@ -151,6 +181,28 @@ func main() {
 			"multicore runs one engine goroutine per shard; speedup needs >= shards physical cores "+
 				"(this host has %d — on a single core the figures measure sync-protocol overhead, "+
 				"expect parity at best, not the >=2.5x a 4-core host shows)", runtime.NumCPU())
+	}
+
+	if !*skipJournal {
+		log.Printf("clockwork-bench: journal record overhead (%v each)", *loadDur)
+		for _, mode := range []string{"off", "record", "fsync-always"} {
+			e, err := runJournalLoad(mode, *loadDur)
+			if err != nil {
+				log.Fatalf("clockwork-bench: journal %s: %v", mode, err)
+			}
+			rep.Journal = append(rep.Journal, e)
+			log.Printf("clockwork-bench:   %-12s goodput=%9.1f req/s  records=%d bytes=%d",
+				e.Mode, e.Goodput, e.JournalRecords, e.JournalBytes)
+		}
+		recov, err := runJournalRecovery(100_000)
+		if err != nil {
+			log.Fatalf("clockwork-bench: journal recovery: %v", err)
+		}
+		rep.Recovery = &recov
+		log.Printf("clockwork-bench:   recovery of %d records (%d bytes): load=%v rebuild=%v",
+			recov.Records, recov.Bytes,
+			time.Duration(recov.LoadNs).Round(time.Millisecond),
+			time.Duration(recov.RebuildNs).Round(time.Millisecond))
 	}
 
 	if !*skipScheduler {
@@ -374,6 +426,129 @@ func runLoad(transport string, batch int, dur time.Duration) (loadEntry, error) 
 		ViolationRate: rep.ViolationRate,
 		WallP50Ns:     rep.Wall.P50.Nanoseconds(),
 		WallP99Ns:     rep.Wall.P99.Nanoseconds(),
+	}, nil
+}
+
+// runJournalLoad measures the durable control plane's record-path tax:
+// the stream loopback shape (the fastest transport, where per-request
+// overhead is most visible) with journaling off, recording under the
+// default interval fsync, and recording with an fsync per ack. The
+// acceptance bar is record (interval) goodput within 15% of off;
+// fsync-always pays for its machine-crash durability and is reported,
+// not bounded.
+func runJournalLoad(mode string, dur time.Duration) (journalEntry, error) {
+	cfg := clockwork.Config{Workers: 2, GPUsPerWorker: 2}
+	sys, err := clockwork.New(cfg)
+	if err != nil {
+		return journalEntry{}, err
+	}
+	if _, err := sys.RegisterCopies("res", "resnet50_v1b", 4); err != nil {
+		return journalEntry{}, err
+	}
+	var rec *journal.Recorder
+	if mode != "off" {
+		dir, err := os.MkdirTemp("", "clockwork-bench-journal")
+		if err != nil {
+			return journalEntry{}, err
+		}
+		defer os.RemoveAll(dir)
+		fsync := journal.FsyncInterval
+		if mode == "fsync-always" {
+			fsync = journal.FsyncAlways
+		}
+		rec, err = journal.Create(dir, sys, cfg, journal.Options{Fsync: fsync, Speed: 500})
+		if err != nil {
+			return journalEntry{}, err
+		}
+	}
+	srv := serve.New(sys, serve.Options{Speed: 500, Journal: rec})
+	defer shutdown(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return journalEntry{}, err
+	}
+	go func() { _ = srv.ServeStream(ln) }()
+	sc, err := serve.DialStream(ln.Addr().String(), serve.StreamOptions{Conns: 2})
+	if err != nil {
+		return journalEntry{}, err
+	}
+	defer sc.Close()
+	lrep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		SLO:         500 * time.Millisecond,
+		Concurrency: 16,
+		Duration:    dur,
+		Batch:       32,
+		Transport:   sc,
+	})
+	if err != nil {
+		return journalEntry{}, err
+	}
+	e := journalEntry{
+		Mode:          mode,
+		Goodput:       lrep.Goodput,
+		Sent:          lrep.Sent,
+		Lost:          lrep.Sent - lrep.Completed - lrep.Errors - lrep.Shed,
+		ViolationRate: lrep.ViolationRate,
+		WallP50Ns:     lrep.Wall.P50.Nanoseconds(),
+		WallP99Ns:     lrep.Wall.P99.Nanoseconds(),
+	}
+	if rec != nil {
+		st := rec.Status()
+		e.JournalRecords = st.Records
+		e.JournalBytes = st.Bytes
+	}
+	return e, nil
+}
+
+// runJournalRecovery times what clockworkd does on boot — Load the
+// epoch, Rebuild the control plane — against a synthetic journal of n
+// records (alternating submission and acknowledgement, the live mix).
+// The records are appended through the real Recorder on a quiescent
+// engine, so the bytes on disk are exactly what a live run writes.
+func runJournalRecovery(n int) (recoveryEntry, error) {
+	dir, err := os.MkdirTemp("", "clockwork-bench-recovery")
+	if err != nil {
+		return recoveryEntry{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := clockwork.Config{Workers: 2, GPUsPerWorker: 2}
+	sys, err := clockwork.New(cfg)
+	if err != nil {
+		return recoveryEntry{}, err
+	}
+	if _, err := sys.RegisterCopies("res", "resnet50_v1b", 4); err != nil {
+		return recoveryEntry{}, err
+	}
+	rec, err := journal.Create(dir, sys, cfg, journal.Options{Fsync: journal.FsyncNever, Speed: 500})
+	if err != nil {
+		return recoveryEntry{}, err
+	}
+	for i := 0; i < n/2; i++ {
+		corr := rec.Infer(0, "res#0", 250*time.Millisecond, 0, "bench", 0)
+		rec.Ack(corr, clockwork.Result{
+			RequestID: uint64(i + 1), Success: true,
+			Latency: 5 * time.Millisecond, Batch: 1,
+		})
+	}
+	if err := rec.Close(); err != nil {
+		return recoveryEntry{}, err
+	}
+
+	start := time.Now()
+	ep, err := journal.Load(dir)
+	if err != nil {
+		return recoveryEntry{}, err
+	}
+	loadNs := time.Since(start).Nanoseconds()
+	start = time.Now()
+	if _, _, _, err := ep.Rebuild(); err != nil {
+		return recoveryEntry{}, err
+	}
+	return recoveryEntry{
+		Records:   len(ep.Records),
+		Bytes:     ep.Bytes,
+		LoadNs:    loadNs,
+		RebuildNs: time.Since(start).Nanoseconds(),
 	}, nil
 }
 

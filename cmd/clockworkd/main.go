@@ -15,6 +15,8 @@
 //	    -workers 8 -shards 4 -speed 100 -preload resnet50_v1b:8,densenet161:4
 //	clockworkd -addr :8400 -stream-addr :8401 -max-inflight 1024
 //	clockworkd -addr :8400 -workers 8 -shards 4 -multicore
+//	clockworkd -addr :8400 -journal /var/lib/clockwork/journal \
+//	    -snapshot-interval 30s -preload resnet50_v1b:4
 //
 // The -speed flag scales virtual time against wall time: 1 serves in
 // real time on the paper's simulated hardware; 100 runs the simulated
@@ -24,6 +26,18 @@
 // overloaded error frames. -multicore runs each scheduler shard on its
 // own engine and goroutine, synchronised within a bounded virtual-clock
 // skew (-skew-bound), so an N-shard daemon can use N cores.
+//
+// -journal enables the durable control plane (package journal): every
+// externally-sourced injection is appended to a write-ahead log and the
+// control-plane state is snapshotted on -snapshot-interval (plus on
+// POST /v1/admin/snapshot). On restart with the same -journal dir the
+// daemon recovers: latest snapshot, plus the recorded mutations after
+// it — no registered model and no acknowledged request is lost. The
+// recovered run opens a new journal epoch; cmd/clockwork-replay can
+// re-execute any recorded epoch deterministically. Journaling is
+// single-engine: -journal with -multicore is a boot error. The geometry
+// flags (-workers, -shards, …) and -preload are ignored on recovery —
+// the journal's state wins.
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"time"
 
 	"clockwork"
+	"clockwork/journal"
 	"clockwork/serve"
 )
 
@@ -59,6 +74,13 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "engine RNG seed")
 		preload      = flag.String("preload", "", "models to register at startup: zoo[:copies] comma-separated (e.g. resnet50_v1b:4)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+
+		journalDir   = flag.String("journal", "", "journal directory: enable the durable control plane (snapshot + injection log; single-engine only)")
+		journalFsync = flag.String("journal-fsync", "interval", "journal fsync policy: interval, always or never")
+		journalEvery = flag.Duration("journal-fsync-interval", 100*time.Millisecond, "background fsync cadence with -journal-fsync interval")
+		snapEvery    = flag.Duration("snapshot-interval", 0, "periodic control-plane snapshot cadence (0 = only on POST /v1/admin/snapshot)")
+		retain       = flag.String("journal-retain", "all", "journal retention: all (keeps deterministic replay) or snapshot (prune segments behind the latest snapshot)")
+		segBytes     = flag.Int64("journal-segment-bytes", 64<<20, "rotate write-ahead segments at this size")
 	)
 	flag.Parse()
 
@@ -68,8 +90,23 @@ func main() {
 		}
 		return
 	}
+	if *journalDir != "" && *multicore {
+		log.Fatalf("clockworkd: -journal requires a single engine; it cannot be combined with -multicore (bit-exact replay is a single-engine property)")
+	}
+	fsyncPolicy, err := journal.ParseFsyncPolicy(*journalFsync)
+	if err != nil {
+		log.Fatalf("clockworkd: %v", err)
+	}
+	retention := journal.RetainAll
+	switch *retain {
+	case "all":
+	case "snapshot":
+		retention = journal.RetainToSnapshot
+	default:
+		log.Fatalf("clockworkd: unknown -journal-retain %q (want all or snapshot)", *retain)
+	}
 
-	sys, err := clockwork.New(clockwork.Config{
+	cfg := clockwork.Config{
 		Workers:        *workers,
 		GPUsPerWorker:  *gpus,
 		Shards:         *shards,
@@ -77,22 +114,88 @@ func main() {
 		SkewBound:      *skewBound,
 		Policy:         clockwork.Policy(*policy),
 		Seed:           *seed,
-	})
-	if err != nil {
-		log.Fatalf("clockworkd: %v", err)
 	}
-	names, err := preloadModels(sys, *preload)
-	if err != nil {
-		log.Fatalf("clockworkd: %v", err)
+	jopts := journal.Options{
+		Fsync:           fsyncPolicy,
+		FsyncEvery:      *journalEvery,
+		MaxSegmentBytes: *segBytes,
+		SnapshotEvery:   *snapEvery,
+		Retain:          retention,
+		Speed:           *speed,
+		MaxInFlight:     *maxInFlight,
+	}
+
+	// Boot the system: recover from the journal when it has a prior
+	// epoch (the journal's recorded state wins over the geometry and
+	// preload flags), build fresh otherwise.
+	var sys *clockwork.System
+	var rec *journal.Recorder
+	var names []string
+	recovered := false
+	if *journalDir != "" {
+		if _, ok, err := journal.LatestEpoch(*journalDir); err != nil {
+			log.Fatalf("clockworkd: journal: %v", err)
+		} else if ok {
+			ep, err := journal.Load(*journalDir)
+			if err != nil {
+				log.Fatalf("clockworkd: journal: %v", err)
+			}
+			rsys, carry, report, err := ep.Rebuild()
+			if err != nil {
+				log.Fatalf("clockworkd: journal recovery: %v", err)
+			}
+			sys = rsys
+			cfg = carry.Config
+			jopts.Speed = carry.Speed
+			jopts.MaxInFlight = carry.MaxInFlight
+			jopts.PriorRequests = carry.PriorRequests
+			jopts.PriorAcked = carry.PriorAcked
+			*speed = carry.Speed
+			*maxInFlight = carry.MaxInFlight
+			recovered = true
+			base := "genesis"
+			if report.UsedSnapshot {
+				base = "snapshot"
+			}
+			log.Printf("clockworkd: recovered epoch %d from %s: %d models, %d workers, %d ops re-applied; %d requests this epoch (%d acked, %d in-flight dropped); lifetime %d requests / %d acked",
+				report.Epoch, base, report.Models, report.Workers, report.AppliedOps,
+				report.EpochRequests, report.EpochAcked, report.Unacked,
+				report.TotalRequests, report.TotalAcked)
+			if report.Truncated {
+				log.Printf("clockworkd: journal tail truncated: %s", report.TruncatedNote)
+			}
+			names = sys.Models()
+		}
+	}
+	if sys == nil {
+		sys, err = clockwork.New(cfg)
+		if err != nil {
+			log.Fatalf("clockworkd: %v", err)
+		}
+		names, err = preloadModels(sys, *preload)
+		if err != nil {
+			log.Fatalf("clockworkd: %v", err)
+		}
+	}
+	if *journalDir != "" {
+		rec, err = journal.Create(*journalDir, sys, cfg, jopts)
+		if err != nil {
+			log.Fatalf("clockworkd: journal: %v", err)
+		}
+		verb := "journaling"
+		if recovered {
+			verb = "recovered; journaling"
+		}
+		log.Printf("clockworkd: %s to %s (epoch %d, fsync=%s, retain=%s)", verb, *journalDir, rec.Epoch(), fsyncPolicy, *retain)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("clockworkd: %v", err)
 	}
-	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight})
+	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight, Journal: rec})
 	log.Printf("clockworkd: listening on %s (workers=%d gpus=%d shards=%d multicore=%v policy=%s speed=%gx models=%d max-inflight=%d)",
-		ln.Addr(), *workers, *gpus, *shards, *multicore, *policy, srv.Live().Speed(), len(names), *maxInFlight)
+		ln.Addr(), cfg.Workers, cfg.GPUsPerWorker, cfg.Shards, *multicore, string(cfg.Policy), srv.Live().Speed(), len(names), *maxInFlight)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

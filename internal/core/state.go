@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clockwork/internal/predictor"
+)
+
+// This file is the control-plane state export/import surface the
+// durable journal rides (see the top-level journal package). A snapshot
+// must capture what cannot be re-derived from the model catalogue: the
+// measured profile windows (the §5.3 rolling estimators) and each
+// model's current shard. Everything travels through the same registry
+// the migration machinery (ExtractModel/AdoptModel) uses, so a restored
+// controller is indistinguishable from one that learned the profile
+// live.
+
+// ProfileEntry is one action key's measured window for a model:
+// Op "exec" with a batch size, or Op "load" (Batch 0). Window is
+// oldest-first, so replaying it through the profile's Observe
+// reconstructs the estimator exactly.
+type ProfileEntry struct {
+	Op     string
+	Batch  int
+	Window []time.Duration
+}
+
+// ExportProfile returns model's measured profile windows in
+// deterministic (Op, Batch) order. Models with no measurements yet
+// export an empty slice — their estimators are fully re-derivable from
+// the catalogue seed at registration.
+func (c *Controller) ExportProfile(model string) []ProfileEntry {
+	var out []ProfileEntry
+	for _, k := range c.profile.Keys() {
+		if k.Model != model {
+			continue
+		}
+		w := c.profile.ExportKey(k)
+		if len(w) == 0 {
+			continue
+		}
+		out = append(out, ProfileEntry{Op: k.Op, Batch: k.Batch, Window: w})
+	}
+	return out
+}
+
+// ImportProfile replays measured windows into model's estimators, on
+// top of the catalogue seeds RegisterModel installed. Call it after
+// registration; unknown models are ignored (the entries carry their
+// own keys, and observing for an unregistered model would create
+// orphan estimators).
+func (c *Controller) ImportProfile(model string, entries []ProfileEntry) {
+	if _, ok := c.models[model]; !ok {
+		return
+	}
+	for _, e := range entries {
+		for _, d := range e.Window {
+			c.profile.Observe(predictor.Key{Op: e.Op, Model: model, Batch: e.Batch}, d)
+		}
+	}
+}
+
+// ExportProfile routes the export to model's owning shard.
+func (cl *Cluster) ExportProfile(model string) ([]ProfileEntry, error) {
+	shard, ok := cl.modelShard[model]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	return cl.Ctls[shard].ExportProfile(model), nil
+}
+
+// ImportProfile routes the import to model's owning shard.
+func (cl *Cluster) ImportProfile(model string, entries []ProfileEntry) error {
+	shard, ok := cl.modelShard[model]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	cl.Ctls[shard].ImportProfile(model, entries)
+	return nil
+}
+
+// ZooNameOf returns the catalogue name behind a registered instance —
+// what a snapshot stores so recovery can re-register the instance from
+// the embedded catalogue. ok is false for unknown instances.
+func (cl *Cluster) ZooNameOf(instance string) (string, bool) {
+	zoo, ok := cl.zoos[instance]
+	if !ok {
+		return "", false
+	}
+	return zoo.Name, true
+}

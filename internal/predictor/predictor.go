@@ -2,6 +2,7 @@ package predictor
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"clockwork/internal/telemetry"
@@ -48,6 +49,21 @@ func (e *Estimator) Observe(d time.Duration) {
 
 // Count returns the number of measurements in the window.
 func (e *Estimator) Count() int { return e.n }
+
+// Export returns the window's measurements oldest-first — the order
+// that, replayed through Observe, reconstructs the estimator exactly
+// (snapshot/restore of the control plane rides this).
+func (e *Estimator) Export() []time.Duration {
+	out := make([]time.Duration, 0, e.n)
+	start := 0
+	if e.n == len(e.window) {
+		start = e.idx
+	}
+	for i := 0; i < e.n; i++ {
+		out = append(out, e.window[(start+i)%len(e.window)])
+	}
+	return out
+}
 
 // Estimate returns the current prediction: the maximum over the window
 // (a p99-style upper estimate), or the profiling seed before any
@@ -128,6 +144,36 @@ func (p *Profile) Estimate(k Key) time.Duration {
 
 // Len returns the number of keys tracked.
 func (p *Profile) Len() int { return len(p.m) }
+
+// ExportKey returns k's measured window oldest-first (nil when the key
+// is untracked or unmeasured). The profiling seed is not exported: it
+// re-derives from the model catalogue at registration.
+func (p *Profile) ExportKey(k Key) []time.Duration {
+	e, ok := p.m[k]
+	if !ok || e.n == 0 {
+		return nil
+	}
+	return e.Export()
+}
+
+// Keys returns every tracked key sorted by (Model, Op, Batch), so
+// exports serialize deterministically regardless of map iteration.
+func (p *Profile) Keys() []Key {
+	keys := make([]Key, 0, len(p.m))
+	for k := range p.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Model != keys[j].Model {
+			return keys[i].Model < keys[j].Model
+		}
+		if keys[i].Op != keys[j].Op {
+			return keys[i].Op < keys[j].Op
+		}
+		return keys[i].Batch < keys[j].Batch
+	})
+	return keys
+}
 
 // ErrorTracker accumulates prediction-error telemetry for Fig 9:
 // overpredictions (actual < predicted) and underpredictions

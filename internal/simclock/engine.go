@@ -14,6 +14,7 @@ import (
 type Engine struct {
 	now     Time
 	seq     uint64
+	fseq    uint64
 	pq      eventHeap
 	stepped uint64
 	stopped bool
@@ -22,6 +23,14 @@ type Engine struct {
 	// Schedule entry point) keeps steady-state scheduling off the heap.
 	free []*event
 }
+
+// frontSeqBase splits the sequence space: ordinary events draw sequence
+// numbers from [frontSeqBase, ...) while ScheduleFront draws from
+// [0, frontSeqBase), so a front event always wins the FIFO tie-break
+// against every already-queued event at the same instant. Relative
+// order within each class is unchanged, so existing runs are
+// bit-identical.
+const frontSeqBase = uint64(1) << 63
 
 // Timer is a handle to a scheduled event that can be cancelled. The
 // generation field guards against event-node recycling: a Timer whose
@@ -110,7 +119,7 @@ func (h *eventHeap) Pop() any {
 
 // NewEngine returns an engine whose clock reads the epoch (Time 0).
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{seq: frontSeqBase}
 }
 
 // Now returns the current virtual time.
@@ -139,6 +148,35 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 // nothing beyond fn itself.
 func (e *Engine) Schedule(t Time, fn func()) {
 	e.schedule(t, fn)
+}
+
+// ScheduleFront schedules fn at instant t ahead of every event already
+// queued for that instant (normal scheduling is FIFO among same-instant
+// events; front scheduling wins those ties). It exists for deterministic
+// replay: a journaled injection must re-enter the engine before the
+// same-instant internal events that were scheduled between the original
+// injection's transfer and its execution — those executed after it in
+// the recorded run, and front scheduling restores that order. Ordinary
+// code should use Schedule.
+func (e *Engine) ScheduleFront(t Time, fn func()) {
+	if fn == nil {
+		panic("simclock: schedule with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.r = t, e.fseq, fn, nil
+		ev.cancelled, ev.fired = false, false
+	} else {
+		ev = &event{at: t, seq: e.fseq, fn: fn}
+	}
+	e.fseq++
+	heap.Push(&e.pq, ev)
 }
 
 // ScheduleRun is Schedule with a preallocated Runner instead of a

@@ -1,0 +1,43 @@
+// Package journal is the durable control plane: a snapshot of
+// control-plane state plus an append-only log of every externally-
+// sourced injection, giving a live clockwork daemon crash recovery and
+// whole-system deterministic record/replay.
+//
+// The design leans on the serving plane's single determinism boundary
+// (see ARCHITECTURE.md, "Serving plane"): everything below Live.Inject
+// is the same deterministic event machinery the simulations run, so a
+// single-engine live system is a pure function of (seed, the sequence
+// of injected operations, each operation's virtual instant and engine
+// step position). The Recorder captures exactly that triple for every
+// injection the serve layer performs — inference submissions,
+// registrations, worker ops, and even read-only scrapes (as no-op
+// records, because reads consume engine steps too and replay must
+// consume them identically) — plus an acknowledgement record per
+// completed request, appended on the engine turn before the response
+// can reach the client.
+//
+// Three consumers read the log back:
+//
+//   - Recovery (Load + Rebuild): restore the latest snapshot — or the
+//     genesis state — and re-apply the control-plane mutations recorded
+//     after it, so a daemon bounce loses no registered model and no
+//     acknowledged request.
+//   - Deterministic replay (ReplayEpoch, cmd/clockwork-replay): rebuild
+//     the genesis system and re-execute every recorded injection at its
+//     recorded step and instant through the simulator. The replayed
+//     completion stream hashes identically to the recorded one, turning
+//     any production incident into a reproducible regression test.
+//   - Observability (Recorder.Status): segment/byte/fsync-lag gauges
+//     for the admin plane and /metrics.
+//
+// On disk a journal directory holds numbered epochs — one per daemon
+// generation, because recovery rebuilds a fresh engine whose step
+// counter restarts, which resets the replay alignment. Each epoch is a
+// chain of segmented write-ahead files of length-prefixed CRC32C
+// frames (rotated at a size bound, prunable back to the latest
+// snapshot) plus snapshot files. Every append reaches the kernel in
+// one write(2), so a SIGKILL — the crash mode a process can cause —
+// never tears a frame; the configurable fsync policy only governs
+// machine-crash durability, and the reader truncates a torn tail back
+// to the last whole frame either way.
+package journal

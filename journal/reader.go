@@ -1,0 +1,235 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseName decodes "epoch-%06d-seg-%012d.wal" / "epoch-%06d-snap-
+// %012d.snap" file names. kind is "seg" or "snap"; ok is false for
+// anything else (including the writer's .tmp staging files).
+func parseName(name string) (epoch int, n uint64, kind string, ok bool) {
+	rest, found := strings.CutPrefix(name, "epoch-")
+	if !found {
+		return 0, 0, "", false
+	}
+	epochStr, rest, found := strings.Cut(rest, "-")
+	if !found {
+		return 0, 0, "", false
+	}
+	e, err := strconv.Atoi(epochStr)
+	if err != nil {
+		return 0, 0, "", false
+	}
+	switch {
+	case strings.HasPrefix(rest, "seg-") && strings.HasSuffix(rest, ".wal"):
+		kind = "seg"
+		rest = strings.TrimSuffix(strings.TrimPrefix(rest, "seg-"), ".wal")
+	case strings.HasPrefix(rest, "snap-") && strings.HasSuffix(rest, ".snap"):
+		kind = "snap"
+		rest = strings.TrimSuffix(strings.TrimPrefix(rest, "snap-"), ".snap")
+	default:
+		return 0, 0, "", false
+	}
+	v, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, 0, "", false
+	}
+	return e, v, kind, true
+}
+
+// EpochData is one epoch read back from disk: the genesis state, every
+// decodable record in sequence order, and the latest usable snapshot.
+type EpochData struct {
+	Dir   string
+	Epoch int
+
+	// Genesis is the state the epoch's step/seq chain is relative to.
+	// Nil when the genesis segment was pruned (RetainToSnapshot) —
+	// recovery then requires Snapshot, and deterministic replay is
+	// unavailable.
+	Genesis *State
+
+	// Records holds every decoded record in seq order, including the
+	// genesis record when present.
+	Records []Record
+
+	// Snapshot is the newest snapshot whose file decoded cleanly (nil
+	// when none was taken); SnapshotSeq is the first record seq NOT
+	// covered by it.
+	Snapshot    *State
+	SnapshotSeq uint64
+
+	// Truncated reports that the record chain ended at a torn or
+	// corrupt frame — the expected shape after a crash — with the
+	// already-decoded prefix kept. TruncatedNote says where.
+	Truncated     bool
+	TruncatedNote string
+
+	SegmentCount int
+	Bytes        int64
+}
+
+// LatestEpoch scans dir for journal files and returns the highest epoch
+// number present; ok is false for an empty or absent directory.
+func LatestEpoch(dir string) (epoch int, ok bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	best := -1
+	for _, e := range ents {
+		if ep, _, _, ok := parseName(e.Name()); ok && ep > best {
+			best = ep
+		}
+	}
+	if best < 0 {
+		return 0, false, nil
+	}
+	return best, true, nil
+}
+
+// Load reads the latest epoch in dir back into memory. It returns an
+// error only for unreadable files or a chain that is broken before its
+// tail; a torn tail (the normal crash shape) is reported via
+// EpochData.Truncated, not an error.
+func Load(dir string) (*EpochData, error) {
+	epoch, ok, err := LatestEpoch(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("journal: no epochs in %s", dir)
+	}
+	return LoadEpoch(dir, epoch)
+}
+
+// LoadEpoch reads one specific epoch.
+func LoadEpoch(dir string, epoch int) (*EpochData, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segStarts []uint64
+	var snapSeqs []uint64
+	for _, e := range ents {
+		ep, n, kind, ok := parseName(e.Name())
+		if !ok || ep != epoch {
+			continue
+		}
+		switch kind {
+		case "seg":
+			segStarts = append(segStarts, n)
+		case "snap":
+			snapSeqs = append(snapSeqs, n)
+		}
+	}
+	if len(segStarts) == 0 {
+		return nil, fmt.Errorf("journal: epoch %d has no segments in %s", epoch, dir)
+	}
+	sort.Slice(segStarts, func(i, j int) bool { return segStarts[i] < segStarts[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+
+	ed := &EpochData{Dir: dir, Epoch: epoch, SegmentCount: len(segStarts)}
+
+	// Decode the segment chain. Segments must be seq-contiguous; a
+	// record chain stops at the first torn or corrupt frame and ignores
+	// anything after it (a torn frame mid-chain with live segments
+	// after it means real corruption, so flag it loudly in the note).
+	nextSeq := segStarts[0]
+	var rec Record
+scan:
+	for i, start := range segStarts {
+		if start != nextSeq {
+			ed.Truncated = true
+			ed.TruncatedNote = fmt.Sprintf("segment gap: have records up to seq %d, next segment starts at %d", nextSeq, start)
+			break
+		}
+		path := filepath.Join(dir, fmt.Sprintf(segPattern, epoch, start))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ed.Bytes += int64(len(data))
+		off := 0
+		for off < len(data) {
+			payload, next, err := readFrame(data, off)
+			if err != nil {
+				ed.Truncated = true
+				ed.TruncatedNote = fmt.Sprintf("%s at %s offset %d", err, filepath.Base(path), off)
+				if i < len(segStarts)-1 {
+					ed.TruncatedNote += " (mid-chain: later segments ignored)"
+				}
+				break scan
+			}
+			if err := decodeRecord(payload, &rec); err != nil {
+				ed.Truncated = true
+				ed.TruncatedNote = fmt.Sprintf("%s at %s offset %d", err, filepath.Base(path), off)
+				break scan
+			}
+			if rec.Seq != nextSeq {
+				ed.Truncated = true
+				ed.TruncatedNote = fmt.Sprintf("seq discontinuity at %s offset %d: got %d, want %d", filepath.Base(path), off, rec.Seq, nextSeq)
+				break scan
+			}
+			ed.Records = append(ed.Records, rec)
+			nextSeq++
+			off = next
+		}
+	}
+
+	if len(ed.Records) > 0 && ed.Records[0].Seq == 0 {
+		if ed.Records[0].Type != recGenesis || ed.Records[0].State == nil {
+			return nil, fmt.Errorf("journal: epoch %d record 0 is not a genesis record", epoch)
+		}
+		ed.Genesis = ed.Records[0].State
+	}
+
+	// Latest usable snapshot: the newest snap file that decodes (each
+	// is CRC-framed and was fsynced before its marker was appended, so
+	// a file that decodes is trustworthy even when the record chain
+	// tore earlier — the snapshot then recovers strictly more than the
+	// chain alone).
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		seq := snapSeqs[i]
+		st, err := readSnapshotFile(filepath.Join(dir, fmt.Sprintf(snapPattern, epoch, seq)))
+		if err != nil {
+			continue
+		}
+		ed.Snapshot = st
+		ed.SnapshotSeq = seq
+		break
+	}
+
+	if ed.Genesis == nil && ed.Snapshot == nil {
+		return nil, fmt.Errorf("journal: epoch %d has neither a readable genesis nor a snapshot (%s)", epoch, ed.TruncatedNote)
+	}
+	return ed, nil
+}
+
+func readSnapshotFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := readFrame(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := decodeRecord(payload, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Type != recGenesis || rec.State == nil {
+		return nil, fmt.Errorf("journal: snapshot file %s does not hold a state record", filepath.Base(path))
+	}
+	return rec.State, nil
+}

@@ -205,10 +205,17 @@ func (l *Live) Do(fn func()) error {
 		return nil
 	}
 	ran := make(chan struct{})
-	l.drv.Inject(func() {
+	if !l.drv.Inject(func() {
 		fn()
 		close(ran)
-	})
+	}) {
+		// The driver has already stopped: fn can never run. Without this
+		// check the select below still returns ErrLiveStopped (l.done is
+		// closed), but only after allocating and racing the channels —
+		// and a future refactor of that select could silently turn the
+		// dropped injection into a hang. Fail fast at the source.
+		return ErrLiveStopped
+	}
 	select {
 	case <-ran:
 		return nil

@@ -26,6 +26,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		quants = make([]float64, len(latencyQuantiles))
 	)
 	doErr := s.live.Do(func() {
+		s.recNoop()
 		s.fillStats(&st)
 		for i := 0; i < s.sys.ShardCount(); i++ {
 			if sb, err := s.sys.ShardStats(i); err == nil {
@@ -62,6 +63,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("clockwork_virtual_time_seconds", "Engine virtual clock.", st.VirtualNow.Seconds())
 	gauge("clockwork_uptime_seconds", "Daemon wall-clock age.", time.Since(s.started).Seconds())
 	gauge("clockwork_speed", "Virtual-vs-wall clock multiplier.", s.live.Speed())
+
+	if s.rec != nil {
+		// Journal gauges come from the recorder's lock-free status
+		// mirrors — same scrape, no extra engine call.
+		js := s.rec.Status()
+		counter("clockwork_journal_records_total", "Journal records appended this epoch.", js.Records)
+		counter("clockwork_journal_infers_total", "Inference submissions journaled this epoch.", js.Infers)
+		counter("clockwork_journal_acks_total", "Acknowledgements journaled this epoch.", js.Acks)
+		counter("clockwork_journal_snapshots_total", "Snapshots taken this epoch.", js.Snapshots)
+		gauge("clockwork_journal_epoch", "Journal epoch this daemon appends to.", float64(js.Epoch))
+		gauge("clockwork_journal_segments", "Live write-ahead segments on disk.", float64(js.Segments))
+		gauge("clockwork_journal_bytes", "Bytes appended to the journal this epoch.", float64(js.Bytes))
+		gauge("clockwork_journal_unsynced_bytes", "Bytes written but not yet fsynced.", float64(js.UnsyncedBytes))
+		gauge("clockwork_journal_fsync_lag_seconds", "Time since the last completed fsync while writes are pending.", js.FsyncLag.Seconds())
+		snapAge := js.LastSnapshotAge.Seconds()
+		if js.LastSnapshotAge < 0 {
+			snapAge = -1
+		}
+		gauge("clockwork_journal_last_snapshot_age_seconds", "Wall-clock age of the last snapshot (-1 before the first).", snapAge)
+		failed := 0.0
+		if js.Failed {
+			failed = 1
+		}
+		gauge("clockwork_journal_failed", "1 when the journal has latched a write error and stopped recording.", failed)
+	}
 
 	fmt.Fprintf(&b, "# HELP clockwork_latency_seconds Client-observed latency (virtual clock).\n")
 	fmt.Fprintf(&b, "# TYPE clockwork_latency_seconds summary\n")

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"clockwork"
+	"clockwork/journal"
 )
 
 // Options configures a Server.
@@ -27,6 +28,14 @@ type Options struct {
 	// overloaded error frame — well-behaved clients shed load before
 	// the engine's admission control has to cancel. 0 means unbounded.
 	MaxInFlight int
+	// Journal, if non-nil, records every externally-sourced injection
+	// (submissions, registrations, worker ops, and read scrapes as
+	// no-op records) plus an acknowledgement per completed request, for
+	// crash recovery and deterministic replay. Single-engine systems
+	// only — New panics on an EnginePerShard system with a journal, the
+	// same boundary RunFor enforces. The server owns the recorder's
+	// lifecycle: Shutdown closes it.
+	Journal *journal.Recorder
 }
 
 // Server is the HTTP/JSON front end of a live System: it bridges
@@ -52,6 +61,11 @@ type Server struct {
 	sys  *clockwork.System
 	live *clockwork.Live
 	mux  *http.ServeMux
+	// rec is the injection journal (nil when journaling is off). Every
+	// injected closure that reaches the engine appends exactly one
+	// record batch through it — mutations as typed records, reads as
+	// no-ops — so a replay can re-consume engine steps one-for-one.
+	rec *journal.Recorder
 
 	started time.Time
 
@@ -92,10 +106,14 @@ func New(sys *clockwork.System, opts Options) *Server {
 		sys:         sys,
 		live:        sys.StartLive(opts.Speed),
 		mux:         http.NewServeMux(),
+		rec:         opts.Journal,
 		started:     time.Now(),
 		maxInFlight: opts.MaxInFlight,
 		streamLns:   make(map[net.Listener]struct{}),
 		streamConns: make(map[*streamConn]struct{}),
+	}
+	if s.rec != nil && s.live.MultiEngine() {
+		panic("serve: Options.Journal requires a single-engine system (journaling and replay are single-engine features)")
 	}
 	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
@@ -103,13 +121,43 @@ func New(sys *clockwork.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/admin/workers", s.handleAddWorker)
-	s.mux.HandleFunc("POST /v1/admin/workers/drain", s.handleWorkerOp(sys.DrainWorker))
-	s.mux.HandleFunc("POST /v1/admin/workers/fail", s.handleWorkerOp(sys.FailWorker))
+	s.mux.HandleFunc("POST /v1/admin/workers/drain", s.handleWorkerOp("drain", sys.DrainWorker))
+	s.mux.HandleFunc("POST /v1/admin/workers/fail", s.handleWorkerOp("fail", sys.FailWorker))
 	s.mux.HandleFunc("POST /v1/admin/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("GET /v1/admin/shards", s.handleShards)
+	s.mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/admin/journal", s.handleJournal)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.rec != nil {
+		if every := s.rec.SnapshotEvery(); every > 0 {
+			// Periodic snapshots ride the same engine entry every other
+			// injection uses (Live.Do), so the capture sees quiescent
+			// state and the marker is that injection's record.
+			go func() {
+				t := time.NewTicker(every)
+				defer t.Stop()
+				for {
+					select {
+					case <-s.stopCtx.Done():
+						return
+					case <-t.C:
+						_ = s.live.Do(func() { _, _ = s.rec.Snapshot() })
+					}
+				}
+			}()
+		}
+	}
 	return s
+}
+
+// recNoop journals an injected read closure (stats, metrics, model
+// lists): no engine-visible effect, but one engine step that replay
+// must consume identically. Engine-side, like every record call.
+func (s *Server) recNoop() {
+	if s.rec != nil {
+		s.rec.Noop()
+	}
 }
 
 // Live returns the wall-clock driver, for callers that mix direct
@@ -221,6 +269,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// goroutine is stranded waiting on an engine that will never tick.
 	s.stopCancel()
 	s.live.Stop()
+	// The engine goroutine is gone: no append can race the close. Flush
+	// and fsync the journal tail so the drained state is durable.
+	if s.rec != nil {
+		if cerr := s.rec.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -347,19 +402,37 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// outcome channel always receives.
 	shard := s.ownerShard(req.Model)
 	outc := make(chan submitOutcome, 1)
+	// The outcome travels back through resc (filled by OnResult on the
+	// engine turn) rather than Handle.Wait: the journal's ack record is
+	// appended inside the same callback, strictly before the send, and
+	// the receiving handler flushes the journal before responding — so
+	// the ack reaches the kernel before the response can reach the wire,
+	// the no-acked-request-lost invariant.
+	resc := make(chan clockwork.Result, 1)
 	s.live.InjectOrAbortOn(shard, func() {
-		h, err := s.sys.SubmitRequestOn(shard, clockwork.Request{
+		var corr uint64
+		if s.rec != nil {
+			corr = s.rec.Infer(shard, req.Model, req.SLO, req.Priority, req.Tenant, req.MaxBatchSize)
+		}
+		_, err := s.sys.SubmitRequestOn(shard, clockwork.Request{
 			Model:        req.Model,
 			SLO:          req.SLO,
 			Priority:     req.Priority,
 			Tenant:       req.Tenant,
 			MaxBatchSize: req.MaxBatchSize,
-			OnResult: func(clockwork.Result) {
+			OnResult: func(res clockwork.Result) {
+				if s.rec != nil {
+					s.rec.Ack(corr, res)
+				}
+				resc <- res
 				stopRel()
 				rel()
 			},
 		}, nil)
-		outc <- submitOutcome{h: h, err: err}
+		if s.rec != nil {
+			s.rec.Commit()
+		}
+		outc <- submitOutcome{err: err}
 	}, func() {
 		outc <- submitOutcome{stopped: true}
 	})
@@ -376,7 +449,6 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, out.err)
 		return
 	}
-	h := out.h
 	// Wait until completion, the client disconnecting, or the server
 	// giving up its drain (stopCtx) — the last so no handler is left
 	// waiting on a clock that stopped ticking.
@@ -384,7 +456,20 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stopWatch := context.AfterFunc(s.stopCtx, cancel)
 	defer stopWatch()
-	res, werr := h.Wait(waitCtx)
+	var res clockwork.Result
+	var werr error
+	select {
+	case res = <-resc:
+		// Group-commit barrier: the ack record buffered in OnResult must
+		// be in the kernel before this handler puts the response on the
+		// wire. One handler's flush covers every ack buffered since the
+		// last barrier; the repeat calls are lock-and-return no-ops.
+		if s.rec != nil {
+			s.rec.Flush()
+		}
+	case <-waitCtx.Done():
+		werr = waitCtx.Err()
+	}
 	if werr != nil {
 		// Distinguish the two release causes: the server abandoning its
 		// drain (stopCtx) vs. the client disconnecting. The request
@@ -426,6 +511,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var names []string
 	var err error
 	doErr := s.live.Do(func() {
+		if s.rec != nil {
+			// Recorded before the call: a registration that fails here
+			// (duplicate name) fails identically on recovery and replay,
+			// restoring the same registry either way.
+			s.rec.Register(req.Instance, req.Zoo, req.Copies)
+		}
 		if req.Copies > 0 {
 			names, err = s.sys.RegisterCopies(req.Instance, req.Zoo, req.Copies)
 		} else {
@@ -446,7 +537,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	var models []string
-	if doErr := s.live.Do(func() { models = s.sys.Models() }); doErr != nil {
+	if doErr := s.live.Do(func() { s.recNoop(); models = s.sys.Models() }); doErr != nil {
 		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
 		return
 	}
@@ -477,7 +568,7 @@ func (s *Server) fillStats(st *StatsResponse) {
 // goroutine.
 func (s *Server) snapshot() (StatsResponse, error) {
 	var st StatsResponse
-	err := s.live.Do(func() { s.fillStats(&st) })
+	err := s.live.Do(func() { s.recNoop(); s.fillStats(&st) })
 	st.Uptime = time.Since(s.started)
 	st.Speed = s.live.Speed()
 	return st, err
@@ -485,14 +576,20 @@ func (s *Server) snapshot() (StatsResponse, error) {
 
 func (s *Server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
 	var id int
-	if doErr := s.live.Do(func() { id = s.sys.AddWorker() }); doErr != nil {
+	doFn := func() {
+		if s.rec != nil {
+			s.rec.AddWorker()
+		}
+		id = s.sys.AddWorker()
+	}
+	if doErr := s.live.Do(doFn); doErr != nil {
 		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
 		return
 	}
 	writeJSON(w, WorkerResponse{ID: id, State: "active"})
 }
 
-func (s *Server) handleWorkerOp(op func(int) error) http.HandlerFunc {
+func (s *Server) handleWorkerOp(kind string, op func(int) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req WorkerRequest
 		if !decodeJSON(w, r, &req) {
@@ -501,6 +598,14 @@ func (s *Server) handleWorkerOp(op func(int) error) http.HandlerFunc {
 		var err error
 		var state clockwork.WorkerState
 		doErr := s.live.Do(func() {
+			if s.rec != nil {
+				switch kind {
+				case "drain":
+					s.rec.DrainWorker(req.ID)
+				case "fail":
+					s.rec.FailWorker(req.ID)
+				}
+			}
 			if err = op(req.ID); err == nil {
 				state, _ = s.sys.WorkerStateOf(req.ID)
 			}
@@ -519,7 +624,13 @@ func (s *Server) handleWorkerOp(op func(int) error) http.HandlerFunc {
 
 func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	var migrated int
-	if doErr := s.live.Do(func() { migrated = s.sys.Rebalance() }); doErr != nil {
+	doFn := func() {
+		if s.rec != nil {
+			s.rec.Rebalance()
+		}
+		migrated = s.sys.Rebalance()
+	}
+	if doErr := s.live.Do(doFn); doErr != nil {
 		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
 		return
 	}
@@ -529,6 +640,7 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	var resp ShardStatsResponse
 	doErr := s.live.Do(func() {
+		s.recNoop()
 		n := s.sys.ShardCount()
 		resp.Shards = make([]ShardStatsEntry, 0, n)
 		for i := 0; i < n; i++ {
@@ -545,6 +657,66 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, resp)
+}
+
+// handleSnapshot (POST /v1/admin/snapshot) takes an on-demand
+// control-plane snapshot through the same engine entry the periodic
+// ticker uses, and answers with where it landed.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, "no_journal", errors.New("journaling is not enabled (start with -journal)"))
+		return
+	}
+	var info journal.SnapshotInfo
+	var serr error
+	doErr := s.live.Do(func() { info, serr = s.rec.Snapshot() })
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
+		return
+	}
+	if serr != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot_failed", serr)
+		return
+	}
+	writeJSON(w, SnapshotResponse{
+		Path:           info.Path,
+		Seq:            info.Seq,
+		Step:           info.Step,
+		VirtualTime:    info.VT,
+		Bytes:          info.Bytes,
+		Models:         info.Models,
+		Workers:        info.Workers,
+		PrunedSegments: info.PrunedSegments,
+	})
+}
+
+// handleJournal (GET /v1/admin/journal) reports journal health from the
+// recorder's lock-free status mirrors — no engine call, no record, so
+// scraping it does not perturb the replay stream.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, "no_journal", errors.New("journaling is not enabled (start with -journal)"))
+		return
+	}
+	st := s.rec.Status()
+	writeJSON(w, JournalStatusResponse{
+		Dir:              st.Dir,
+		Epoch:            st.Epoch,
+		Segments:         st.Segments,
+		Bytes:            st.Bytes,
+		Records:          st.Records,
+		Infers:           st.Infers,
+		Acks:             st.Acks,
+		Fsync:            st.Fsync.String(),
+		UnsyncedBytes:    st.UnsyncedBytes,
+		FsyncLag:         st.FsyncLag,
+		Snapshots:        st.Snapshots,
+		LastSnapshotPath: st.LastSnapshotPath,
+		LastSnapshotSeq:  st.LastSnapshotSeq,
+		LastSnapshotAge:  st.LastSnapshotAge,
+		Failed:           st.Failed,
+		Error:            st.Err,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

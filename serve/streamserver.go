@@ -77,6 +77,9 @@ var batchPool = sync.Pool{
 // goroutine, a writer goroutine for responses.
 func (s *Server) serveStreamConn(c net.Conn) {
 	sc := newStreamConn(c)
+	if s.rec != nil {
+		sc.barrier = s.rec.Flush
+	}
 	s.streamMu.Lock()
 	if s.isDraining() {
 		s.streamMu.Unlock()
@@ -171,6 +174,7 @@ func (s *Server) streamFrame(sc *streamConn, dec *stream.Decoder, typ uint8, p [
 		// A refused injection (driver stopped) must still answer the
 		// frame, or the client's correlation waits forever.
 		s.live.InjectOrAbortOn(0, func() {
+			s.recNoop()
 			m := outFramePool.Get().(*outFrame)
 			m.typ = stream.TypeModelList
 			m.corr = corr
@@ -234,7 +238,23 @@ func (s *Server) injectBatchOn(shard int, sc *streamConn, batch *[]streamInfer) 
 		for i := range *batch {
 			it := &(*batch)[i]
 			corr := it.corr
+			// One journal record per request of the coalesced batch, all
+			// stamped with this closure's engine step — replay regroups
+			// them into one injection by that shared stamp. The records
+			// buffer until the Commit below: one write(2) per batch.
+			var jcorr uint64
+			if s.rec != nil {
+				jcorr = s.rec.Infer(shard, it.req.Model, it.req.SLO, it.req.Priority, it.req.Tenant, it.req.MaxBatchSize)
+			}
 			it.req.OnResult = func(res clockwork.Result) {
+				if s.rec != nil {
+					// Buffer the ack before the result frame can be
+					// queued toward the client. The group-commit flush
+					// happens on whichever goroutine externalizes the
+					// frame: the writer loop before its socket write, or
+					// this engine turn before sendInline below.
+					s.rec.Ack(jcorr, res)
+				}
 				m := outFramePool.Get().(*outFrame)
 				m.typ = stream.TypeResult
 				m.result = stream.ResultFrame{
@@ -250,9 +270,17 @@ func (s *Server) injectBatchOn(shard int, sc *streamConn, batch *[]streamInfer) 
 				// write from the engine turn itself: one context switch
 				// fewer on the latency path, while bursts (high occupancy)
 				// still coalesce through the writer.
-				if s.inflightLow() && sc.sendInline(m) {
-					s.release()
-					return
+				if s.inflightLow() {
+					// Barrier before the engine-turn socket write; an
+					// inline miss falls back to the queue, where the
+					// writer loop re-barriers before its own write.
+					if s.rec != nil {
+						s.rec.Flush()
+					}
+					if sc.sendInline(m) {
+						s.release()
+						return
+					}
 				}
 				sc.send(m)
 				s.release()
@@ -261,6 +289,9 @@ func (s *Server) injectBatchOn(shard int, sc *streamConn, batch *[]streamInfer) 
 				sc.sendError(corr, errToWire(err), err.Error())
 				s.release()
 			}
+		}
+		if s.rec != nil {
+			s.rec.Commit()
 		}
 		*batch = (*batch)[:0]
 		batchPool.Put(batch)
@@ -305,6 +336,11 @@ type streamConn struct {
 	queue  []*outFrame
 	spare  []*outFrame // double buffer, swapped with queue each wakeup
 	closed bool        // no further sends; writer exits once drained
+
+	// barrier, when set, runs before every socket write the writer loop
+	// makes: the journal's group-commit flush, so acks buffered by the
+	// engine reach the kernel before their result frames reach the wire.
+	barrier func()
 
 	writerDone chan struct{}
 }
@@ -392,6 +428,9 @@ func (sc *streamConn) writeLoop() {
 		sc.mu.Unlock()
 		if done {
 			return
+		}
+		if sc.barrier != nil {
+			sc.barrier()
 		}
 		err := sc.writeBatch(batch)
 		for i := range batch {
