@@ -3,7 +3,9 @@
 // stream round trip, batched stream) and loopback closed-loop goodput
 // runs over both transports in-process, measures the journal's
 // record-path overhead (off vs interval fsync vs fsync-per-ack) and
-// cold-recovery wall time, optionally shells out to the
+// cold-recovery wall time, runs the deterministic autoscale sweep
+// (static {workers, window} grid vs the closed control loop on
+// identical replayed load), optionally shells out to the
 // scheduler benchmarks, and writes the results as machine-readable
 // JSON (BENCH_serve.json by convention) so future PRs can diff
 // performance against a committed baseline instead of prose.
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"clockwork"
+	"clockwork/experiments"
 	"clockwork/journal"
 	"clockwork/serve"
 )
@@ -98,19 +101,34 @@ type scalingEntry struct {
 	WallP99Ns     int64   `json:"wall_p99_ns"`
 }
 
+// autoscaleEntry is one cell of the static-vs-closed-loop comparison:
+// identical replayed load, scored on end-to-end SLO violations against
+// the GPU-seconds the cell kept active.
+type autoscaleEntry struct {
+	Family        string  `json:"family"`
+	Cell          string  `json:"cell"`
+	PeakWorkers   int     `json:"peak_workers"`
+	FinalWindow   int     `json:"final_window"`
+	Violations    uint64  `json:"violations"`
+	ViolationRate float64 `json:"violation_rate"`
+	GPUSeconds    float64 `json:"gpu_seconds"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
-	Generated   string         `json:"generated"`
-	GoVersion   string         `json:"go_version"`
-	Cores       int            `json:"cores"`
-	Note        string         `json:"note"`
-	Benchmarks  []benchEntry   `json:"benchmarks"`
-	Load        []loadEntry    `json:"load"`
-	Scaling     []scalingEntry `json:"scaling,omitempty"`
-	ScalingNote string         `json:"scaling_note,omitempty"`
-	Journal     []journalEntry `json:"journal,omitempty"`
-	Recovery    *recoveryEntry `json:"journal_recovery,omitempty"`
-	Scheduler   []benchEntry   `json:"scheduler,omitempty"`
+	Generated     string           `json:"generated"`
+	GoVersion     string           `json:"go_version"`
+	Cores         int              `json:"cores"`
+	Note          string           `json:"note"`
+	Benchmarks    []benchEntry     `json:"benchmarks"`
+	Load          []loadEntry      `json:"load"`
+	Scaling       []scalingEntry   `json:"scaling,omitempty"`
+	ScalingNote   string           `json:"scaling_note,omitempty"`
+	Journal       []journalEntry   `json:"journal,omitempty"`
+	Recovery      *recoveryEntry   `json:"journal_recovery,omitempty"`
+	Autoscale     []autoscaleEntry `json:"autoscale,omitempty"`
+	AutoscaleNote string           `json:"autoscale_note,omitempty"`
+	Scheduler     []benchEntry     `json:"scheduler,omitempty"`
 }
 
 func main() {
@@ -120,6 +138,7 @@ func main() {
 		skipScheduler = flag.Bool("skip-scheduler", false, "skip the go-test scheduler benchmarks")
 		skipScaling   = flag.Bool("skip-scaling", false, "skip the multi-core shard-scaling runs")
 		skipJournal   = flag.Bool("skip-journal", false, "skip the journal record-overhead and recovery runs")
+		skipAutoscale = flag.Bool("skip-autoscale", false, "skip the autoscale static-vs-closed-loop sweep")
 		loadDur       = flag.Duration("load-duration", 2*time.Second, "wall length of each goodput run")
 	)
 	flag.Parse()
@@ -203,6 +222,33 @@ func main() {
 			recov.Records, recov.Bytes,
 			time.Duration(recov.LoadNs).Round(time.Millisecond),
 			time.Duration(recov.RebuildNs).Round(time.Millisecond))
+	}
+
+	if !*skipAutoscale {
+		dur := 5 * time.Minute // virtual horizon, not wall time
+		if *quick {
+			dur = 90 * time.Second
+		}
+		log.Printf("clockwork-bench: autoscale static-vs-closed sweep (%v virtual horizon per family)", dur)
+		for _, family := range []string{"diurnal", "flash"} {
+			r := experiments.RunAutoscale(experiments.AutoscaleConfig{Family: family, Seed: 42, Duration: dur})
+			for _, cell := range r.Cells {
+				rep.Autoscale = append(rep.Autoscale, autoscaleEntry{
+					Family:        family,
+					Cell:          cell.Name,
+					PeakWorkers:   cell.PeakWorkers,
+					FinalWindow:   cell.FinalWindow,
+					Violations:    cell.Violations,
+					ViolationRate: cell.ViolationRate,
+					GPUSeconds:    cell.GPUSeconds,
+				})
+				log.Printf("clockwork-bench:   %-7s %-20s viol=%7.3f%%  gpu-sec=%6.0f",
+					family, cell.Name, 100*cell.ViolationRate, cell.GPUSeconds)
+			}
+		}
+		rep.AutoscaleNote = "virtual-time sim, deterministic for equal seeds: every cell replays the " +
+			"identical arrival schedule; closed-loop rows should Pareto-dominate the statics " +
+			"(fewer violations AND fewer GPU-seconds) at the full 5m horizon"
 	}
 
 	if !*skipScheduler {

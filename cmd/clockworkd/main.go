@@ -27,6 +27,15 @@
 // own engine and goroutine, synchronised within a bounded virtual-clock
 // skew (-skew-bound), so an N-shard daemon can use N cores.
 //
+// -autoscale closes the control loop: a periodic engine-side policy
+// re-derives the admission window from observed SLO headroom (shrink
+// on violations, grow on sustained p99 headroom, with hysteresis) and
+// — when -autoscale-max-workers raises the ceiling — adds or drains
+// workers against sustained demand. Status and manual overrides live
+// at GET/POST /v1/admin/autoscaler. The loop composes with -journal
+// (decisions are recorded and replayed) and with -multicore (each
+// tick runs under the stop-the-world barrier).
+//
 // -journal enables the durable control plane (package journal): every
 // externally-sourced injection is appended to a write-ahead log and the
 // control-plane state is snapshotted on -snapshot-interval (plus on
@@ -74,6 +83,13 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "engine RNG seed")
 		preload      = flag.String("preload", "", "models to register at startup: zoo[:copies] comma-separated (e.g. resnet50_v1b:4)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+
+		autoscaleOn   = flag.Bool("autoscale", false, "close the control loop: adapt the admission window to SLO headroom and scale workers against demand")
+		ascPeriod     = flag.Duration("autoscale-period", time.Second, "autoscaler control period (virtual time)")
+		ascMinWindow  = flag.Int("autoscale-min-window", 0, "admission-window floor (0 = default 8)")
+		ascMaxWindow  = flag.Int("autoscale-max-window", 0, "admission-window ceiling (0 = default 4096)")
+		ascMinWorkers = flag.Int("autoscale-min-workers", 0, "active-worker floor (0 = default 1)")
+		ascMaxWorkers = flag.Int("autoscale-max-workers", 0, "active-worker ceiling (0 = window-only: no worker scaling)")
 
 		journalDir   = flag.String("journal", "", "journal directory: enable the durable control plane (snapshot + injection log; single-engine only)")
 		journalFsync = flag.String("journal-fsync", "interval", "journal fsync policy: interval, always or never")
@@ -193,7 +209,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("clockworkd: %v", err)
 	}
-	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight, Journal: rec})
+	var ascCfg *serve.AutoscaleConfig
+	if *autoscaleOn {
+		ascCfg = &serve.AutoscaleConfig{
+			Period:     *ascPeriod,
+			MinWindow:  *ascMinWindow,
+			MaxWindow:  *ascMaxWindow,
+			MinWorkers: *ascMinWorkers,
+			MaxWorkers: *ascMaxWorkers,
+		}
+	}
+	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight, Journal: rec, Autoscale: ascCfg})
+	if ascCfg != nil {
+		rcfg := ascCfg.WithDefaults()
+		log.Printf("clockworkd: autoscaler on (period=%v window=[%d,%d] workers=[%d,%d])",
+			rcfg.Period, rcfg.MinWindow, rcfg.MaxWindow, rcfg.MinWorkers, rcfg.MaxWorkers)
+	}
 	log.Printf("clockworkd: listening on %s (workers=%d gpus=%d shards=%d multicore=%v policy=%s speed=%gx models=%d max-inflight=%d)",
 		ln.Addr(), cfg.Workers, cfg.GPUsPerWorker, cfg.Shards, *multicore, string(cfg.Policy), srv.Live().Speed(), len(names), *maxInFlight)
 

@@ -55,6 +55,36 @@ func (s *System) WorkerStateOf(id int) (WorkerState, error) {
 // drained and failed workers keep their IDs.
 func (s *System) Workers() int { return s.cluster.WorkerCount() }
 
+// ActiveWorkers counts workers currently in WorkerActive state — the
+// capacity denominator worker autoscaling reasons over. Engine-side
+// read (in live mode call it from an injected closure or Live.Do).
+func (s *System) ActiveWorkers() int { return s.cluster.ActiveWorkers() }
+
+// ---- closed-loop signals ----
+
+// RecentStats is one control period's slice of the client-observed
+// outcomes — what the closed-loop autoscaler evaluates each period.
+type RecentStats = core.RecentStats
+
+// DrainRecentStats returns the client-observed outcomes accumulated
+// since the previous drain and resets the period accumulators. It is
+// the autoscaler's signal tap: exactly one consumer should call it, on
+// the engine goroutine (under Live.Do with EnginePerShard).
+func (s *System) DrainRecentStats() RecentStats {
+	return s.cluster.Metrics.DrainRecent()
+}
+
+// ShardDemand is one shard's outstanding demand against its enabled
+// GPU capacity.
+type ShardDemand = core.ShardDemand
+
+// DemandSnapshot returns every shard's demand/capacity pair, indexed
+// by shard. Engine-side read; with EnginePerShard it must run under a
+// Live.Do barrier (it touches every shard's controller).
+func (s *System) DemandSnapshot() []ShardDemand {
+	return s.cluster.DemandSnapshot()
+}
+
 // ---- sharded control plane ----
 
 // ShardCount returns the number of scheduler shards (1 unless

@@ -505,6 +505,39 @@ func (cl *Cluster) WorkerStateOf(id int) (WorkerState, error) {
 // drained and failed workers keep their IDs.
 func (cl *Cluster) WorkerCount() int { return len(cl.Workers) }
 
+// ActiveWorkers counts workers currently in WorkerActive state —
+// the denominator worker autoscaling reasons over (drained and failed
+// workers hold IDs but no capacity). Engine-side read.
+func (cl *Cluster) ActiveWorkers() int {
+	n := 0
+	for id := range cl.Workers {
+		st, err := cl.Ctls[cl.workerShard[id]].WorkerStateOf(id)
+		if err == nil && st == WorkerActive {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardDemand is one shard's slice of the demand/capacity signal the
+// closed-loop autoscaler consumes: outstanding Appendix-B demand
+// (GPU-time of queued work) against enabled GPU mirrors.
+type ShardDemand struct {
+	Demand          time.Duration
+	SchedulableGPUs int
+}
+
+// DemandSnapshot returns every shard's demand/capacity pair, indexed
+// by shard. Engine-side read: with EnginePerShard it touches every
+// shard's controller, so it must run under a Live.Do barrier.
+func (cl *Cluster) DemandSnapshot() []ShardDemand {
+	out := make([]ShardDemand, len(cl.Ctls))
+	for i, ctl := range cl.Ctls {
+		out[i] = ShardDemand{Demand: ctl.TotalDemand(), SchedulableGPUs: ctl.SchedulableGPUs()}
+	}
+	return out
+}
+
 // ownerOfWorker resolves the controller owning global worker id.
 func (cl *Cluster) ownerOfWorker(id int) (*Controller, error) {
 	if id < 0 || id >= len(cl.Workers) {

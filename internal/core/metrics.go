@@ -68,6 +68,26 @@ type Metrics struct {
 	// sharded control plane exposes (grown lazily to the highest shard
 	// index seen).
 	perShard []ShardBin
+
+	// recent* accumulate one control period's client-observed outcomes
+	// for the closed-loop autoscaler: a single engine-confined consumer
+	// drains and resets them each period via DrainRecent. Guarded by
+	// the same lock()/unlock() gate as every other write path.
+	recentCompleted  uint64
+	recentViolations uint64
+	recentLatency    *telemetry.Histogram
+	recentMinSLO     time.Duration
+}
+
+// RecentStats is one control period's slice of the client-observed
+// outcomes — the autoscaler's signal set. Violations counts failures
+// plus successes over their SLO; P99 is the period's latency p99 and
+// MinSLO its tightest observed objective (both zero when Completed is).
+type RecentStats struct {
+	Completed  uint64
+	Violations uint64
+	P99        time.Duration
+	MinSLO     time.Duration
 }
 
 // ShardBin is one scheduler shard's slice of the client-observed
@@ -142,7 +162,29 @@ func newMetrics(interval time.Duration) *Metrics {
 		PCIUtil:             telemetry.NewUtilization(interval),
 		perModel:            make(map[string]*modelCounters),
 		perTenant:           make(map[string]*tenantCounters),
+		recentLatency:       telemetry.NewHistogram(),
 	}
+}
+
+// DrainRecent returns the outcomes accumulated since the previous
+// drain and resets the period accumulators. Engine-side: call it from
+// one consumer only, on the engine goroutine (in live multi-engine
+// mode, under a Live.Do barrier — the same consistency rule every
+// cross-shard read follows).
+func (m *Metrics) DrainRecent() RecentStats {
+	m.lock()
+	defer m.unlock()
+	st := RecentStats{
+		Completed:  m.recentCompleted,
+		Violations: m.recentViolations,
+		P99:        m.recentLatency.Percentile(99),
+		MinSLO:     m.recentMinSLO,
+	}
+	m.recentCompleted = 0
+	m.recentViolations = 0
+	m.recentLatency = telemetry.NewHistogram()
+	m.recentMinSLO = 0
+	return st
 }
 
 // Interval returns the bucket width shared by all series.
@@ -235,6 +277,14 @@ func (m *Metrics) record(now simclock.Time, shard int, resp Response, latency, s
 	m.LatencyAll.Observe(latency)
 	m.latencyHist(idx).Observe(latency)
 	m.Throughput.Incr(now)
+	m.recentCompleted++
+	m.recentLatency.Observe(latency)
+	if !resp.Success || latency > slo {
+		m.recentViolations++
+	}
+	if slo > 0 && (m.recentMinSLO == 0 || slo < m.recentMinSLO) {
+		m.recentMinSLO = slo
+	}
 	sb := m.shardBin(shard)
 	sb.Requests++
 

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Golden output hashes for the autoscale sweep at its default config
+// (seed 42, 5-minute horizon, base 400 r/s ×12 peak, statics {2,3} ×
+// {64,1024}). The closed loop's decisions are a pure function of the
+// replayed arrival schedule, so the whole sweep — every cell's shed
+// counts, violation totals and GPU-second bills — must reproduce
+// byte-for-byte. Regenerate only after an INTENDED policy or scenario
+// change, noting the cause in the commit message.
+const (
+	goldenAutoscaleDiurnal = "366d31dc7daf393004a0a9b4945ee36da17a9291d8e13e25d92f781afe200e9a"
+	goldenAutoscaleFlash   = "156070cca7986b706790adcd7459ef63a57a23a45fa57cbcb65f8f07420212b1"
+)
+
+// checkClosedDominates asserts the scenario's headline claim: the
+// closed loop strictly beats EVERY static cell on end-to-end SLO
+// violations while holding strictly fewer GPU-seconds — adaptation
+// Pareto-dominates every fixed point of the sweep.
+func checkClosedDominates(t *testing.T, r *AutoscaleResult) {
+	t.Helper()
+	closed := r.Closed()
+	for _, s := range r.Static() {
+		if closed.Violations >= s.Violations {
+			t.Errorf("%s family: closed loop (%d violations) does not beat %q (%d)",
+				r.Config.Family, closed.Violations, s.Name, s.Violations)
+		}
+		if closed.GPUSeconds >= s.GPUSeconds {
+			t.Errorf("%s family: closed loop (%.0f gpu-sec) costs no less than %q (%.0f)",
+				r.Config.Family, closed.GPUSeconds, s.Name, s.GPUSeconds)
+		}
+	}
+	if closed.PeakWorkers <= closed.StartWorkers {
+		t.Errorf("%s family: closed loop never scaled up (workers %d→%d)",
+			r.Config.Family, closed.StartWorkers, closed.PeakWorkers)
+	}
+}
+
+func TestAutoscaleDiurnalClosedLoopDominates(t *testing.T) {
+	t.Parallel()
+	r := RunAutoscale(AutoscaleConfig{Family: "diurnal", Seed: 42})
+	checkClosedDominates(t, r)
+	out := r.String()
+	if got := sha(out); got != goldenAutoscaleDiurnal {
+		t.Errorf("diurnal sweep diverged from golden\n got %s\nwant %s\noutput:\n%s", got, goldenAutoscaleDiurnal, out)
+	}
+}
+
+func TestAutoscaleFlashCrowdClosedLoopDominates(t *testing.T) {
+	t.Parallel()
+	r := RunAutoscale(AutoscaleConfig{Family: "flash", Seed: 42})
+	checkClosedDominates(t, r)
+	out := r.String()
+	if got := sha(out); got != goldenAutoscaleFlash {
+		t.Errorf("flash sweep diverged from golden\n got %s\nwant %s\noutput:\n%s", got, goldenAutoscaleFlash, out)
+	}
+}

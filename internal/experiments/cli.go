@@ -30,7 +30,7 @@ type CLIFlags struct {
 // CLIExperiments lists the catalogue names Render accepts, in render
 // order for "all".
 var CLIExperiments = []string{
-	"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "sloscale", "scale", "ablations",
+	"fig2a", "fig2b", "fig5", "fig6", "fig7", "fig7iso", "fig8", "fig9", "sloscale", "scale", "autoscale", "ablations",
 }
 
 // Render produces one experiment's full printed output (or "all" of
@@ -99,6 +99,13 @@ func Render(name string, f CLIFlags) (string, error) {
 			Models: f.Models, Requests: f.Requests, Rate: f.Rate,
 			Shards: f.Shards,
 		})), nil
+	case "autoscale":
+		outs := runner.Map([]string{"diurnal", "flash"}, func(fam string) string {
+			return fmt.Sprintln(RunAutoscale(AutoscaleConfig{
+				Family: fam, Seed: f.Seed, Duration: f.Dur, Models: f.Models,
+			}))
+		})
+		return strings.Join(outs, ""), nil
 	case "ablations":
 		outs := runner.Run([]func() string{
 			func() string { return fmt.Sprintln(RunAblationLookahead(f.Dur, f.Seed)) },

@@ -59,3 +59,26 @@ func TestGoldenFig8PreShardBitIdentical(t *testing.T) {
 		t.Fatalf("fig8 output diverged from the pre-shard golden\n got %s\nwant %s\noutput:\n%s", got, goldenFig8, out)
 	}
 }
+
+// goldenScale pins the PR-3 control-plane scale scenario at a small
+// fixed config: shard-count sweep over an identical replayed workload.
+// Sharding the control plane is pure partitioning — any drift in shard
+// routing, ID assignment or rebalance cadence shows up here first.
+const goldenScale = "5ce88e55f70e91b2c16abfd46ffb441250681fd7c59a40bc0b87a52ec0b38c39"
+
+func TestGoldenScaleShardSweepBitIdentical(t *testing.T) {
+	t.Parallel()
+	out := RunScale(ScaleConfig{
+		Shards:            []int{1, 2, 4},
+		Models:            128,
+		Requests:          8_000,
+		Rate:              3_000,
+		Workers:           8,
+		GPUsPerWorker:     2,
+		Seed:              7,
+		RebalanceInterval: 500 * time.Millisecond,
+	}).String()
+	if got := sha(out); got != goldenScale {
+		t.Fatalf("scale output diverged from the golden\n got %s\nwant %s\noutput:\n%s", got, goldenScale, out)
+	}
+}

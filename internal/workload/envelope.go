@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"clockwork/internal/rng"
+)
+
+// This file synthesizes time-varying open-loop load: an Envelope
+// shapes a base Poisson rate over the run (the diurnal cycles and
+// flash crowds the closed-loop autoscaler is judged against), and
+// ArrivalSchedule materialises the resulting non-homogeneous process
+// deterministically by Lewis–Shedler thinning, so every experiment
+// cell can replay the identical arrival instants.
+
+// Envelope is a time-varying rate multiplier: the instantaneous
+// arrival rate at elapsed time t is base × env(t). Multipliers must be
+// non-negative.
+type Envelope func(at time.Duration) float64
+
+// Diurnal returns one sinusoidal day stretched over period: the
+// multiplier starts at trough, peaks at peak mid-period, and returns.
+// sharpness (≥ 1) raises the sinusoid to a power, narrowing the peak —
+// a sharpness-1 day is half busy, a sharpness-4 day has a short rush
+// hour over a long quiet baseline.
+func Diurnal(period time.Duration, trough, peak float64, sharpness int) Envelope {
+	if period <= 0 {
+		panic("workload: non-positive diurnal period")
+	}
+	if sharpness < 1 {
+		sharpness = 1
+	}
+	return func(at time.Duration) float64 {
+		phase := (1 - math.Cos(2*math.Pi*float64(at)/float64(period))) / 2
+		return trough + (peak-trough)*math.Pow(phase, float64(sharpness))
+	}
+}
+
+// Spike is one flash-crowd event: the multiplier ramps linearly from
+// the envelope's base to Mult over Ramp, holds for Hold, and ramps
+// back down over Ramp.
+type Spike struct {
+	Start time.Duration
+	Ramp  time.Duration
+	Hold  time.Duration
+	Mult  float64
+}
+
+// FlashCrowd returns a flat base multiplier punctuated by spikes.
+// Overlapping spikes take the maximum.
+func FlashCrowd(base float64, spikes ...Spike) Envelope {
+	return func(at time.Duration) float64 {
+		m := base
+		for _, sp := range spikes {
+			if at < sp.Start || at >= sp.Start+2*sp.Ramp+sp.Hold {
+				continue
+			}
+			v := sp.Mult
+			switch rel := at - sp.Start; {
+			case rel < sp.Ramp:
+				v = base + (sp.Mult-base)*float64(rel)/float64(sp.Ramp)
+			case rel >= sp.Ramp+sp.Hold:
+				down := rel - sp.Ramp - sp.Hold
+				v = sp.Mult - (sp.Mult-base)*float64(down)/float64(sp.Ramp)
+			}
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// ArrivalSchedule materialises the arrival instants of a
+// non-homogeneous Poisson process with rate base × env(t) over
+// [0, horizon), by thinning a homogeneous base × ceiling process
+// (Lewis–Shedler). ceiling must dominate the envelope everywhere —
+// an envelope value above it is a bug in the caller and panics.
+// Equal (stream state, parameters) give identical schedules.
+func ArrivalSchedule(stream *rng.Stream, base, ceiling float64, env Envelope, horizon time.Duration) []time.Duration {
+	if base <= 0 || ceiling <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	var out []time.Duration
+	maxRate := base * ceiling
+	t := 0.0
+	hz := horizon.Seconds()
+	for {
+		t += stream.Exp(1 / maxRate)
+		if t >= hz {
+			return out
+		}
+		at := time.Duration(t * float64(time.Second))
+		m := env(at)
+		if m > ceiling {
+			panic("workload: envelope exceeds its thinning ceiling")
+		}
+		if stream.Float64()*ceiling < m {
+			out = append(out, at)
+		}
+	}
+}

@@ -57,6 +57,10 @@ func sampleRecords() []Record {
 		{Type: recRebalance, Seq: 8, Step: 25, VT: 15 * time.Millisecond},
 		{Type: recNoop, Seq: 9, Step: 26, VT: 16 * time.Millisecond},
 		{Type: recSnapshot, Seq: 10, Step: 27, VT: 17 * time.Millisecond},
+		{Type: recAutoscale, Seq: 11, Step: 28, VT: 18 * time.Millisecond,
+			Window: 48, AddWorkers: 1, WorkerID: -1, Rebal: true},
+		{Type: recAutoscale, Seq: 12, Step: 29, VT: 19 * time.Millisecond,
+			Window: 8, WorkerID: 2},
 	}
 }
 

@@ -61,6 +61,14 @@ const (
 	// recSnapshot marks that a snapshot file (named for this record's
 	// seq) was durably written before this record was appended.
 	recSnapshot byte = 10
+	// recAutoscale is one closed-loop autoscaler decision that moved
+	// something: the admission window to run with, worker additions, a
+	// drain target, a rebalance pass. The decision — not the signals it
+	// was derived from — is what replay re-applies, so a recorded run
+	// reproduces bit-for-bit however the wall clock paced the control
+	// loop. A tick that moved nothing records recNoop instead (the
+	// evaluation still consumed an engine step).
+	recAutoscale byte = 11
 )
 
 // MaxRecordSize bounds one frame's payload, mirroring the stream
@@ -111,8 +119,14 @@ type Record struct {
 	Zoo      string
 	Copies   int
 
-	// recDrainWorker / recFailWorker
+	// recDrainWorker / recFailWorker; recAutoscale reuses it as the
+	// drain target (-1 = no drain in that decision).
 	WorkerID int
+
+	// recAutoscale
+	Window     int
+	AddWorkers int
+	Rebal      bool
 
 	// recGenesis
 	State *State
@@ -172,6 +186,11 @@ func appendRecord(b []byte, r *Record) []byte {
 		b = appendUvarint(b, uint64(r.Copies))
 	case recDrainWorker, recFailWorker:
 		b = appendUvarint(b, uint64(r.WorkerID))
+	case recAutoscale:
+		b = appendVarint(b, int64(r.Window))
+		b = appendUvarint(b, uint64(r.AddWorkers))
+		b = appendVarint(b, int64(r.WorkerID))
+		b = appendBool(b, r.Rebal)
 	case recAddWorker, recRebalance, recNoop, recSnapshot:
 		// no body
 	default:
@@ -290,6 +309,11 @@ func decodeRecord(payload []byte, r *Record) error {
 		r.Copies = int(c.uvarint())
 	case recDrainWorker, recFailWorker:
 		r.WorkerID = int(c.uvarint())
+	case recAutoscale:
+		r.Window = int(c.varint())
+		r.AddWorkers = int(c.uvarint())
+		r.WorkerID = int(c.varint())
+		r.Rebal = c.bool()
 	case recAddWorker, recRebalance, recNoop, recSnapshot:
 		// no body
 	default:

@@ -269,6 +269,20 @@ func (r *Recorder) Rebalance() {
 	_, _ = r.w.append(&rec, true)
 }
 
+// Autoscale records one closed-loop decision that moved something:
+// the admission window now in force, addWorkers AddWorker calls,
+// drainWorker as the drained worker's ID (-1 for none), and whether a
+// rebalance pass ran. The decision is recorded, not the signals — a
+// replay re-applies it at the recorded step and instant without
+// re-deriving it, and a future snapshot's genesis carries the adapted
+// window forward into recovery.
+func (r *Recorder) Autoscale(window, addWorkers, drainWorker int, rebalance bool) {
+	rec := Record{Type: recAutoscale, Window: window, AddWorkers: addWorkers, WorkerID: drainWorker, Rebal: rebalance}
+	r.stamp(&rec)
+	_, _ = r.w.append(&rec, true)
+	r.base.MaxInFlight = window
+}
+
 // Noop records an injected closure with no engine-visible effect — a
 // stats or metrics scrape. Reads consume engine steps too; without
 // their records the replay's step alignment would drift.

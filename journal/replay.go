@@ -161,6 +161,26 @@ func ReplayEpoch(e *EpochData) (*ReplayResult, error) {
 			if err := rp.Apply(rec.Step, rec.VT, func() { sys.Rebalance() }); err != nil {
 				return nil, fmt.Errorf("seq %d: %w", rec.Seq, err)
 			}
+		case recAutoscale:
+			// Re-apply the recorded decision's engine-visible actuations.
+			// The window itself lives at the serve layer (admission is
+			// outside the engine) and needs no replay — but the worker
+			// ops ran inside the decision's injected closure and must
+			// land at the same step.
+			add, drain, reb := rec.AddWorkers, rec.WorkerID, rec.Rebal
+			if err := rp.Apply(rec.Step, rec.VT, func() {
+				for k := 0; k < add; k++ {
+					sys.AddWorker()
+				}
+				if drain >= 0 {
+					_ = sys.DrainWorker(drain)
+				}
+				if reb {
+					sys.Rebalance()
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("seq %d: %w", rec.Seq, err)
+			}
 		case recNoop, recSnapshot:
 			// The closure read state and scheduled nothing — but it
 			// consumed an engine step, so consume one here too.
@@ -251,6 +271,7 @@ func (e *EpochData) Rebuild() (*clockwork.System, *State, *RecoveryReport, error
 
 	acked := make(map[uint64]bool)
 	var tailReq, tailAck uint64
+	lastWindow := -1
 	for i := range e.Records {
 		rec := &e.Records[i]
 		switch rec.Type {
@@ -293,6 +314,18 @@ func (e *EpochData) Rebuild() (*clockwork.System, *State, *RecoveryReport, error
 		case recRebalance:
 			sys.Rebalance()
 			rep.AppliedOps++
+		case recAutoscale:
+			for k := 0; k < rec.AddWorkers; k++ {
+				sys.AddWorker()
+			}
+			if rec.WorkerID >= 0 {
+				_ = sys.DrainWorker(rec.WorkerID)
+			}
+			if rec.Rebal {
+				sys.Rebalance()
+			}
+			lastWindow = rec.Window
+			rep.AppliedOps++
 		}
 	}
 	for i := range e.Records {
@@ -311,5 +344,11 @@ func (e *EpochData) Rebuild() (*clockwork.System, *State, *RecoveryReport, error
 	carry.Workers = nil
 	carry.PriorRequests = rep.TotalRequests
 	carry.PriorAcked = rep.TotalAcked
+	// The closed loop's last window decision after the snapshot
+	// supersedes the snapshot's admission config: a recovered daemon
+	// restarts with the window the loop had converged to.
+	if lastWindow >= 0 {
+		carry.MaxInFlight = lastWindow
+	}
 	return sys, &carry, rep, nil
 }

@@ -185,6 +185,42 @@ func (l *Live) InjectOrAbortOn(shard int, fn, abort func()) {
 	l.drv.InjectOrAbort(fn, abort)
 }
 
+// Every runs fn periodically, every d of virtual time, until the
+// driver stops — the hook periodic policies (the closed-loop
+// autoscaler) ride on. fn runs engine-side at a single virtual
+// instant: injected onto the engine goroutine in single-engine mode,
+// under the stop-the-world barrier in multi-engine mode (so fn may
+// touch every shard's state, which is how an admission-window update
+// crosses shards consistently). The cadence is paced from the wall
+// clock scaled by the driver's speed — like every live injection, the
+// exact virtual instants are wall-dependent; deterministic replay of
+// the decisions is the journal's job, not the ticker's.
+func (l *Live) Every(d time.Duration, fn func()) {
+	if d <= 0 {
+		return
+	}
+	period := time.Duration(float64(d) / l.speed)
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.done:
+				return
+			case <-t.C:
+				if l.multi != nil {
+					_ = l.Do(fn)
+				} else {
+					_ = l.Inject(fn)
+				}
+			}
+		}
+	}()
+}
+
 // Do runs fn and blocks until it has completed — the synchronous
 // companion to Inject, used for submissions and consistent metric
 // snapshots. It returns ErrLiveStopped if the driver stopped before fn

@@ -10,9 +10,11 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clockwork"
+	"clockwork/internal/autoscale"
 	"clockwork/journal"
 )
 
@@ -36,6 +38,14 @@ type Options struct {
 	// same boundary RunFor enforces. The server owns the recorder's
 	// lifecycle: Shutdown closes it.
 	Journal *journal.Recorder
+	// Autoscale, if non-nil, closes the control loop: a periodic
+	// engine-side policy (internal/autoscale) re-derives MaxInFlight
+	// from observed SLO headroom and scales workers against sustained
+	// demand, exposed at GET/POST /v1/admin/autoscaler. The initial
+	// window is MaxInFlight clamped into the config's bounds
+	// (MaxWindow when MaxInFlight is 0 — a closed loop needs a finite
+	// window to move).
+	Autoscale *AutoscaleConfig
 }
 
 // Server is the HTTP/JSON front end of a live System: it bridges
@@ -55,6 +65,8 @@ type Options struct {
 //	POST /v1/admin/workers/fail   fail a worker
 //	POST /v1/admin/rebalance      run one rebalance pass
 //	GET  /v1/admin/shards         per-shard outcome counters
+//	GET  /v1/admin/autoscaler     closed-loop autoscaler status
+//	POST /v1/admin/autoscaler     pause/resume the loop, force the window
 //	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness
 type Server struct {
@@ -94,6 +106,24 @@ type Server struct {
 	streamMu    sync.Mutex
 	streamLns   map[net.Listener]struct{}
 	streamConns map[*streamConn]struct{}
+
+	// Closed-loop autoscaler state (asc nil when Options.Autoscale was
+	// not given). shedPeriod counts admission rejections since the last
+	// control tick (the tick swaps it to zero — the Shed signal);
+	// shedTotal is the lifetime count for /metrics. The asc* mirrors
+	// publish the loop's last decision lock-free so status reads never
+	// touch the engine.
+	asc        *autoscale.Controller
+	ascEnabled atomic.Bool
+	shedPeriod atomic.Uint64
+	shedTotal  atomic.Uint64
+	ascWindow  atomic.Int64
+	ascTicks   atomic.Uint64
+	ascMoves   atomic.Uint64
+	ascAdded   atomic.Uint64
+	ascDrained atomic.Uint64
+	ascMu      sync.Mutex
+	ascReason  string
 }
 
 // New starts the system's wall-clock driver and returns a server ready
@@ -127,8 +157,24 @@ func New(sys *clockwork.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/admin/shards", s.handleShards)
 	s.mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/admin/journal", s.handleJournal)
+	s.mux.HandleFunc("GET /v1/admin/autoscaler", s.handleAutoscalerGet)
+	s.mux.HandleFunc("POST /v1/admin/autoscaler", s.handleAutoscalerPost)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opts.Autoscale != nil {
+		cfg := opts.Autoscale.WithDefaults()
+		s.asc = autoscale.New(cfg)
+		// The loop needs a finite window to move: unbounded starts at
+		// the ceiling, out-of-bounds starts clamped.
+		if s.maxInFlight <= 0 || s.maxInFlight > cfg.MaxWindow {
+			s.maxInFlight = cfg.MaxWindow
+		} else if s.maxInFlight < cfg.MinWindow {
+			s.maxInFlight = cfg.MinWindow
+		}
+		s.ascWindow.Store(int64(s.maxInFlight))
+		s.ascEnabled.Store(true)
+		s.live.Every(cfg.Period, s.autoscaleTick)
+	}
 	if s.rec != nil {
 		if every := s.rec.SnapshotEvery(); every > 0 {
 			// Periodic snapshots ride the same engine entry every other
@@ -298,11 +344,33 @@ func (s *Server) admit() error {
 		return ErrDraining
 	}
 	if s.maxInFlight > 0 && s.inflightN >= s.maxInFlight {
+		// A shed is the autoscaler's loudest signal: this request
+		// missed its SLO as surely as a late one (Signals.Shed).
+		s.shedPeriod.Add(1)
+		s.shedTotal.Add(1)
 		return ErrOverloaded
 	}
 	s.inflightN++
 	s.inflight.Add(1)
 	return nil
+}
+
+// MaxInFlight returns the admission window currently in force (0 =
+// unbounded). It moves at runtime when the autoscaler is on.
+func (s *Server) MaxInFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxInFlight
+}
+
+// SetMaxInFlight re-derives the admission window at runtime. Requests
+// already admitted keep their slots: shrinking below the current
+// in-flight count admits nothing new until completions bring the count
+// back under the window — no admitted request is ever evicted.
+func (s *Server) SetMaxInFlight(n int) {
+	s.mu.Lock()
+	s.maxInFlight = n
+	s.mu.Unlock()
 }
 
 // release undoes one admit, once the request's response has been

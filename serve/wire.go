@@ -159,6 +159,43 @@ type JournalStatusResponse struct {
 	Error           string        `json:"error,omitempty"`
 }
 
+// AutoscalerStatusResponse is the GET /v1/admin/autoscaler body (also
+// returned by POST): the closed loop's live state from the server's
+// lock-free mirrors.
+type AutoscalerStatusResponse struct {
+	// Enabled reports whether the loop is evaluating (it can be paused
+	// via POST without tearing the ticker down).
+	Enabled bool `json:"enabled"`
+	// Window is the admission window currently in force, bounded by
+	// [MinWindow, MaxWindow]; MinWorkers/MaxWorkers bound worker
+	// scaling (equal bounds = window-only mode).
+	Window     int           `json:"window"`
+	MinWindow  int           `json:"min_window"`
+	MaxWindow  int           `json:"max_window"`
+	MinWorkers int           `json:"min_workers"`
+	MaxWorkers int           `json:"max_workers"`
+	Period     time.Duration `json:"period_ns"`
+	// Ticks counts control periods evaluated; Decisions how many of
+	// them moved anything.
+	Ticks          uint64 `json:"ticks"`
+	Decisions      uint64 `json:"decisions"`
+	WorkersAdded   uint64 `json:"workers_added"`
+	WorkersDrained uint64 `json:"workers_drained"`
+	// ShedTotal counts lifetime admission-window rejections across
+	// both transports.
+	ShedTotal  uint64 `json:"shed_total"`
+	LastReason string `json:"last_reason,omitempty"`
+}
+
+// AutoscalerUpdateRequest is the POST /v1/admin/autoscaler body. Nil
+// fields are left unchanged: {"enabled":false} pauses the loop,
+// {"window":256} force-sets the window (clamped to the configured
+// bounds, journaled like an automatic decision).
+type AutoscalerUpdateRequest struct {
+	Enabled *bool `json:"enabled,omitempty"`
+	Window  *int  `json:"window,omitempty"`
+}
+
 // errorResponse is the body of every non-2xx response.
 type errorResponse struct {
 	Error string `json:"error"`
