@@ -5,6 +5,7 @@ import (
 
 	_ "clockwork/internal/baseline" // registers the clipper/infaas policies
 	"clockwork/internal/core"
+	"clockwork/trace"
 )
 
 // Config configures a serving system. The zero value is a single
@@ -125,6 +126,21 @@ func (s *System) Now() time.Duration { return s.cluster.Eng.Now().Duration() }
 func (s *System) After(d time.Duration, fn func()) {
 	s.cluster.Eng.After(d, fn)
 }
+
+// AttachFlightRecorder wires the per-request flight recorder r into the
+// control plane: every subsequent request's lifecycle (admission,
+// scheduling decision, load, execution, response) is recorded into r's
+// per-shard ring buffers. Attach before the system runs (RunFor /
+// StartLive); the recorder is a pure observer — it never schedules
+// events or consumes randomness, so runs with and without it are
+// bit-identical. Attaching nil detaches. See the clockwork/trace
+// package.
+func (s *System) AttachFlightRecorder(r *trace.Recorder) {
+	s.cluster.SetFlightRecorder(r)
+}
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (s *System) FlightRecorder() *trace.Recorder { return s.cluster.FlightRecorder() }
 
 // Summary condenses the run's client-observed metrics.
 type Summary struct {

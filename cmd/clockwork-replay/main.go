@@ -6,6 +6,14 @@
 //
 //	clockwork-replay -journal /var/lib/clockwork/journal
 //	clockwork-replay -journal dir -epoch 2 -json
+//	clockwork-replay -journal dir -trace incident.json
+//
+// -trace replays with the flight recorder attached at sample rate 1.0
+// and writes every replayed request's lifecycle as Perfetto-loadable
+// trace-event JSON — post-hoc tracing: a journaled incident yields a
+// full per-request trace even though the live run recorded none. The
+// recorder is a pure observer, so the outcome hash still matches the
+// recording.
 //
 // Exit status: 0 when the outcome hashes match, 1 on mismatch, 2 on a
 // replay error (divergence, unreadable journal, pruned genesis).
@@ -20,13 +28,15 @@ import (
 	"time"
 
 	"clockwork/journal"
+	"clockwork/trace"
 )
 
 func main() {
 	var (
-		dir     = flag.String("journal", "", "journal directory to replay (required)")
-		epoch   = flag.Int("epoch", -1, "epoch to replay (-1 = latest)")
-		jsonOut = flag.Bool("json", false, "emit the result as JSON")
+		dir      = flag.String("journal", "", "journal directory to replay (required)")
+		epoch    = flag.Int("epoch", -1, "epoch to replay (-1 = latest)")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		traceOut = flag.String("trace", "", "replay with tracing at sample rate 1.0 and write Perfetto JSON here")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -48,12 +58,35 @@ func main() {
 		log.Printf("clockwork-replay: note: journal tail truncated (%s); replaying the durable prefix", ep.TruncatedNote)
 	}
 
+	var flight *trace.Recorder
+	if *traceOut != "" {
+		flight = trace.New(trace.Options{SampleRate: 1, Enabled: true})
+	}
 	start := time.Now()
-	res, err := journal.ReplayEpoch(ep)
+	res, err := journal.ReplayEpochTraced(ep, flight)
 	if err != nil {
 		log.Fatalf("clockwork-replay: epoch %d: %v", ep.Epoch, err)
 	}
 	wall := time.Since(start)
+	if flight != nil {
+		// The replayed engine is quiescent; snapshot the rings and dump
+		// them for ui.perfetto.dev.
+		snap := flight.Snapshot()
+		snap.VirtualNow = res.FinalVT
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("clockwork-replay: %v", err)
+		}
+		if err := trace.WritePerfetto(f, snap); err != nil {
+			log.Fatalf("clockwork-replay: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("clockwork-replay: %v", err)
+		}
+		if !*jsonOut {
+			fmt.Printf("trace: %d request lifecycles -> %s\n", len(snap.Requests), *traceOut)
+		}
+	}
 
 	if *jsonOut {
 		out := struct {

@@ -1,0 +1,214 @@
+// Command clockwork-trace renders a flight-recorder dump — the
+// Perfetto/Chrome trace-event JSON served at GET /v1/admin/trace or
+// written by clockwork-replay -trace — as a terminal report: run
+// summary, SLO-miss provenance table, and the slowest (or all
+// violating) request lifecycles with their per-stage latency
+// decomposition.
+//
+//	curl -s localhost:8400/v1/admin/trace | clockwork-trace
+//	clockwork-trace -in incident.json -violations -n 20
+//
+// The JSON itself loads unmodified into https://ui.perfetto.dev for
+// interactive inspection; this command is the quick look.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+)
+
+// event is the subset of a trace-event the renderer consumes.
+type event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	Args  map[string]any `json:"args"`
+}
+
+type dump struct {
+	TraceEvents []event        `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+// request is one reassembled lifecycle: the parent span's args plus
+// the stage children found on the same (pid, tid) track.
+type request struct {
+	id        uint64
+	model     string
+	tenant    string
+	shard     int
+	success   bool
+	reason    string
+	violation bool
+	cause     string
+	cold      bool
+	batch     int
+	latencyMS float64
+	sloMS     float64
+	stages    map[string]float64 // stage name -> ms
+}
+
+var stageOrder = []string{"admit", "queue", "load", "exec", "deliver"}
+
+func main() {
+	var (
+		in         = flag.String("in", "", "trace JSON file (empty = stdin)")
+		topN       = flag.Int("n", 15, "show the N slowest requests (0 = all)")
+		violations = flag.Bool("violations", false, "show only SLO-violating requests")
+		model      = flag.String("model", "", "only requests for this model")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("clockwork-trace: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var d dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		log.Fatalf("clockwork-trace: parsing trace JSON: %v", err)
+	}
+
+	reqs := reassemble(&d)
+	fmt.Printf("trace: %d request lifecycles", len(reqs))
+	if vnow, ok := num(d.OtherData, "virtual_now_us"); ok {
+		fmt.Printf(", virtual time %.3fs", vnow/1e6)
+	}
+	if rate, ok := num(d.OtherData, "sample_rate"); ok {
+		fmt.Printf(", sample rate %g", rate)
+	}
+	fmt.Println()
+
+	if prov, ok := d.OtherData["provenance"].([]any); ok && len(prov) > 0 {
+		fmt.Println("\nSLO-miss provenance:")
+		for _, p := range prov {
+			m, _ := p.(map[string]any)
+			if m == nil {
+				continue
+			}
+			cnt, _ := num(m, "count")
+			fmt.Printf("  %-16s model=%-20s tenant=%-10s %6.0f\n",
+				str(m, "cause"), str(m, "model"), orDash(str(m, "tenant")), cnt)
+		}
+	}
+
+	show := reqs[:0:0]
+	for _, q := range reqs {
+		if *violations && !q.violation {
+			continue
+		}
+		if *model != "" && q.model != *model {
+			continue
+		}
+		show = append(show, q)
+	}
+	sort.Slice(show, func(i, j int) bool { return show[i].latencyMS > show[j].latencyMS })
+	if *topN > 0 && len(show) > *topN {
+		show = show[:*topN]
+	}
+	if len(show) == 0 {
+		return
+	}
+	fmt.Printf("\n%d slowest matching requests:\n", len(show))
+	for _, q := range show {
+		outcome := "ok"
+		if !q.success {
+			outcome = "FAIL:" + q.reason
+		} else if q.violation {
+			outcome = "ok(late)"
+		}
+		line := fmt.Sprintf("  #%-6d %-20s shard%-2d b%-2d %-16s lat=%8.2fms slo=%8.2fms",
+			q.id, q.model, q.shard, q.batch, outcome, q.latencyMS, q.sloMS)
+		if q.violation {
+			line += " cause=" + q.cause
+		}
+		if q.cold {
+			line += " cold"
+		}
+		fmt.Println(line)
+		decomp := "          "
+		for _, st := range stageOrder {
+			if ms, ok := q.stages[st]; ok {
+				decomp += fmt.Sprintf("%s=%.2fms ", st, ms)
+			}
+		}
+		fmt.Println(decomp)
+	}
+}
+
+// reassemble pairs each request parent span with the stage spans on
+// its (pid, tid) track.
+func reassemble(d *dump) []request {
+	type track struct {
+		pid int
+		tid uint64
+	}
+	stages := make(map[track]map[string]float64)
+	for _, ev := range d.TraceEvents {
+		if str(ev.Args, "kind") != "stage" {
+			continue
+		}
+		k := track{ev.PID, ev.TID}
+		if stages[k] == nil {
+			stages[k] = make(map[string]float64)
+		}
+		stages[k][ev.Name] += ev.Dur / 1e3 // µs → ms
+	}
+	var out []request
+	for _, ev := range d.TraceEvents {
+		if str(ev.Args, "kind") != "request" {
+			continue
+		}
+		id, _ := num(ev.Args, "id")
+		shard, _ := num(ev.Args, "shard")
+		batch, _ := num(ev.Args, "batch")
+		lat, _ := num(ev.Args, "latency_ms")
+		slo, _ := num(ev.Args, "slo_ms")
+		q := request{
+			id:        uint64(id),
+			model:     str(ev.Args, "model"),
+			tenant:    str(ev.Args, "tenant"),
+			shard:     int(shard),
+			success:   ev.Args["success"] == true,
+			reason:    str(ev.Args, "reason"),
+			violation: ev.Args["violation"] == true,
+			cause:     str(ev.Args, "cause"),
+			cold:      ev.Args["cold_start"] == true,
+			batch:     int(batch),
+			latencyMS: lat,
+			sloMS:     slo,
+			stages:    stages[track{ev.PID, ev.TID}],
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func num(m map[string]any, key string) (float64, bool) {
+	v, ok := m[key].(float64)
+	return v, ok
+}
+
+func str(m map[string]any, key string) string {
+	s, _ := m[key].(string)
+	return s
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

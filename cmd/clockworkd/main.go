@@ -36,6 +36,21 @@
 // (decisions are recorded and replayed) and with -multicore (each
 // tick runs under the stop-the-world barrier).
 //
+// -trace attaches the flight recorder from boot: every sampled
+// request's lifecycle (admission → scheduling decision → load → exec →
+// response) is retained in per-shard ring buffers and exported as
+// Perfetto-loadable JSON at GET /v1/admin/trace; SLO violations are
+// always retained regardless of -trace-sample. Tracing is a pure
+// observer (outcomes are bit-identical at any rate) and can also be
+// toggled at runtime via POST /v1/admin/trace — the recorder is
+// attached even without -trace, just disabled. The latency
+// decomposition and SLO-miss provenance series on /metrics are exact
+// regardless of the sample rate.
+//
+// -pprof starts a net/http/pprof side listener (serving only the
+// profiling endpoints, never the inference API) for CPU/heap profiles
+// of the live daemon.
+//
 // -journal enables the durable control plane (package journal): every
 // externally-sourced injection is appended to a write-ahead log and the
 // control-plane state is snapshotted on -snapshot-interval (plus on
@@ -55,6 +70,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof side listener
 	"os"
 	"os/signal"
 	"strconv"
@@ -65,6 +82,7 @@ import (
 	"clockwork"
 	"clockwork/journal"
 	"clockwork/serve"
+	"clockwork/trace"
 )
 
 func main() {
@@ -90,6 +108,10 @@ func main() {
 		ascMaxWindow  = flag.Int("autoscale-max-window", 0, "admission-window ceiling (0 = default 4096)")
 		ascMinWorkers = flag.Int("autoscale-min-workers", 0, "active-worker floor (0 = default 1)")
 		ascMaxWorkers = flag.Int("autoscale-max-workers", 0, "active-worker ceiling (0 = window-only: no worker scaling)")
+
+		traceOn     = flag.Bool("trace", false, "start the flight recorder enabled (per-request lifecycle tracing; dump at GET /v1/admin/trace)")
+		traceSample = flag.Float64("trace-sample", trace.DefaultSampleRate, "head-based trace sampling probability in [0,1]; SLO violations are always retained")
+		pprofAddr   = flag.String("pprof", "", "net/http/pprof side listener address (empty = disabled)")
 
 		journalDir   = flag.String("journal", "", "journal directory: enable the durable control plane (snapshot + injection log; single-engine only)")
 		journalFsync = flag.String("journal-fsync", "interval", "journal fsync policy: interval, always or never")
@@ -219,7 +241,29 @@ func main() {
 			MaxWorkers: *ascMaxWorkers,
 		}
 	}
-	srv := serve.New(sys, serve.Options{Speed: *speed, MaxInFlight: *maxInFlight, Journal: rec, Autoscale: ascCfg})
+	if *traceSample < 0 || *traceSample > 1 {
+		log.Fatalf("clockworkd: -trace-sample must be in [0, 1], got %g", *traceSample)
+	}
+	srv := serve.New(sys, serve.Options{
+		Speed:       *speed,
+		MaxInFlight: *maxInFlight,
+		Journal:     rec,
+		Autoscale:   ascCfg,
+		Trace:       &serve.TraceConfig{Enabled: *traceOn, SampleRate: *traceSample},
+	})
+	if *traceOn {
+		log.Printf("clockworkd: flight recorder on (sample=%g; dump at GET /v1/admin/trace)", *traceSample)
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serve it from a
+		// side listener so profiling never shares a port with the API.
+		go func() {
+			log.Printf("clockworkd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("clockworkd: pprof: %v", err)
+			}
+		}()
+	}
 	if ascCfg != nil {
 		rcfg := ascCfg.WithDefaults()
 		log.Printf("clockworkd: autoscaler on (period=%v window=[%d,%d] workers=[%d,%d])",

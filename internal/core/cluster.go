@@ -13,8 +13,8 @@ import (
 	"clockwork/internal/network"
 	"clockwork/internal/rng"
 	"clockwork/internal/simclock"
-	"clockwork/internal/tracelog"
 	"clockwork/internal/worker"
+	"clockwork/trace"
 )
 
 // ClusterConfig assembles a whole serving system: workers, controller
@@ -103,11 +103,6 @@ type ClusterConfig struct {
 	// MetricsInterval buckets time series (default 1 minute, matching
 	// the paper's plots).
 	MetricsInterval time.Duration
-
-	// Trace, if non-nil, captures the controllers' full decision stream
-	// (requests, actions, results, responses) for §7-style performance
-	// clarity: per-request time breakdowns and action audits.
-	Trace *tracelog.Log
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -212,6 +207,12 @@ type Cluster struct {
 	workerShard []int
 
 	migrations uint64
+
+	// flight is the attached flight recorder (nil = none). Per-shard
+	// hooks live on each controller; the cluster holds the whole-
+	// recorder handle for routing-layer events (client send instants,
+	// completions, migrations). See package clockwork/trace.
+	flight *trace.Recorder
 }
 
 // NewCluster builds a deployment. Register models with RegisterModel (or
@@ -326,11 +327,30 @@ func (c ClusterConfig) validateShards() error {
 	if c.Shards > 1 && c.NewScheduler == nil && c.Scheduler != nil {
 		return fmt.Errorf("Shards=%d needs NewScheduler (a per-shard factory); a single Scheduler instance cannot drive multiple shards", c.Shards)
 	}
-	if c.EnginePerShard && c.Trace != nil {
-		return fmt.Errorf("EnginePerShard cannot capture a Trace: the decision stream interleaves across engines nondeterministically")
-	}
 	return nil
 }
+
+// SetFlightRecorder attaches a flight recorder to the cluster: every
+// controller gets its shard's engine-confined recorder, and the
+// routing layer reports client-side lifecycle events. Must be called
+// before any engine runs (the recorder binds its per-shard state
+// here). A nil recorder detaches. Tracing is a pure observer — it
+// never schedules events, reads RNG streams, or mints IDs — so
+// attaching one leaves every schedule bit-identical, and unlike the
+// old decision-stream capture it works under EnginePerShard (each
+// shard's recorder is confined to that shard's engine goroutine).
+func (cl *Cluster) SetFlightRecorder(r *trace.Recorder) {
+	if r != nil {
+		r.Bind(len(cl.Ctls))
+	}
+	cl.flight = r
+	for i, ctl := range cl.Ctls {
+		ctl.flight = r.Shard(i)
+	}
+}
+
+// FlightRecorder returns the attached recorder (nil when detached).
+func (cl *Cluster) FlightRecorder() *trace.Recorder { return cl.flight }
 
 // newScheduler mints one shard's scheduler: the factory when set, the
 // single configured instance otherwise (Shards == 1 only), the paper's
@@ -396,22 +416,12 @@ func (cl *Cluster) addWorker() int {
 	link.AtoB.BytesPerSecond = cl.cfg.WorkerBandwidth
 	link.BtoA.BytesPerSecond = cl.cfg.WorkerBandwidth
 
-	eng := cl.engFor(shard)
 	wi := w
 	li := link
 	ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
 		func(a *action.Action, payloadBytes int64) {
 			if cl.cfg.ZeroLengthInputs {
 				payloadBytes = 0
-			}
-			if cl.cfg.Trace != nil {
-				cl.cfg.Trace.Append(tracelog.Event{
-					At: eng.Now().Duration(), Kind: tracelog.KindAction,
-					ActionID: a.ID, ActionType: a.Type.String(),
-					Model: a.Model, Batch: a.Batch, RequestIDs: a.RequestIDs,
-					Worker: wi.ID(), GPU: a.GPU,
-					Start: a.Earliest.Duration(), End: a.Latest.Duration(),
-				})
 			}
 			li.AtoB.Send(payloadBytes, func() { wi.Submit(a) })
 		})
@@ -420,19 +430,7 @@ func (cl *Cluster) addWorker() int {
 		if r.Type == action.Infer && r.Status.IsSuccess() {
 			bytes = int64(len(r.RequestIDs)) * outputBytesOf(cl, r.Model)
 		}
-		li.BtoA.Send(bytes, func() {
-			if cl.cfg.Trace != nil {
-				cl.cfg.Trace.Append(tracelog.Event{
-					At: eng.Now().Duration(), Kind: tracelog.KindResult,
-					ActionID: r.ActionID, ActionType: r.Type.String(),
-					Model: r.Model, Batch: r.Batch, RequestIDs: r.RequestIDs,
-					Worker: r.WorkerID, GPU: r.GPU,
-					Start: r.Start.Duration(), End: r.End.Duration(),
-					Duration: r.Duration, Status: r.Status.String(),
-				})
-			}
-			ctl.HandleResult(r)
-		})
+		li.BtoA.Send(bytes, func() { ctl.HandleResult(r) })
 	}
 	// Bring the new worker up with every model registered so far
 	// (§5.1: workers pre-load all models into host RAM — shard
@@ -923,12 +921,9 @@ func (s *submission) deliver() {
 		s.h.mu.Lock()
 		s.h.req = req
 		s.h.mu.Unlock()
-		if cl.cfg.Trace != nil {
-			cl.cfg.Trace.Append(tracelog.Event{
-				At: cl.engFor(owner).Now().Duration(), Kind: tracelog.KindRequest,
-				RequestID: req.ID, Model: req.Model, SLO: req.SLO,
-			})
-		}
+		// The controller-side Admitted hook already created the trace;
+		// stamp the client-side send instant it cannot know.
+		cl.flight.Shard(owner).Arrived(req.ID, s.sentAt.Duration())
 	}
 }
 
@@ -936,14 +931,6 @@ func (s *submission) deliver() {
 // back over the owning shard's client link.
 func (s *submission) onResponse(resp Response) {
 	cl := s.cl
-	if cl.cfg.Trace != nil {
-		ok := resp.Success
-		cl.cfg.Trace.Append(tracelog.Event{
-			At: cl.engFor(s.local).Now().Duration(), Kind: tracelog.KindResponse,
-			RequestID: resp.RequestID, Model: resp.Model,
-			Success: &ok, Reason: resp.Reason.String(), Batch: resp.Batch,
-		})
-	}
 	// The responding controller is the model's current owner; follow it
 	// (after a barrier-time migration the response must leave on the
 	// adopting shard's link and engine).
@@ -973,6 +960,16 @@ func (s *submission) complete() {
 		shard = o
 	}
 	cl.Metrics.record(now, shard, s.resp, latency, s.spec.SLO)
+	// Finalize the flight-recorder trace with the client-observed
+	// outcome. The recorder shard is s.local — the engine this
+	// completion runs on, which is where the trace's building state
+	// lives (Move keeps it there across queued-request migrations).
+	cl.flight.Shard(s.local).Completed(trace.Outcome{
+		ID: s.resp.RequestID, Model: s.spec.Model, Tenant: s.spec.Tenant,
+		Success: s.resp.Success, Reason: uint8(s.resp.Reason), ReasonStr: s.resp.Reason.String(),
+		Batch: s.resp.Batch, ColdStart: s.resp.ColdStart,
+		SLO: s.spec.SLO, Latency: latency,
+	}, now.Duration())
 	h.mu.Lock()
 	h.done = true
 	h.resp = s.resp

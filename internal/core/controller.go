@@ -9,6 +9,7 @@ import (
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/predictor"
 	"clockwork/internal/simclock"
+	"clockwork/trace"
 )
 
 // Config parameterises the controller.
@@ -156,6 +157,13 @@ type Controller struct {
 	LoadDuration    *predictor.ErrorTracker
 	InferCompletion *predictor.ErrorTracker
 	LoadCompletion  *predictor.ErrorTracker
+
+	// flight is this shard's slice of the attached flight recorder
+	// (nil = none; every hook is nil-safe). Set by the cluster layer
+	// before any engine runs. Hooks are pure observers: they only
+	// append to recorder state, never schedule events or mint IDs, so
+	// an attached recorder leaves the schedule bit-identical.
+	flight *trace.ShardRecorder
 
 	stats Stats
 }
@@ -541,6 +549,7 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 		}
 	}
 	c.reindexModel(mi)
+	c.flight.Admitted(r.ID, r.Model, r.Tenant, r.SLO, r.Priority, r.coldStart, len(mi.queue), now.Duration())
 
 	// A client cancel that raced the request's network transit wins
 	// deterministically: the request is answered before the scheduler
@@ -624,6 +633,7 @@ func (c *Controller) noteQueueMaybeEmpty(mi *ModelInfo) {
 func (c *Controller) respond(r *Request, resp Response) {
 	r.cancelTmr.Stop()
 	r.cancelTmr = simclock.Timer{}
+	c.flight.Responded(r.ID, c.eng.Now().Duration())
 	if r.OnResponse != nil {
 		r.OnResponse(resp)
 	}
@@ -665,7 +675,8 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	c.noteQueueMaybeEmpty(mi)
 
 	c.nextActionID += c.cfg.IDStride
-	completion := simclock.Max(earliest, c.eng.Now()).Add(est)
+	startAt := simclock.Max(earliest, c.eng.Now())
+	completion := startAt.Add(est)
 	a := &action.Action{
 		ID:                 c.nextActionID,
 		Type:               action.Infer,
@@ -686,6 +697,8 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	c.pendingInfers[a.ID] = pendingInfer{g: g, reqs: reqs}
 	c.stats.ActionsInfer++
 	c.reindexModel(mi)
+	c.flight.Scheduled(a.RequestIDs, a.ID, g.WorkerID, g.GPU, batch,
+		startAt.Duration(), est, c.eng.Now().Duration())
 	if c.testOnInfer != nil {
 		c.testOnInfer(a, reqs)
 	}
@@ -802,6 +815,7 @@ func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 		c.profile.Observe(predictor.Key{Op: "load", Model: res.Model}, res.Duration)
 		c.LoadDuration.Record(res.ExpectedDuration, res.Duration)
 		c.LoadCompletion.Record(absTimeError(res.ExpectedCompletion, res.End))
+		c.flight.LoadDone(res.Model, res.WorkerID, res.GPU, res.Start.Duration(), res.End.Duration(), true)
 		// The model's readiness instant just dropped from the LOAD's
 		// padded ETA to "now"; re-key its strategies.
 		c.reindexModel(mi)
@@ -809,6 +823,7 @@ func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 	}
 	// Rejected LOAD: roll the mirror back.
 	c.stats.LoadFailures++
+	c.flight.LoadDone(res.Model, res.WorkerID, res.GPU, res.Start.Duration(), res.End.Duration(), false)
 	delete(g.loading, res.Model)
 	if g.Pages.Has(res.Model) {
 		if err := g.Pages.Free(res.Model); err == nil {
@@ -835,6 +850,8 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 		c.profile.Observe(predictor.Key{Op: "exec", Model: res.Model, Batch: res.Batch}, res.Duration)
 		c.InferDuration.Record(res.ExpectedDuration, res.Duration)
 		c.InferCompletion.Record(absTimeError(res.ExpectedCompletion, res.End))
+		c.flight.ExecDone(res.RequestIDs, res.ActionID, res.Model, res.WorkerID, res.GPU,
+			res.Batch, res.Start.Duration(), res.End.Duration())
 		// The observation may have moved this model's execution
 		// estimates, which re-keys its strategies everywhere.
 		c.reindexModel(mi)

@@ -109,6 +109,16 @@ func (cl *Cluster) MigrateModel(name string, toShard int) error {
 	cl.modelShard[name] = toShard
 	cl.route.Store(name, toShard)
 	cl.migrations++
+	// Building flight-recorder traces follow their queued requests to
+	// the adopting shard's recorder (migration already holds the
+	// all-engines barrier this cross-shard write needs).
+	if cl.flight != nil && len(reqs) > 0 {
+		ids := make([]uint64, len(reqs))
+		for i, r := range reqs {
+			ids[i] = r.ID
+		}
+		cl.flight.Move(from, toShard, ids)
+	}
 	if err := cl.Ctls[toShard].AdoptModel(name, zoo, reqs); err != nil {
 		// Adoption can only fail on a duplicate name within the target
 		// controller, which the cluster-global registry rules out; a

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clockwork/internal/simclock"
+	"clockwork/trace"
 )
 
 // Reason classifies why a request did not succeed. It replaces the
@@ -33,6 +34,24 @@ const (
 	// ReasonUnregistered: the target model was not registered (or was
 	// unregistered while the request was in transit or queued).
 	ReasonUnregistered
+)
+
+// The flight recorder mirrors the Reason codes so clockwork/trace
+// stays importable without the engine; these constant pairs fail to
+// compile (unsigned-constant overflow) if the enums ever diverge.
+const (
+	_ = uint8(ReasonNone) - trace.ReasonNone
+	_ = trace.ReasonNone - uint8(ReasonNone)
+	_ = uint8(ReasonCancelled) - trace.ReasonCancelled
+	_ = trace.ReasonCancelled - uint8(ReasonCancelled)
+	_ = uint8(ReasonRejected) - trace.ReasonRejected
+	_ = trace.ReasonRejected - uint8(ReasonRejected)
+	_ = uint8(ReasonTimeout) - trace.ReasonTimeout
+	_ = trace.ReasonTimeout - uint8(ReasonTimeout)
+	_ = uint8(ReasonWorkerFailed) - trace.ReasonWorkerFailed
+	_ = trace.ReasonWorkerFailed - uint8(ReasonWorkerFailed)
+	_ = uint8(ReasonUnregistered) - trace.ReasonUnregistered
+	_ = trace.ReasonUnregistered - uint8(ReasonUnregistered)
 )
 
 // String implements fmt.Stringer. ReasonNone renders as the empty

@@ -10,6 +10,7 @@ import (
 	"clockwork/internal/rng"
 	"clockwork/internal/runner"
 	"clockwork/internal/workload"
+	"clockwork/trace"
 )
 
 // The autoscale scenario judges the closed control loop against every
@@ -56,6 +57,10 @@ type AutoscaleConfig struct {
 	MinWindow  int
 	MaxWindow  int
 	Seed       uint64
+	// FlightRecorder, when set, is called once per cell and the result
+	// attached to that cell's system (cells run in parallel, so they
+	// cannot share one recorder); a pure observer (see Fig5Config).
+	FlightRecorder func() *trace.Recorder
 }
 
 func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
@@ -205,6 +210,9 @@ func runAutoscaleCell(cfg AutoscaleConfig, arrivals []time.Duration, picks []int
 	})
 	if err != nil {
 		panic("experiments: " + err.Error())
+	}
+	if cfg.FlightRecorder != nil {
+		sys.AttachFlightRecorder(cfg.FlightRecorder())
 	}
 	names := registerScaleModels(sys, cfg.Models)
 

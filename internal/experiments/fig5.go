@@ -11,6 +11,7 @@ import (
 	"clockwork/internal/simclock"
 	"clockwork/internal/telemetry"
 	"clockwork/internal/workload"
+	"clockwork/trace"
 )
 
 // Fig5Config parameterises the system comparison (§6.1): 15 copies of
@@ -24,6 +25,11 @@ type Fig5Config struct {
 	Duration   time.Duration // measured window per (system, SLO)
 	Warmup     time.Duration
 	Seed       uint64
+	// FlightRecorder, when set, is called once per cell and the
+	// returned recorder attached to that cell's cluster (cells run in
+	// parallel, so they cannot share one recorder). Tracing is a pure
+	// observer: results are bit-identical with or without it.
+	FlightRecorder func() *trace.Recorder
 }
 
 func (c Fig5Config) withDefaults() Fig5Config {
@@ -97,6 +103,9 @@ func runFig5Cell(cfg Fig5Config, system string, slo time.Duration) Fig5Cell {
 		Seed:            cfg.Seed,
 		MetricsInterval: time.Second,
 	})
+	if cfg.FlightRecorder != nil {
+		cl.SetFlightRecorder(cfg.FlightRecorder())
+	}
 	names, _ := cl.RegisterCopies("resnet50", modelzoo.ResNet50(), cfg.Models)
 
 	stop := simclock.Time(cfg.Warmup + cfg.Duration)

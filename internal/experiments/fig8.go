@@ -13,6 +13,7 @@ import (
 	"clockwork/internal/simclock"
 	"clockwork/internal/telemetry"
 	"clockwork/internal/workload"
+	"clockwork/trace"
 )
 
 // Fig8Config parameterises the MAF trace replay (§6.5). The paper's
@@ -32,6 +33,9 @@ type Fig8Config struct {
 	// ZeroLengthInputs and the remaining knobs support the §6.5 scale
 	// table variant.
 	ZeroLengthInputs bool
+	// FlightRecorder, when set, is called once per run and the result
+	// attached to the cluster; a pure observer (see Fig5Config).
+	FlightRecorder func() *trace.Recorder
 }
 
 func (c Fig8Config) withDefaults() Fig8Config {
@@ -102,6 +106,9 @@ func RunFig8(cfg Fig8Config) *Fig8Result {
 		MetricsInterval:  time.Minute,
 		ZeroLengthInputs: cfg.ZeroLengthInputs,
 	})
+	if cfg.FlightRecorder != nil {
+		cl.SetFlightRecorder(cfg.FlightRecorder())
+	}
 	// 61+ zoo varieties × Copies instances (§6.5 / Appendix A).
 	var names []string
 	for _, m := range modelzoo.All() {

@@ -11,6 +11,7 @@ import (
 	"clockwork/internal/modelzoo"
 	"clockwork/internal/rng"
 	"clockwork/internal/runner"
+	"clockwork/trace"
 )
 
 // ScaleConfig parameterises the control-plane scale scenario: one
@@ -44,6 +45,11 @@ type ScaleConfig struct {
 	// RebalanceInterval paces the cross-shard rebalancer (default 1s).
 	RebalanceInterval time.Duration
 	Seed              uint64
+	// FlightRecorder, when set, is called once per shard cell and the
+	// result attached to that cell's system (cells run in parallel
+	// with different shard counts, so they cannot share one recorder);
+	// a pure observer (see Fig5Config).
+	FlightRecorder func() *trace.Recorder
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -123,6 +129,9 @@ func runScaleCell(cfg ScaleConfig, shards int) ScaleCell {
 	})
 	if err != nil {
 		panic("experiments: " + err.Error())
+	}
+	if cfg.FlightRecorder != nil {
+		sys.AttachFlightRecorder(cfg.FlightRecorder())
 	}
 	names := registerScaleModels(sys, cfg.Models)
 	pickModel := zipfPicker(cfg.Models, cfg.ZipfExp, names)

@@ -50,6 +50,11 @@ type MultiDriver struct {
 
 	start        time.Time
 	virtualStart Time
+	// originMu guards the wall↔virtual correlation above for readers
+	// (Origin) racing Run's entry; the pacers themselves only read the
+	// fields after Run set them.
+	originMu  sync.Mutex
+	originSet bool
 
 	shards []*shardPacer
 
@@ -139,7 +144,6 @@ func (m *MultiDriver) ShardClock(i int) Time {
 // the common origin is the latest of their clocks. Run must be called
 // at most once.
 func (m *MultiDriver) Run(stop <-chan struct{}) {
-	m.start = time.Now()
 	var vs Time
 	for _, p := range m.shards {
 		if n := p.eng.Now(); n > vs {
@@ -147,7 +151,11 @@ func (m *MultiDriver) Run(stop <-chan struct{}) {
 		}
 		p.clock.Store(int64(p.eng.Now()))
 	}
+	m.originMu.Lock()
+	m.start = time.Now()
 	m.virtualStart = vs
+	m.originSet = true
+	m.originMu.Unlock()
 	var wg sync.WaitGroup
 	for _, p := range m.shards {
 		wg.Add(1)
@@ -158,6 +166,15 @@ func (m *MultiDriver) Run(stop <-chan struct{}) {
 	}
 	wg.Wait()
 	close(m.done)
+}
+
+// Origin returns the shared wall instant and virtual instant at which
+// Run started pacing (the clock correlation every shard shares). ok is
+// false until Run has started.
+func (m *MultiDriver) Origin() (wall time.Time, virtual Time, ok bool) {
+	m.originMu.Lock()
+	defer m.originMu.Unlock()
+	return m.start, m.virtualStart, m.originSet
 }
 
 // wallVirtual maps the current wall instant to shared virtual time.

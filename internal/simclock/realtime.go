@@ -23,6 +23,14 @@ type RealtimeDriver struct {
 	pending []pendingFn
 	closed  bool
 	wake    chan struct{}
+
+	// originMu guards the wall↔virtual correlation captured at Run entry,
+	// which observability readers (the flight recorder's trace export)
+	// use to translate virtual timestamps back to wall instants.
+	originMu      sync.Mutex
+	originWall    time.Time
+	originVirtual Time
+	originSet     bool
 }
 
 // pendingFn is one staged injection. abort, if non-nil, is called when
@@ -97,6 +105,9 @@ func (d *RealtimeDriver) takePending() []pendingFn {
 func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 	start := time.Now()
 	virtualStart := d.eng.Now()
+	d.originMu.Lock()
+	d.originWall, d.originVirtual, d.originSet = start, virtualStart, true
+	d.originMu.Unlock()
 	for {
 		// A dense workload keeps events perpetually overdue, so the loop
 		// may never reach a blocking select — poll stop here so shutdown
@@ -152,6 +163,15 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 
 		d.eng.Step()
 	}
+}
+
+// Origin returns the wall instant and virtual instant at which Run
+// started pacing, correlating the two clocks: virtual instant v maps to
+// wall + (v-virtual)/speed. ok is false until Run has started.
+func (d *RealtimeDriver) Origin() (wall time.Time, virtual Time, ok bool) {
+	d.originMu.Lock()
+	defer d.originMu.Unlock()
+	return d.originWall, d.originVirtual, d.originSet
 }
 
 func (d *RealtimeDriver) close() {

@@ -1,0 +1,185 @@
+package telemetry
+
+// Edge cases the flight-recorder aggregates lean on: quantiles when the
+// cumulative count lands exactly on a bucket boundary, merges involving
+// empty and partial histograms (the per-shard → cluster merge), the
+// _sum export, and time-series / utilisation behaviour at exact bucket
+// boundaries and across gaps.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"clockwork/internal/simclock"
+)
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	if h.Sum() != 0 {
+		t.Fatalf("empty Sum = %v", h.Sum())
+	}
+	h.Observe(250 * time.Millisecond)
+	h.Observe(750 * time.Millisecond)
+	if math.Abs(h.Sum()-1.0) > 1e-12 {
+		t.Fatalf("Sum = %v, want 1.0s", h.Sum())
+	}
+	h.Observe(-time.Second) // clamped to zero: count moves, sum does not
+	if h.Count() != 3 || math.Abs(h.Sum()-1.0) > 1e-12 {
+		t.Fatalf("after clamped observe: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantileAtBucketBoundary(t *testing.T) {
+	// Two observations in distinct buckets: q=0.5 makes the target land
+	// exactly on the first bucket's cumulative count (next == target),
+	// which must resolve inside the first bucket — not overshoot into
+	// the second.
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(100 * time.Millisecond)
+	if q := h.Quantile(0.5); q > 2*time.Millisecond {
+		t.Fatalf("p50 of {1ms, 100ms} = %v; boundary target must stay in the low bucket", q)
+	}
+	// Quantiles interpolate geometrically but must never escape the
+	// observed range.
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.75, 0.999} {
+		v := h.Quantile(q)
+		if v < time.Millisecond || v > 100*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v outside [min, max]", q, v)
+		}
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 5*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want exactly the one observation", q, v)
+		}
+	}
+}
+
+func TestHistogramMergeEmptyCases(t *testing.T) {
+	// empty.Merge(empty): still reads as empty.
+	a, b := NewHistogram(), NewHistogram()
+	a.Merge(b)
+	if a.Count() != 0 || a.Min() != 0 || a.Max() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatalf("empty∪empty not empty: %v", a)
+	}
+	// empty.Merge(partial): the receiver must adopt the source's min
+	// (the empty sentinel min must not survive the merge).
+	c := NewHistogram()
+	c.Observe(3 * time.Millisecond)
+	c.Observe(9 * time.Millisecond)
+	a.Merge(c)
+	if a.Count() != 2 || a.Min() != 3*time.Millisecond || a.Max() != 9*time.Millisecond {
+		t.Fatalf("empty∪partial: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	if math.Abs(a.Sum()-c.Sum()) > 1e-12 {
+		t.Fatalf("merge dropped sum: %v vs %v", a.Sum(), c.Sum())
+	}
+	// partial.Merge(empty): a no-op.
+	before := a.Quantile(0.5)
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	if a.Count() != 2 || a.Quantile(0.5) != before {
+		t.Fatalf("partial∪empty changed the histogram")
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	lo, hi := NewHistogram(), NewHistogram()
+	for i := 0; i < 10; i++ {
+		lo.Observe(time.Millisecond)
+		hi.Observe(time.Second)
+	}
+	lo.Merge(hi)
+	if lo.Count() != 20 || lo.Min() != time.Millisecond || lo.Max() != time.Second {
+		t.Fatalf("merged: count=%d min=%v max=%v", lo.Count(), lo.Min(), lo.Max())
+	}
+	// Exactly half the mass is at 1ms: p25 must sit low, p75 high.
+	if p := lo.Quantile(0.25); p > 2*time.Millisecond {
+		t.Fatalf("p25 of bimodal merge = %v, want in the low cluster", p)
+	}
+	if p := lo.Quantile(0.75); p < 500*time.Millisecond {
+		t.Fatalf("p75 of bimodal merge = %v, want in the high cluster", p)
+	}
+}
+
+func TestHistogramFractionBelowEdges(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if f := h.FractionBelow(time.Second); f != 1 {
+		t.Fatalf("FractionBelow(1s) = %v, want 1", f)
+	}
+	if f := h.FractionBelow(time.Millisecond); f != 0 {
+		t.Fatalf("FractionBelow(1ms) = %v, want 0", f)
+	}
+	if f := h.FractionBelow(0); f != 0 {
+		t.Fatalf("FractionBelow(0) = %v, want 0", f)
+	}
+}
+
+func TestTimeSeriesExactBoundary(t *testing.T) {
+	ts := NewTimeSeries(time.Minute)
+	ts.Incr(0)
+	ts.Incr(simclock.Time(time.Minute) - 1) // last instant of bucket 0
+	ts.Incr(simclock.Time(time.Minute))     // first instant of bucket 1
+	if ts.Count(0) != 2 || ts.Count(1) != 1 {
+		t.Fatalf("boundary instant landed wrong: bucket0=%d bucket1=%d", ts.Count(0), ts.Count(1))
+	}
+}
+
+func TestTimeSeriesSparseGap(t *testing.T) {
+	ts := NewTimeSeries(time.Minute)
+	ts.Add(0, 2)
+	ts.Add(simclock.Time(5*time.Minute)+simclock.Time(time.Second), 3)
+	if ts.Buckets() != 6 {
+		t.Fatalf("Buckets = %d, want 6 (gap buckets materialised)", ts.Buckets())
+	}
+	for i := 1; i <= 4; i++ {
+		if ts.Sum(i) != 0 || ts.Count(i) != 0 || ts.Mean(i) != 0 || ts.Rate(i) != 0 {
+			t.Fatalf("gap bucket %d not empty", i)
+		}
+	}
+	if ts.TotalSum() != 5 || ts.TotalCount() != 2 {
+		t.Fatalf("totals across gap: sum=%v count=%d", ts.TotalSum(), ts.TotalCount())
+	}
+	if ts.Rate(5) != 3.0/60.0 {
+		t.Fatalf("Rate(5) = %v", ts.Rate(5))
+	}
+}
+
+func TestUtilizationExactBucketSpan(t *testing.T) {
+	u := NewUtilization(time.Minute)
+	// A span exactly covering bucket 1 must not leak into 0 or 2.
+	u.AddBusy(simclock.Time(time.Minute), simclock.Time(2*time.Minute))
+	if u.Fraction(0) != 0 || u.Fraction(1) != 1 || u.Fraction(2) != 0 {
+		t.Fatalf("fractions: %v %v %v", u.Fraction(0), u.Fraction(1), u.Fraction(2))
+	}
+	if u.BusyIn(1) != time.Minute {
+		t.Fatalf("BusyIn(1) = %v", u.BusyIn(1))
+	}
+}
+
+func TestUtilizationOverlappingResourcesUnclamped(t *testing.T) {
+	// Two GPUs busy through the same bucket: Fraction clamps at 1, but
+	// BusyIn keeps the raw integral so the caller can normalise by the
+	// resource count.
+	u := NewUtilization(time.Minute)
+	u.AddBusy(0, simclock.Time(time.Minute))
+	u.AddBusy(0, simclock.Time(time.Minute))
+	if u.Fraction(0) != 1 {
+		t.Fatalf("Fraction(0) = %v, want clamped 1", u.Fraction(0))
+	}
+	if u.BusyIn(0) != 2*time.Minute {
+		t.Fatalf("BusyIn(0) = %v, want the unclamped 2m", u.BusyIn(0))
+	}
+	if u.TotalBusy() != 2*time.Minute {
+		t.Fatalf("TotalBusy = %v", u.TotalBusy())
+	}
+}

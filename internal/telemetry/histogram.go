@@ -13,10 +13,16 @@ import (
 // resolution), which is ample for reproducing the paper's tail plots.
 type Histogram struct {
 	count   uint64
-	sum     float64 // seconds
+	sum     float64 // nanoseconds (converted to seconds at the Sum accessor)
 	min     time.Duration
 	max     time.Duration
 	buckets []uint64
+	// Memo of the last bucketed value: simulator durations are heavily
+	// quantized (constant network hops, table-driven exec times), so
+	// consecutive observations repeat and the log10 can be skipped.
+	// The zero value is valid: bucketIndex(0) == 0.
+	lastD   time.Duration
+	lastIdx int
 }
 
 const (
@@ -56,25 +62,33 @@ func (h *Histogram) Observe(d time.Duration) {
 		d = 0
 	}
 	h.count++
-	h.sum += d.Seconds()
+	h.sum += float64(d)
 	if d < h.min {
 		h.min = d
 	}
 	if d > h.max {
 		h.max = d
 	}
-	h.buckets[bucketIndex(d)]++
+	if d != h.lastD {
+		h.lastD = d
+		h.lastIdx = bucketIndex(d)
+	}
+	h.buckets[h.lastIdx]++
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations in seconds — the value a
+// Prometheus histogram's _sum series exports.
+func (h *Histogram) Sum() float64 { return h.sum / float64(time.Second) }
 
 // Mean returns the arithmetic mean, or 0 if empty.
 func (h *Histogram) Mean() time.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / float64(h.count) * float64(time.Second))
+	return time.Duration(h.sum / float64(h.count))
 }
 
 // Min returns the smallest observation, or 0 if empty.

@@ -26,6 +26,7 @@ import (
 	"clockwork"
 	"clockwork/journal"
 	"clockwork/serve"
+	"clockwork/trace"
 )
 
 // jserver bundles a journaled live server and its front doors.
@@ -634,4 +635,69 @@ func ackedCorrs(ep *journal.EpochData) []uint64 {
 		}
 	}
 	return out
+}
+
+// TestReplayTraced is the post-hoc tracing acceptance check: a
+// journaled epoch replayed with the flight recorder at sample rate 1.0
+// still hashes MATCH (tracing is a pure observer), and the recorder's
+// per-request traces agree one-for-one with the recorded ack stream —
+// same IDs, same outcomes, same latencies.
+func TestReplayTraced(t *testing.T) {
+	dir := t.TempDir()
+	js := startJournaled(t, dir,
+		clockwork.Config{Workers: 2, GPUsPerWorker: 1, Shards: 2, Seed: 11},
+		journal.Options{MaxInFlight: 64})
+	driveMixedTraffic(t, js, 30)
+	js.shutdown(t)
+
+	ep, err := journal.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	plain, err := journal.ReplayEpoch(ep)
+	if err != nil {
+		t.Fatalf("ReplayEpoch: %v", err)
+	}
+	flight := trace.New(trace.Options{SampleRate: 1, Enabled: true})
+	traced, err := journal.ReplayEpochTraced(ep, flight)
+	if err != nil {
+		t.Fatalf("ReplayEpochTraced: %v", err)
+	}
+	if !traced.Match {
+		t.Fatalf("traced replay mismatch:\n recorded %s\n replayed %s", traced.RecordedHash, traced.ReplayedHash)
+	}
+	if traced.ReplayedHash != plain.ReplayedHash {
+		t.Fatalf("tracing perturbed the replay: %s vs %s", traced.ReplayedHash, plain.ReplayedHash)
+	}
+
+	// Every recorded ack must have a matching trace: same outcome, same
+	// latency, finalized by the recorder.
+	snap := flight.Snapshot()
+	byID := make(map[uint64]int)
+	for i := range snap.Requests {
+		byID[snap.Requests[i].ID] = i
+	}
+	acks := 0
+	for i := range ep.Records {
+		rec := &ep.Records[i]
+		if !rec.IsAck() {
+			continue
+		}
+		acks++
+		j, ok := byID[rec.RequestID]
+		if !ok {
+			t.Fatalf("ack for request %d has no trace", rec.RequestID)
+		}
+		tr := &snap.Requests[j]
+		if tr.Success != rec.Success || tr.Latency != rec.Latency {
+			t.Fatalf("trace %d diverges from recorded ack: trace{success=%v latency=%v} ack{success=%v latency=%v}",
+				rec.RequestID, tr.Success, tr.Latency, rec.Success, rec.Latency)
+		}
+	}
+	if acks == 0 {
+		t.Fatal("no acks recorded")
+	}
+	if got := int(flight.Aggregate().Stats.Finalized); got < acks {
+		t.Fatalf("recorder finalized %d traces, recorded %d acks", got, acks)
+	}
 }

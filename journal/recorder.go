@@ -66,7 +66,10 @@ type Recorder struct {
 	base State // static genesis fields (Config, Speed, MaxInFlight, Prior*)
 
 	nextCorr uint64 // engine-confined
-	dirty    bool   // buffered infer records pending Commit
+	// dirty flags buffered records pending a Flush. Engine-side
+	// appenders set it; Flush — called from whichever goroutine
+	// externalizes a response — clears it, hence atomic.
+	dirty atomic.Bool
 
 	snapCount    atomic.Uint64
 	lastSnapUnix atomic.Int64
@@ -182,7 +185,7 @@ func (r *Recorder) Infer(shard int, model string, slo time.Duration, priority in
 		return 0
 	}
 	r.nextCorr++
-	r.dirty = true
+	r.dirty.Store(true)
 	return rec.Corr
 }
 
@@ -191,7 +194,7 @@ func (r *Recorder) Infer(shard int, model string, slo time.Duration, priority in
 // crash-loss window to one closure and keeps a coalesced batch's
 // records in one write.
 func (r *Recorder) Commit() {
-	if !r.dirty {
+	if !r.dirty.Load() {
 		return
 	}
 	r.Flush()
@@ -215,7 +218,7 @@ func (r *Recorder) Ack(corr uint64, res clockwork.Result) {
 		Latency: res.Latency, Batch: res.Batch, ColdStart: res.ColdStart,
 	}
 	r.stamp(&rec)
-	r.dirty = true
+	r.dirty.Store(true)
 	_, _ = r.w.append(&rec, false)
 }
 
@@ -225,7 +228,7 @@ func (r *Recorder) Ack(corr uint64, res clockwork.Result) {
 // MUST call it between an acked completion and that response reaching
 // the wire. Safe from any goroutine.
 func (r *Recorder) Flush() {
-	r.dirty = false
+	r.dirty.Store(false)
 	_ = r.w.flush()
 	if r.w.opts.Fsync == FsyncAlways {
 		_ = r.w.sync()
@@ -290,7 +293,7 @@ func (r *Recorder) Noop() {
 	rec := Record{Type: recNoop}
 	r.stamp(&rec)
 	_, _ = r.w.append(&rec, false)
-	r.dirty = true
+	r.dirty.Store(true)
 }
 
 // SnapshotInfo describes one taken snapshot.

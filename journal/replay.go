@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"clockwork"
+	"clockwork/trace"
 )
 
 // This file holds the two consumers of a recorded epoch: deterministic
@@ -70,12 +71,27 @@ type ReplayResult struct {
 // journal/config mismatch, not a soft failure. Requires the genesis
 // chain (unavailable after RetainToSnapshot pruning).
 func ReplayEpoch(e *EpochData) (*ReplayResult, error) {
+	return ReplayEpochTraced(e, nil)
+}
+
+// ReplayEpochTraced is ReplayEpoch with a flight recorder attached to
+// the rebuilt system — the post-hoc tracing workflow: a journaled
+// incident replays with tracing at sample rate 1.0 even though the
+// live run recorded nothing. The recorder is a pure observer, so the
+// outcome hashes match the recording exactly as in an untraced replay;
+// after a successful return the recorder holds every replayed
+// request's lifecycle (the engine is quiescent, so Snapshot is safe).
+// A nil flight degrades to plain ReplayEpoch.
+func ReplayEpochTraced(e *EpochData, flight *trace.Recorder) (*ReplayResult, error) {
 	if e.Genesis == nil {
 		return nil, fmt.Errorf("journal: epoch %d has no genesis (pruned to snapshot?); deterministic replay needs the full chain", e.Epoch)
 	}
 	sys, err := BuildSystem(e.Genesis)
 	if err != nil {
 		return nil, err
+	}
+	if flight != nil {
+		sys.AttachFlightRecorder(flight)
 	}
 	rp := sys.Replay()
 

@@ -140,6 +140,22 @@ func (s *System) liveLookahead(speed float64) time.Duration {
 // Speed returns the effective virtual-vs-wall speed multiplier.
 func (l *Live) Speed() float64 { return l.speed }
 
+// WallOrigin correlates the wall clock with the virtual clock: it
+// returns the wall instant at which the driver started pacing and the
+// virtual instant the engines stood at then, so a virtual timestamp v
+// maps to wall origin + (v-virtual)/Speed(). ok is false until the
+// driver's first pacing turn (immediately after StartLive returns the
+// goroutine may not have started yet). Trace exports embed this so
+// flight-recorder timestamps can be aligned with external logs.
+func (l *Live) WallOrigin() (wall time.Time, virtual time.Duration, ok bool) {
+	if l.multi != nil {
+		w, v, ok := l.multi.Origin()
+		return w, v.Duration(), ok
+	}
+	w, v, ok := l.drv.Origin()
+	return w, v.Duration(), ok
+}
+
 // System returns the system this driver paces.
 func (l *Live) System() *System { return l.sys }
 

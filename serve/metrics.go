@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"clockwork"
+	"clockwork/trace"
 )
 
 // latencyQuantiles are the summary quantiles /metrics exposes.
@@ -24,6 +25,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st     StatsResponse
 		shards []clockwork.ShardStats
 		quants = make([]float64, len(latencyQuantiles))
+		agg    trace.Aggregate
 	)
 	doErr := s.live.Do(func() {
 		s.recNoop()
@@ -36,6 +38,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for i, q := range latencyQuantiles {
 			quants[i] = s.sys.LatencyPercentile(q.p).Seconds()
 		}
+		// The flight recorder's merged aggregates ride the same engine
+		// entry, so the stage decomposition, provenance table and outcome
+		// counters all reflect one virtual instant.
+		agg = s.flight.Aggregate()
 	})
 	if doErr != nil {
 		writeError(w, http.StatusServiceUnavailable, "stopped", doErr)
@@ -123,6 +129,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "clockwork_shard_within_slo_total{shard=\"%d\"} %d\n", i, sb.WithinSLO)
 	}
 
+	s.writeTraceMetrics(&b, agg)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeTraceMetrics renders the flight recorder's aggregate layer: the
+// per-stage latency decomposition and prediction-error summaries, the
+// SLO-miss provenance table, and the recorder's own volume counters.
+// agg was captured inside the same engine entry as the rest of the
+// scrape. The aggregates are fed by every finalized request — not just
+// the sampled ones — so these series are exact, independent of the
+// trace sample rate.
+func (s *Server) writeTraceMetrics(b *strings.Builder, agg trace.Aggregate) {
+	enabled := 0.0
+	if s.flight.Enabled() {
+		enabled = 1
+	}
+	fmt.Fprintf(b, "# HELP clockwork_trace_enabled 1 while the flight recorder is recording.\n# TYPE clockwork_trace_enabled gauge\nclockwork_trace_enabled %g\n", enabled)
+	fmt.Fprintf(b, "# HELP clockwork_trace_sample_rate Head-based trace sampling probability.\n# TYPE clockwork_trace_sample_rate gauge\nclockwork_trace_sample_rate %g\n", s.flight.SampleRate())
+	fmt.Fprintf(b, "# HELP clockwork_trace_finalized_total Requests whose lifecycle the recorder finalized.\n# TYPE clockwork_trace_finalized_total counter\nclockwork_trace_finalized_total %d\n", agg.Stats.Finalized)
+	fmt.Fprintf(b, "# HELP clockwork_trace_sampled_total Finalized requests retained in the completed-trace rings.\n# TYPE clockwork_trace_sampled_total counter\nclockwork_trace_sampled_total %d\n", agg.Stats.SampledKept)
+	fmt.Fprintf(b, "# HELP clockwork_trace_violations_total SLO violations the recorder attributed a cause to.\n# TYPE clockwork_trace_violations_total counter\nclockwork_trace_violations_total %d\n", agg.Stats.Violations)
+
+	fmt.Fprintf(b, "# HELP clockwork_stage_seconds Per-request latency decomposition by lifecycle stage (virtual clock).\n")
+	fmt.Fprintf(b, "# TYPE clockwork_stage_seconds summary\n")
+	for _, st := range trace.Stages {
+		h := agg.Stage[st]
+		if h == nil {
+			continue
+		}
+		for _, q := range latencyQuantiles {
+			fmt.Fprintf(b, "clockwork_stage_seconds{stage=%q,quantile=%q} %g\n", st, q.label, h.Percentile(q.p).Seconds())
+		}
+		fmt.Fprintf(b, "clockwork_stage_seconds_sum{stage=%q} %g\n", st, h.Sum())
+		fmt.Fprintf(b, "clockwork_stage_seconds_count{stage=%q} %d\n", st, h.Count())
+	}
+
+	fmt.Fprintf(b, "# HELP clockwork_predict_error_seconds Absolute predicted-vs-actual execution time error.\n")
+	fmt.Fprintf(b, "# TYPE clockwork_predict_error_seconds summary\n")
+	if h := agg.PredErr; h != nil {
+		for _, q := range latencyQuantiles {
+			fmt.Fprintf(b, "clockwork_predict_error_seconds{quantile=%q} %g\n", q.label, h.Percentile(q.p).Seconds())
+		}
+		fmt.Fprintf(b, "clockwork_predict_error_seconds_sum %g\n", h.Sum())
+		fmt.Fprintf(b, "clockwork_predict_error_seconds_count %d\n", h.Count())
+	}
+
+	fmt.Fprintf(b, "# HELP clockwork_slo_miss_provenance_total SLO violations, cancels and sheds attributed to a cause, per model and tenant.\n")
+	fmt.Fprintf(b, "# TYPE clockwork_slo_miss_provenance_total counter\n")
+	for _, p := range agg.Provenance {
+		fmt.Fprintf(b, "clockwork_slo_miss_provenance_total{cause=%q,model=%q,tenant=%q} %d\n", p.Cause, p.Model, p.Tenant, p.Count)
+	}
+	if shed := agg.Stats.Shed; shed > 0 {
+		// Admission sheds never reach the engine, so they carry no model
+		// or tenant; they are still lost work the provenance table must
+		// not hide.
+		fmt.Fprintf(b, "clockwork_slo_miss_provenance_total{cause=%q,model=\"-\",tenant=\"-\"} %d\n", trace.CauseAdmissionShed, shed)
+	}
 }

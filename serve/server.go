@@ -16,6 +16,7 @@ import (
 	"clockwork"
 	"clockwork/internal/autoscale"
 	"clockwork/journal"
+	"clockwork/trace"
 )
 
 // Options configures a Server.
@@ -46,6 +47,30 @@ type Options struct {
 	// (MaxWindow when MaxInFlight is 0 — a closed loop needs a finite
 	// window to move).
 	Autoscale *AutoscaleConfig
+	// Trace configures the flight recorder (per-request lifecycle
+	// tracing; see clockwork/trace). A recorder is always attached —
+	// attachment must precede engine start, so runtime enablement via
+	// POST /v1/admin/trace works even when tracing starts disabled —
+	// and nil Trace means "attached but disabled, default sample
+	// rate". Tracing is a pure observer: request outcomes are
+	// bit-identical at any sample rate.
+	Trace *TraceConfig
+}
+
+// TraceConfig configures the flight recorder serve attaches to the
+// system.
+type TraceConfig struct {
+	// Enabled starts recording immediately (otherwise the recorder
+	// stays dormant until enabled through the admin plane).
+	Enabled bool
+	// SampleRate is the head-based sampling probability in [0, 1];
+	// negative means the default (trace.DefaultSampleRate). SLO
+	// violations are always retained regardless of the rate.
+	SampleRate float64
+	// RingSize and ViolationRingSize bound the per-shard retention
+	// rings (0 = trace package defaults).
+	RingSize          int
+	ViolationRingSize int
 }
 
 // Server is the HTTP/JSON front end of a live System: it bridges
@@ -67,6 +92,8 @@ type Options struct {
 //	GET  /v1/admin/shards         per-shard outcome counters
 //	GET  /v1/admin/autoscaler     closed-loop autoscaler status
 //	POST /v1/admin/autoscaler     pause/resume the loop, force the window
+//	GET  /v1/admin/trace          flight-recorder dump (Perfetto JSON)
+//	POST /v1/admin/trace          enable/disable tracing, set sample rate
 //	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness
 type Server struct {
@@ -78,6 +105,9 @@ type Server struct {
 	// record batch through it — mutations as typed records, reads as
 	// no-ops — so a replay can re-consume engine steps one-for-one.
 	rec *journal.Recorder
+	// flight is the always-attached flight recorder (see Options.Trace);
+	// never nil after New.
+	flight *trace.Recorder
 
 	started time.Time
 
@@ -132,11 +162,28 @@ type Server struct {
 // virtual clock (RunFor etc.) while the server lives; register models
 // either before New or through the /v1/models endpoint.
 func New(sys *clockwork.System, opts Options) *Server {
+	// The flight recorder must be attached before the engines start
+	// pacing (attachment writes per-controller fields no lock guards);
+	// attaching even when tracing is off lets the admin plane enable it
+	// at runtime. A recorder the caller attached earlier is kept.
+	flight := sys.FlightRecorder()
+	if flight == nil {
+		topts := trace.Options{SampleRate: -1}
+		if tc := opts.Trace; tc != nil {
+			topts.Enabled = tc.Enabled
+			topts.SampleRate = tc.SampleRate
+			topts.RingSize = tc.RingSize
+			topts.ViolationRingSize = tc.ViolationRingSize
+		}
+		flight = trace.New(topts)
+		sys.AttachFlightRecorder(flight)
+	}
 	s := &Server{
 		sys:         sys,
 		live:        sys.StartLive(opts.Speed),
 		mux:         http.NewServeMux(),
 		rec:         opts.Journal,
+		flight:      flight,
 		started:     time.Now(),
 		maxInFlight: opts.MaxInFlight,
 		streamLns:   make(map[net.Listener]struct{}),
@@ -159,6 +206,8 @@ func New(sys *clockwork.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/admin/journal", s.handleJournal)
 	s.mux.HandleFunc("GET /v1/admin/autoscaler", s.handleAutoscalerGet)
 	s.mux.HandleFunc("POST /v1/admin/autoscaler", s.handleAutoscalerPost)
+	s.mux.HandleFunc("GET /v1/admin/trace", s.handleTraceGet)
+	s.mux.HandleFunc("POST /v1/admin/trace", s.handleTracePost)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if opts.Autoscale != nil {
@@ -345,9 +394,13 @@ func (s *Server) admit() error {
 	}
 	if s.maxInFlight > 0 && s.inflightN >= s.maxInFlight {
 		// A shed is the autoscaler's loudest signal: this request
-		// missed its SLO as surely as a late one (Signals.Shed).
+		// missed its SLO as surely as a late one (Signals.Shed). The
+		// flight recorder counts it too, as SLO-miss provenance — a
+		// shed request never reaches the engine, so this is the only
+		// place its loss can be attributed.
 		s.shedPeriod.Add(1)
 		s.shedTotal.Add(1)
+		s.flight.RecordShed()
 		return ErrOverloaded
 	}
 	s.inflightN++
