@@ -132,6 +132,17 @@ type traceEntry struct {
 	OverheadPct   float64 `json:"overhead_pct"`
 }
 
+// allocsEntry pins one path's steady-state allocation figures — the
+// machine-independent face of the benchmarks section. ns/op moves with
+// the host and its load; allocs/op is a property of the code alone, so
+// this is the section to diff across PRs (and the one the CI perf
+// smoke asserts on).
+type allocsEntry struct {
+	Path        string `json:"path"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
 	Generated     string           `json:"generated"`
@@ -139,6 +150,8 @@ type report struct {
 	Cores         int              `json:"cores"`
 	Note          string           `json:"note"`
 	Benchmarks    []benchEntry     `json:"benchmarks"`
+	Allocs        []allocsEntry    `json:"allocs,omitempty"`
+	AllocsNote    string           `json:"allocs_note,omitempty"`
 	Load          []loadEntry      `json:"load"`
 	Scaling       []scalingEntry   `json:"scaling,omitempty"`
 	ScalingNote   string           `json:"scaling_note,omitempty"`
@@ -155,6 +168,7 @@ func main() {
 	var (
 		out           = flag.String("out", "BENCH_serve.json", "output path")
 		quick         = flag.Bool("quick", false, "shorter runs (CI smoke); figures are noisier")
+		skipBench     = flag.Bool("skip-bench", false, "skip the in-process round-trip benchmarks (and the allocs section derived from them)")
 		skipScheduler = flag.Bool("skip-scheduler", false, "skip the go-test scheduler benchmarks")
 		skipScaling   = flag.Bool("skip-scaling", false, "skip the multi-core shard-scaling runs")
 		skipJournal   = flag.Bool("skip-journal", false, "skip the journal record-overhead and recovery runs")
@@ -222,16 +236,41 @@ func main() {
 			"on comparable hardware before comparing across PRs",
 	}
 
-	log.Printf("clockwork-bench: benchmarks")
-	rep.Benchmarks = append(rep.Benchmarks,
-		runBench("LiveRoundTrip(engine floor)", benchLive),
-		runBench("ServeRoundTrip(HTTP)", benchHTTP),
-		runBench("StreamRoundTrip", benchStream),
-		runBench("StreamBatchRoundTrip(batch=64)", benchStreamBatch),
-	)
-	for _, b := range rep.Benchmarks {
-		log.Printf("clockwork-bench:   %-32s %10.0f ns/op  %6d B/op  %4d allocs/op",
-			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	if !*skipBench {
+		log.Printf("clockwork-bench: benchmarks")
+		rep.Benchmarks = append(rep.Benchmarks,
+			runBench("LiveRoundTrip(engine floor)", benchLive),
+			runBench("ServeRoundTrip(HTTP)", benchHTTP),
+			runBench("StreamRoundTrip", benchStream),
+			runBench("StreamBatchRoundTrip(batch=64)", benchStreamBatch),
+		)
+		for _, b := range rep.Benchmarks {
+			log.Printf("clockwork-bench:   %-32s %10.0f ns/op  %6d B/op  %4d allocs/op",
+				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		}
+
+		// The allocs section restates the benchmark rows keyed by path
+		// name: the engine floor every transport pays, then each
+		// transport's full round trip. Deterministic across hosts,
+		// unlike ns/op.
+		for _, p := range []struct{ path, bench string }{
+			{"engine_floor", "LiveRoundTrip(engine floor)"},
+			{"http", "ServeRoundTrip(HTTP)"},
+			{"stream", "StreamRoundTrip"},
+			{"stream_batch", "StreamBatchRoundTrip(batch=64)"},
+		} {
+			for _, b := range rep.Benchmarks {
+				if b.Name == p.bench {
+					rep.Allocs = append(rep.Allocs, allocsEntry{
+						Path: p.path, AllocsPerOp: b.AllocsPerOp, BytesPerOp: b.BytesPerOp,
+					})
+				}
+			}
+		}
+		rep.AllocsNote = "steady-state allocations per request; engine_floor is the no-transport " +
+			"Inject+Wait+Release cycle (0 in steady state — requests, handles, actions and timers " +
+			"recycle through free lists), http remainder is net/http+encoding/json internals. " +
+			"serve/alloc_test.go and internal/core/alloc_test.go ratchet these ceilings in CI"
 	}
 
 	log.Printf("clockwork-bench: loopback goodput runs (%v each)", *loadDur)
@@ -478,12 +517,16 @@ func benchLive(b *testing.B) {
 	live := sys.StartLive(10_000)
 	defer live.Stop()
 	ctx := context.Background()
+	// The submit closure is hoisted so the measured loop allocates
+	// nothing of its own: handles are values, and the slot recycles
+	// through Release.
+	var h clockwork.Handle
+	var serr error
+	submit := func() {
+		h, serr = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Second}, nil)
+	}
 	fire := func() {
-		var h *clockwork.Handle
-		var serr error
-		if doErr := live.Do(func() {
-			h, serr = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Second}, nil)
-		}); doErr != nil {
+		if doErr := live.Do(submit); doErr != nil {
 			b.Fatal(doErr)
 		}
 		if serr != nil {
@@ -492,6 +535,7 @@ func benchLive(b *testing.B) {
 		if _, err := h.Wait(ctx); err != nil {
 			b.Fatal(err)
 		}
+		h.Release()
 	}
 	fire()
 	b.ResetTimer()

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// TestAllocRatchetSchedulerPass pins the decision path: one strategy
+// pick plus one load pick against 100 active models must not allocate.
+// The indexed scheduler reads heaps and treaps maintained incrementally
+// by controller events; a pass that starts allocating means someone
+// re-introduced per-decision garbage (slice rebuilds, closure captures)
+// into the hottest loop in the controller.
+func TestAllocRatchetSchedulerPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation ratchet skipped in -short")
+	}
+	s, g, now := benchState(100, 100, 4)
+	pass := func() {
+		s.bestStrategy(g, now)
+		s.bestLoad(g, now)
+	}
+	pass() // warm any lazily-built index state
+	const ceiling = 0.5
+	if avg := testing.AllocsPerRun(500, pass); avg > ceiling {
+		t.Fatalf("scheduler pass allocates %.2f objects/op, ratchet ceiling is %.2f", avg, ceiling)
+	}
+}

@@ -416,22 +416,9 @@ func (cl *Cluster) addWorker() int {
 	link.AtoB.BytesPerSecond = cl.cfg.WorkerBandwidth
 	link.BtoA.BytesPerSecond = cl.cfg.WorkerBandwidth
 
-	wi := w
-	li := link
-	ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize,
-		func(a *action.Action, payloadBytes int64) {
-			if cl.cfg.ZeroLengthInputs {
-				payloadBytes = 0
-			}
-			li.AtoB.Send(payloadBytes, func() { wi.Submit(a) })
-		})
-	w.OnResult = func(r action.Result) {
-		var bytes int64
-		if r.Type == action.Infer && r.Status.IsSuccess() {
-			bytes = int64(len(r.RequestIDs)) * outputBytesOf(cl, r.Model)
-		}
-		li.BtoA.Send(bytes, func() { ctl.HandleResult(r) })
-	}
+	wl := &workerLink{cl: cl, ctl: ctl, w: w, li: link}
+	ctl.AddWorker(id, wcfg.GPUs, wcfg.PageCacheBytes, wcfg.PageSize, wl.sendAction)
+	w.OnResult = wl.sendResult
 	// Bring the new worker up with every model registered so far
 	// (§5.1: workers pre-load all models into host RAM — shard
 	// ownership partitions scheduling, not host memory, which is what
@@ -443,6 +430,79 @@ func (cl *Cluster) addWorker() int {
 	cl.workerShard = append(cl.workerShard, shard)
 	cl.Metrics.attachGPUs(w)
 	return id
+}
+
+// workerLink carries one worker's wire traffic in simclock.Runner form:
+// pooled hop nodes replace the per-message delivery closures on both
+// directions of the duplex link. Worker, link and controller all live
+// on the same engine goroutine, so plain per-worker free lists suffice
+// (no locks, no sync.Pool).
+type workerLink struct {
+	cl  *Cluster
+	ctl *Controller
+	w   *worker.Worker
+	li  *network.Duplex
+
+	freeA []*actionHop
+	freeR []*resultHop
+}
+
+// actionHop is one A→B (controller→worker) dispatch in flight on the
+// link. Run fires at the delivery instant.
+type actionHop struct {
+	wl *workerLink
+	a  *action.Action
+}
+
+func (h *actionHop) Run() {
+	wl, a := h.wl, h.a
+	h.a = nil
+	wl.freeA = append(wl.freeA, h)
+	wl.w.Submit(a)
+}
+
+// resultHop is one B→A (worker→controller) result in flight.
+type resultHop struct {
+	wl *workerLink
+	r  action.Result
+}
+
+func (h *resultHop) Run() {
+	wl, r := h.wl, h.r
+	h.r = action.Result{}
+	wl.freeR = append(wl.freeR, h)
+	wl.ctl.HandleResult(r)
+}
+
+// sendAction is the controller-side submit hook wired by addWorker.
+func (wl *workerLink) sendAction(a *action.Action, payloadBytes int64) {
+	if wl.cl.cfg.ZeroLengthInputs {
+		payloadBytes = 0
+	}
+	var h *actionHop
+	if n := len(wl.freeA); n > 0 {
+		h, wl.freeA = wl.freeA[n-1], wl.freeA[:n-1]
+	} else {
+		h = &actionHop{wl: wl}
+	}
+	h.a = a
+	wl.li.AtoB.SendRun(payloadBytes, h)
+}
+
+// sendResult is the worker's OnResult hook wired by addWorker.
+func (wl *workerLink) sendResult(r action.Result) {
+	var bytes int64
+	if r.Type == action.Infer && r.Status.IsSuccess() {
+		bytes = int64(len(r.RequestIDs)) * outputBytesOf(wl.cl, r.Model)
+	}
+	var h *resultHop
+	if n := len(wl.freeR); n > 0 {
+		h, wl.freeR = wl.freeR[n-1], wl.freeR[:n-1]
+	} else {
+		h = &resultHop{wl: wl}
+	}
+	h.r = r
+	wl.li.BtoA.SendRun(bytes, h)
 }
 
 func outputBytesOf(cl *Cluster, model string) int64 {
@@ -699,18 +759,84 @@ func (cl *Cluster) RegisterCopies(base string, zoo *modelzoo.Model, n int) ([]st
 // Outcome, ID and Wait are safe to call from any goroutine — completion
 // is published through a channel, so callers block on Wait instead of
 // busy-polling Done.
+//
+// Handles recycle through a pool (see Release): a generation counter,
+// bumped on every release, lets callers that outlive their handle prove
+// staleness instead of observing the recycled successor — the same
+// guard simclock.Timer and Request use.
 type Handle struct {
-	cl     *Cluster
+	cl *Cluster
+	// doneCh is a reusable capacity-1 token channel. Completion sends
+	// one token; every reader takes it and immediately puts it back
+	// (baton passing), which gives close()-style broadcast without
+	// minting a fresh channel per request.
 	doneCh chan struct{}
 
 	// mu guards the mutable fields below: they are written on the
 	// engine goroutine and may be read from client goroutines.
-	mu            sync.Mutex
-	req           *Request // nil until the request reaches the controller
+	mu  sync.Mutex
+	gen uint64 // recycling generation; bumped by Release
+	id  uint64 // controller-assigned ID, cached (req itself recycles)
+	// req/reqGen identify the controller-side request while it is
+	// pending. The request object may be recycled the instant its
+	// response fires, so every use goes through CancelRequestGen.
+	req           *Request
+	reqGen        uint64
+	model         string
 	cancelPending bool
 	done          bool
 	resp          Response
 	latency       time.Duration
+}
+
+var handlePool = sync.Pool{New: func() any {
+	return &Handle{doneCh: make(chan struct{}, 1)}
+}}
+
+func acquireHandle(cl *Cluster, model string) *Handle {
+	h := handlePool.Get().(*Handle)
+	select {
+	case <-h.doneCh: // drain a leftover token, defensively
+	default:
+	}
+	h.cl = cl
+	h.model = model
+	return h
+}
+
+// Gen returns the handle's recycling generation. Capture it alongside
+// the pointer when retaining a handle past its Release point; a
+// mismatch later proves the handle now belongs to someone else.
+func (h *Handle) Gen() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen
+}
+
+// Release returns a completed handle to the pool. Call it only when no
+// other goroutine will touch the handle again (all Waits returned); a
+// handle that is still pending is not pooled — the in-flight completion
+// will still write into it — but its generation is bumped so gen-guarded
+// wrappers treat it as gone either way.
+func (h *Handle) Release() {
+	h.mu.Lock()
+	h.gen++
+	if !h.done {
+		h.mu.Unlock()
+		return
+	}
+	h.cl = nil
+	h.id = 0
+	h.req, h.reqGen = nil, 0
+	h.model = ""
+	h.cancelPending, h.done = false, false
+	h.resp, h.latency = Response{}, 0
+	h.mu.Unlock()
+	select {
+	case <-h.doneCh:
+	default:
+	}
+	handlePool.Put(h)
 }
 
 // ID returns the controller-assigned request ID (0 while the request is
@@ -718,31 +844,25 @@ type Handle struct {
 func (h *Handle) ID() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.req == nil {
-		return 0
-	}
-	return h.req.ID
+	return h.id
 }
 
 // Done reports whether the request has a final outcome.
 func (h *Handle) Done() bool {
-	select {
-	case <-h.doneCh:
-		return true
-	default:
-		return false
-	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.done
 }
 
 // Outcome returns the final response and client-observed latency; ok is
 // false while the request is still pending.
 func (h *Handle) Outcome() (Response, time.Duration, bool) {
-	if !h.Done() {
-		return Response{}, 0, false
-	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.resp, h.latency, h.done
+	if !h.done {
+		return Response{}, 0, false
+	}
+	return h.resp, h.latency, true
 }
 
 // Wait blocks until the request reaches a final outcome or ctx is
@@ -750,8 +870,17 @@ func (h *Handle) Outcome() (Response, time.Duration, bool) {
 // a RealtimeDriver, or test code calling Run* — must be advancing the
 // engine, or Wait only returns via ctx.
 func (h *Handle) Wait(ctx context.Context) (Response, time.Duration, error) {
+	h.mu.Lock()
+	if h.done {
+		resp, lat := h.resp, h.latency
+		h.mu.Unlock()
+		return resp, lat, nil
+	}
+	h.mu.Unlock()
 	select {
 	case <-h.doneCh:
+		// Pass the baton so any other waiter also wakes.
+		h.doneCh <- struct{}{}
 	case <-ctx.Done():
 		return Response{}, 0, ctx.Err()
 	}
@@ -779,14 +908,16 @@ func (h *Handle) Cancel() bool {
 		h.mu.Unlock()
 		return true
 	}
-	req := h.req
+	req, gen, model := h.req, h.reqGen, h.model
+	cl := h.cl
 	h.mu.Unlock()
-	// CancelRequest mutates controller state: like every engine-side
+	// CancelRequestGen mutates controller state: like every engine-side
 	// call it must run on the engine goroutine (in live mode, via
 	// Live.Do/Inject). The handle lock is released first — the
 	// cancellation path schedules the response event that will re-enter
-	// the completion callback.
-	return h.cl.ctlForModel(req.Model, 0).CancelRequest(req)
+	// the completion callback. The generation check makes a cancel that
+	// raced the response (and the request's recycling) a no-op.
+	return cl.ctlForModel(model, 0).CancelRequestGen(req, gen)
 }
 
 // Submit issues one client request with default options. The input
@@ -819,52 +950,94 @@ func (cl *Cluster) SubmitRequest(spec SubmitSpec, onDone func(Response, time.Dur
 // is forwarded once over the shard interconnect at the cross-shard
 // network latency.
 func (cl *Cluster) SubmitRequestOn(local int, spec SubmitSpec, onDone func(Response, time.Duration)) (*Handle, error) {
+	if err := cl.checkSpec(local, spec); err != nil {
+		return nil, err
+	}
+	h := acquireHandle(cl, spec.Model)
+	cl.sendSubmission(local, spec, h, onDone, nil)
+	return h, nil
+}
+
+// ResponseSink receives a submission's terminal outcome — the
+// interface-shaped alternative to the onDone callback, so callers that
+// pool their per-request state (the serve transports) can complete
+// requests without minting a closure per submission. OnResponse runs on
+// the engine goroutine, exactly once per accepted submission; like every
+// completion callback it must stay short and non-blocking.
+type ResponseSink interface {
+	OnResponse(resp Response, latency time.Duration)
+}
+
+// SubmitRequestSinkOn is the fire-and-forget form of SubmitRequestOn: no
+// client-side Handle is minted (nothing to Wait on, nothing to recycle),
+// and the outcome is delivered to sink instead of a callback. It is the
+// zero-allocation submission path for servers that track completion
+// entirely through their own pooled per-request state.
+func (cl *Cluster) SubmitRequestSinkOn(local int, spec SubmitSpec, sink ResponseSink) error {
+	if err := cl.checkSpec(local, spec); err != nil {
+		return err
+	}
+	cl.sendSubmission(local, spec, nil, nil, sink)
+	return nil
+}
+
+// checkSpec validates a submission before any resource is acquired.
+func (cl *Cluster) checkSpec(local int, spec SubmitSpec) error {
 	if spec.Model == "" {
-		return nil, fmt.Errorf("%w: empty model name", ErrInvalidRequest)
+		return fmt.Errorf("%w: empty model name", ErrInvalidRequest)
 	}
 	if spec.SLO <= 0 {
-		return nil, fmt.Errorf("%w: non-positive SLO %v", ErrInvalidRequest, spec.SLO)
+		return fmt.Errorf("%w: non-positive SLO %v", ErrInvalidRequest, spec.SLO)
 	}
 	if spec.MaxBatch < 0 {
-		return nil, fmt.Errorf("%w: negative batch cap %d", ErrInvalidRequest, spec.MaxBatch)
+		return fmt.Errorf("%w: negative batch cap %d", ErrInvalidRequest, spec.MaxBatch)
 	}
 	if local < 0 || local >= len(cl.Ctls) {
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrNoSuchShard, local, len(cl.Ctls))
+		return fmt.Errorf("%w: %d (have %d)", ErrNoSuchShard, local, len(cl.Ctls))
 	}
 	if _, ok := cl.modelShard[spec.Model]; !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, spec.Model)
+		return fmt.Errorf("%w: %q", ErrUnknownModel, spec.Model)
 	}
+	return nil
+}
+
+// sendSubmission puts one validated submission on shard local's client
+// link. h may be nil (the sink path).
+func (cl *Cluster) sendSubmission(local int, spec SubmitSpec, h *Handle, onDone func(Response, time.Duration), sink ResponseSink) {
 	zoo := cl.zoos[spec.Model]
-	h := &Handle{cl: cl, doneCh: make(chan struct{})}
 	inputBytes := zoo.InputBytes()
 	if cl.cfg.ZeroLengthInputs {
 		inputBytes = 0
 	}
-	s := &submission{
-		cl: cl, spec: spec, h: h, zoo: zoo,
-		local: local, sentAt: cl.engFor(local).Now(), onDone: onDone,
-	}
+	s := submissionPool.Get().(*submission)
+	s.cl, s.spec, s.h, s.zoo = cl, spec, h, zoo
+	s.local, s.sentAt, s.onDone, s.sink = local, cl.engFor(local).Now(), onDone, sink
 	cl.clientLinks[cl.linkIdx(local)].AtoB.SendRun(inputBytes, s)
-	return h, nil
 }
 
 // submission carries one request across its client-side network hops.
 // It is the hops' preallocated event receiver (simclock.Runner): one
 // struct serves the client→controller delivery, the cross-shard
 // forward, and the response→client completion, so the per-request
-// serving path schedules all of them without per-event closures.
+// serving path schedules all of them without per-event closures. It is
+// also the controller-side Responder, so the outcome comes back without
+// a per-request func value. Submissions recycle through submissionPool
+// at the end of complete(), the last instant anything references them.
 type submission struct {
 	cl     *Cluster
 	spec   SubmitSpec
-	h      *Handle
+	h      *Handle // nil on the sink (fire-and-forget) path
 	zoo    *modelzoo.Model
 	local  int // shard whose engine currently hosts this submission
 	sentAt simclock.Time
 	onDone func(Response, time.Duration)
+	sink   ResponseSink
 
 	resp  Response
 	phase uint8
 }
+
+var submissionPool = sync.Pool{New: func() any { return new(submission) }}
 
 const (
 	subDeliver  uint8 = iota // next Run: arrive at the controller
@@ -910,26 +1083,33 @@ func (s *submission) deliver() {
 	}
 	// A Cancel issued while the request was on the wire is applied
 	// inside the controller's submission, before the scheduler can
-	// dispatch — the in-transit cancel is authoritative.
-	s.h.mu.Lock()
-	s.spec.preCancelled = s.h.cancelPending
-	s.h.mu.Unlock()
+	// dispatch — the in-transit cancel is authoritative. The sink path
+	// has no handle and therefore no cancel-in-transit to apply.
+	if s.h != nil {
+		s.h.mu.Lock()
+		s.spec.preCancelled = s.h.cancelPending
+		s.h.mu.Unlock()
+	}
 	s.local = owner
 	ctl := cl.Ctls[owner]
-	req := ctl.SubmitSpec(s.spec, s.onResponse)
+	req := ctl.SubmitSpecTo(s.spec, s)
 	if req != nil {
-		s.h.mu.Lock()
-		s.h.req = req
-		s.h.mu.Unlock()
+		if s.h != nil {
+			s.h.mu.Lock()
+			s.h.id = req.ID
+			s.h.req, s.h.reqGen = req, req.Gen()
+			s.h.mu.Unlock()
+		}
 		// The controller-side Admitted hook already created the trace;
 		// stamp the client-side send instant it cannot know.
 		cl.flight.Shard(owner).Arrived(req.ID, s.sentAt.Duration())
 	}
 }
 
-// onResponse receives the controller's terminal outcome and sends it
-// back over the owning shard's client link.
-func (s *submission) onResponse(resp Response) {
+// Respond implements core.Responder: it receives the controller's
+// terminal outcome and sends it back over the owning shard's client
+// link.
+func (s *submission) Respond(resp Response) {
 	cl := s.cl
 	// The responding controller is the model's current owner; follow it
 	// (after a barrier-time migration the response must leave on the
@@ -970,17 +1150,37 @@ func (s *submission) complete() {
 		Batch: s.resp.Batch, ColdStart: s.resp.ColdStart,
 		SLO: s.spec.SLO, Latency: latency,
 	}, now.Duration())
-	h.mu.Lock()
-	h.done = true
-	h.resp = s.resp
-	h.latency = latency
-	h.mu.Unlock()
-	// Publish completion before the callback so a callback that hands
-	// the result to another goroutine never sees its own handle still
-	// pending.
-	close(h.doneCh)
-	if s.onDone != nil {
-		s.onDone(s.resp, latency)
+	if h != nil {
+		h.mu.Lock()
+		h.done = true
+		if h.id == 0 {
+			// The request never reported in via deliver (pre-cancelled or
+			// unregistered mid-transit): the response carries the minted ID.
+			h.id = s.resp.RequestID
+		}
+		// The controller-side request recycles the moment its response
+		// fires; drop the reference so a post-completion Cancel is a pure
+		// handle-local no-op.
+		h.req, h.reqGen = nil, 0
+		h.resp = s.resp
+		h.latency = latency
+		h.mu.Unlock()
+		// Publish completion before the callback so a callback that hands
+		// the result to another goroutine never sees its own handle still
+		// pending. The token send replaces close(): waiters baton-pass it.
+		select {
+		case h.doneCh <- struct{}{}:
+		default:
+		}
+	}
+	onDone, sink, resp := s.onDone, s.sink, s.resp
+	*s = submission{}
+	submissionPool.Put(s)
+	if onDone != nil {
+		onDone(resp, latency)
+	}
+	if sink != nil {
+		sink.OnResponse(resp, latency)
 	}
 }
 

@@ -76,6 +76,15 @@ func (c Config) withDefaults() Config {
 // response plumbing; the scheduler decides what runs where and when.
 // Schedulers plug into clusters by name through the policy registry
 // (see registry.go).
+//
+// Retention rule: *Request objects recycle through a free list the
+// moment they reach a final outcome, so a scheduler must not retain a
+// *Request beyond the callback that delivered it (nor beyond the
+// queues the controller itself maintains). A scheduler that needs
+// request identity across callbacks must capture (r, r.Gen()) pairs and
+// revalidate with CancelRequestGen-style generation checks, or copy
+// the plain fields it needs — holding the bare pointer observes the
+// slot's next occupant.
 type Scheduler interface {
 	// Attach gives the scheduler its controller before any events flow.
 	Attach(c *Controller)
@@ -152,6 +161,14 @@ type Controller struct {
 
 	pendingInfers map[uint64]pendingInfer
 
+	// Hot-path free lists (engine-confined; see ARCHITECTURE.md,
+	// "Hot-path memory discipline"). Requests and INFER actions recycle
+	// once no engine-side stage references them; client handles survive
+	// recycling through the request generation guard.
+	freeReqs    []*Request
+	freeActs    []*action.Action
+	freeBatches [][]*Request
+
 	// Fig 9 telemetry: duration and completion-time prediction errors.
 	InferDuration   *predictor.ErrorTracker
 	LoadDuration    *predictor.ErrorTracker
@@ -170,10 +187,73 @@ type Controller struct {
 
 // pendingInfer couples an in-flight INFER's requests with the mirror it
 // was dispatched to, so FailWorker can find (and fail) exactly the work
-// lost with a worker.
+// lost with a worker. The action rides along so a completed INFER can
+// recycle its node (and ID-slice backing); an action lost with a failed
+// worker is NOT recycled — the dead worker's queues may still hold it.
 type pendingInfer struct {
 	g    *GPUMirror
 	reqs []*Request
+	a    *action.Action
+}
+
+// ---- hot-path free lists ----
+
+func (c *Controller) acquireRequest() *Request {
+	if n := len(c.freeReqs); n > 0 {
+		r := c.freeReqs[n-1]
+		c.freeReqs = c.freeReqs[:n-1]
+		return r
+	}
+	return new(Request)
+}
+
+// releaseRequest recycles a terminally-answered request. Callers must
+// guarantee no engine-side stage still references it (not queued, not
+// in pendingInfers, timer stopped). The generation bump invalidates any
+// stale client handle.
+func (c *Controller) releaseRequest(r *Request) {
+	gen := r.gen + 1
+	*r = Request{gen: gen}
+	c.freeReqs = append(c.freeReqs, r)
+}
+
+func (c *Controller) acquireAction() *action.Action {
+	if n := len(c.freeActs); n > 0 {
+		a := c.freeActs[n-1]
+		c.freeActs = c.freeActs[:n-1]
+		return a
+	}
+	return new(action.Action)
+}
+
+// releaseAction recycles an INFER action whose result has been fully
+// ingested, keeping the RequestIDs backing for the next dispatch. The
+// flight recorder copies ID slices it retains (trace.ShardRecorder
+// .ExecDone), so reusing the backing cannot corrupt retained spans.
+func (c *Controller) releaseAction(a *action.Action) {
+	ids := a.RequestIDs[:0]
+	*a = action.Action{RequestIDs: ids}
+	c.freeActs = append(c.freeActs, a)
+}
+
+// acquireBatch returns a request slice of length n for PopBatch; the
+// backing recycles through handleInferResult/FailWorker.
+func (c *Controller) acquireBatch(n int) []*Request {
+	if m := len(c.freeBatches); m > 0 {
+		b := c.freeBatches[m-1]
+		c.freeBatches = c.freeBatches[:m-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]*Request, n)
+}
+
+func (c *Controller) releaseBatch(b []*Request) {
+	for i := range b {
+		b[i] = nil
+	}
+	c.freeBatches = append(c.freeBatches, b[:0])
 }
 
 // NewController returns a controller driving the given scheduler.
@@ -301,6 +381,10 @@ func (c *Controller) FailWorker(id int) error {
 				Reason: ReasonWorkerFailed, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 			})
 		}
+		// The dead worker's late results are dropped at HandleResult's
+		// door, so these requests are final; the action node itself may
+		// still sit in the dead worker's queues and is left to the GC.
+		c.recycleBatch(p.reqs)
 	}
 	for _, g := range wh.gpus {
 		g.inFlightInfers = make(map[string]int)
@@ -400,7 +484,7 @@ func (c *Controller) RegisterModel(name string, zoo *modelzoo.Model) error {
 	if _, dup := c.models[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
 	}
-	mi := &ModelInfo{name: name, zoo: zoo, residentOn: make(map[*GPUMirror]bool), seq: c.nextSeq}
+	mi := &ModelInfo{name: name, zoo: zoo, owner: c, residentOn: make(map[*GPUMirror]bool), seq: c.nextSeq}
 	c.nextSeq++
 	c.models[name] = mi
 	c.modelList = append(c.modelList, mi)
@@ -438,6 +522,7 @@ func (c *Controller) UnregisterModel(name string) error {
 			RequestID: r.ID, Model: r.Model, Tenant: r.Tenant, Success: false,
 			Reason: ReasonUnregistered, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 		})
+		c.releaseRequest(r)
 	}
 	mi.demand = 0
 	c.noteQueueMaybeEmpty(mi)
@@ -497,17 +582,33 @@ func (c *Controller) Submit(model string, slo time.Duration, onResponse func(Res
 // transit) fails the request with ReasonUnregistered rather than
 // panicking, and returns nil.
 func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Request {
+	return c.submitSpec(spec, onResponse, nil)
+}
+
+// SubmitSpecTo is SubmitSpec with a preallocated Responder instead of a
+// response closure — the allocation-free submission form. The returned
+// request may be recycled as soon as its terminal response fires;
+// callers retaining it must capture Gen() before the response can
+// arrive and check it before acting (see Handle in the cluster layer).
+func (c *Controller) SubmitSpecTo(spec SubmitSpec, rsp Responder) *Request {
+	return c.submitSpec(spec, nil, rsp)
+}
+
+func (c *Controller) submitSpec(spec SubmitSpec, onResponse func(Response), rsp Responder) *Request {
 	now := c.eng.Now()
 	mi, ok := c.models[spec.Model]
 	if !ok {
 		c.nextRequestID += c.cfg.IDStride
 		c.stats.Requests++
 		c.stats.Unregistered++
-		if onResponse != nil {
-			onResponse(Response{
-				RequestID: c.nextRequestID, Model: spec.Model, Tenant: spec.Tenant,
-				Success: false, Reason: ReasonUnregistered, CompletedAt: now,
-			})
+		resp := Response{
+			RequestID: c.nextRequestID, Model: spec.Model, Tenant: spec.Tenant,
+			Success: false, Reason: ReasonUnregistered, CompletedAt: now,
+		}
+		if rsp != nil {
+			rsp.Respond(resp)
+		} else if onResponse != nil {
+			onResponse(resp)
 		}
 		return nil
 	}
@@ -519,7 +620,9 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 			margin = m
 		}
 	}
-	r := &Request{
+	r := c.acquireRequest()
+	gen := r.gen
+	*r = Request{
 		ID:          c.nextRequestID,
 		Model:       spec.Model,
 		SLO:         spec.SLO,
@@ -530,9 +633,12 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 		InputBytes:  mi.zoo.InputBytes(),
 		OutputBytes: mi.zoo.OutputBytes(),
 		OnResponse:  onResponse,
+		responder:   rsp,
+		state:       stateQueued,
 		deadline:    now.Add(spec.SLO - margin),
 		execEst:     c.EstimateExec(mi, 1),
 		ctl:         c,
+		gen:         gen,
 	}
 	r.coldStart = len(mi.residentOn) == 0
 	if r.coldStart {
@@ -553,10 +659,14 @@ func (c *Controller) SubmitSpec(spec SubmitSpec, onResponse func(Response)) *Req
 
 	// A client cancel that raced the request's network transit wins
 	// deterministically: the request is answered before the scheduler
-	// could dispatch it.
+	// could dispatch it — and recycled here, so the caller gets nil
+	// rather than a pointer whose generation has already moved on.
 	if spec.preCancelled {
 		c.cancelRequest(mi, r)
-		return r
+		if r.state == stateDone {
+			c.releaseRequest(r)
+		}
+		return nil
 	}
 
 	// Cancel in advance at the last instant a batch-1 warm execution
@@ -584,7 +694,23 @@ func (c *Controller) CancelRequest(r *Request) bool {
 		return false
 	}
 	c.cancelRequest(mi, r)
-	return r.state == stateDone
+	done := r.state == stateDone
+	if done {
+		c.releaseRequest(r)
+	}
+	return done
+}
+
+// CancelRequestGen is CancelRequest for callers holding a possibly-
+// recycled reference: gen must match the generation captured when the
+// request was obtained (Request.Gen). A stale handle's generation can
+// never match a recycled node — releaseRequest bumps it — so the cancel
+// deterministically no-ops instead of hitting the node's new occupant.
+func (c *Controller) CancelRequestGen(r *Request, gen uint64) bool {
+	if r == nil || r.gen != gen {
+		return false
+	}
+	return c.CancelRequest(r)
 }
 
 // cancelRequest fails a still-queued request whose SLO is unmeetable.
@@ -634,7 +760,10 @@ func (c *Controller) respond(r *Request, resp Response) {
 	r.cancelTmr.Stop()
 	r.cancelTmr = simclock.Timer{}
 	c.flight.Responded(r.ID, c.eng.Now().Duration())
-	if r.OnResponse != nil {
+	switch {
+	case r.responder != nil:
+		r.responder.Respond(resp)
+	case r.OnResponse != nil:
 		r.OnResponse(resp)
 	}
 }
@@ -677,13 +806,18 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	c.nextActionID += c.cfg.IDStride
 	startAt := simclock.Max(earliest, c.eng.Now())
 	completion := startAt.Add(est)
-	a := &action.Action{
+	a := c.acquireAction()
+	ids := a.RequestIDs[:0]
+	for _, r := range reqs {
+		ids = append(ids, r.ID)
+	}
+	*a = action.Action{
 		ID:                 c.nextActionID,
 		Type:               action.Infer,
 		GPU:                g.GPU,
 		Model:              mi.name,
 		Batch:              batch,
-		RequestIDs:         requestIDs(reqs),
+		RequestIDs:         ids,
 		Earliest:           earliest,
 		Latest:             latest,
 		ExpectedDuration:   est,
@@ -694,7 +828,7 @@ func (c *Controller) SendInfer(g *GPUMirror, mi *ModelInfo, batch int, reqs []*R
 	g.ExecFreeAt = completion
 	g.inFlightInfers[mi.name]++
 	g.Pages.Touch(mi.name)
-	c.pendingInfers[a.ID] = pendingInfer{g: g, reqs: reqs}
+	c.pendingInfers[a.ID] = pendingInfer{g: g, reqs: reqs, a: a}
 	c.stats.ActionsInfer++
 	c.reindexModel(mi)
 	c.flight.Scheduled(a.RequestIDs, a.ID, g.WorkerID, g.GPU, batch,
@@ -770,14 +904,6 @@ func (c *Controller) SendUnload(g *GPUMirror, mi *ModelInfo) *action.Action {
 	return a
 }
 
-func requestIDs(reqs []*Request) []uint64 {
-	ids := make([]uint64, len(reqs))
-	for i, r := range reqs {
-		ids[i] = r.ID
-	}
-	return ids
-}
-
 // HandleResult ingests one worker result. The cluster layer invokes this
 // when the result arrives at the controller over the network. Results
 // from failed workers are dropped — their requests were already failed
@@ -791,7 +917,15 @@ func (c *Controller) HandleResult(res action.Result) {
 	case action.Load:
 		c.handleLoadResult(g, res)
 	case action.Infer:
-		c.handleInferResult(g, res)
+		// The action node recycles only after the scheduler's OnResult:
+		// res.RequestIDs aliases its backing, and a scheduling pass run
+		// from OnResult may dispatch a fresh INFER into that backing.
+		a := c.handleInferResult(g, res)
+		c.schd.OnResult(res)
+		if a != nil {
+			c.releaseAction(a)
+		}
+		return
 	case action.Unload:
 		// Mirror already updated at send time; a rejection here means
 		// the mirror diverged (counted, should not happen).
@@ -834,8 +968,11 @@ func (c *Controller) handleLoadResult(g *GPUMirror, res action.Result) {
 	c.reindexModel(mi)
 }
 
-func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
-	reqs := c.pendingInfers[res.ActionID].reqs
+// handleInferResult answers the action's requests and returns the
+// action node for recycling (nil when it must be left to the GC).
+func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) *action.Action {
+	p := c.pendingInfers[res.ActionID]
+	reqs := p.reqs
 	delete(c.pendingInfers, res.ActionID)
 	mi := c.models[res.Model]
 	if n := g.inFlightInfers[res.Model]; n <= 1 {
@@ -844,7 +981,7 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 		g.inFlightInfers[res.Model] = n - 1
 	}
 	if mi == nil {
-		return // unregistered mid-flight; requests were already answered
+		return p.a // unregistered mid-flight; requests were already answered
 	}
 	if res.Status.IsSuccess() {
 		c.profile.Observe(predictor.Key{Op: "exec", Model: res.Model, Batch: res.Batch}, res.Duration)
@@ -866,7 +1003,8 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 				Batch: res.Batch, ColdStart: r.coldStart, CompletedAt: c.eng.Now(),
 			})
 		}
-		return
+		c.recycleBatch(reqs)
+		return p.a
 	}
 	// The worker cancelled the action; fail its requests (§4.2: no
 	// best-effort remediation). Requests whose deadline already passed
@@ -888,6 +1026,19 @@ func (c *Controller) handleInferResult(g *GPUMirror, res action.Result) {
 	// new work ahead of them and push them past their own windows — a
 	// self-sustaining reject cascade. A slightly conservative horizon
 	// merely costs an idle gap that elapses on its own.
+	c.recycleBatch(reqs)
+	return p.a
+}
+
+// recycleBatch recycles every request of a fully-ingested INFER result
+// (every entry is terminally answered by now — responded above, or
+// earlier by its deadline timer or FailWorker's claw-back missing this
+// batch) plus the batch slice itself.
+func (c *Controller) recycleBatch(reqs []*Request) {
+	for _, r := range reqs {
+		c.releaseRequest(r)
+	}
+	c.releaseBatch(reqs)
 }
 
 // absTimeError converts predicted/actual instants into the duration pair

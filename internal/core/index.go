@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"time"
 
 	"clockwork/internal/modelzoo"
@@ -160,25 +159,77 @@ type stratEntry struct {
 }
 
 // stratHeap orders entries by (required start, model registration
-// sequence) — deterministic where the seed's map scan was not.
+// sequence) — deterministic where the seed's map scan was not. It is a
+// hand-rolled binary heap rather than container/heap: the stdlib
+// interface passes elements as `any`, which boxes the three-word
+// stratEntry on every Push/Pop — two heap allocations per scheduler
+// decision that this hot path cannot afford.
 type stratHeap []stratEntry
 
-func (h stratHeap) Len() int { return len(h) }
-func (h stratHeap) Less(i, j int) bool {
+func (h stratHeap) less(i, j int) bool {
 	if h[i].key != h[j].key {
 		return h[i].key < h[j].key
 	}
 	return h[i].mi.seq < h[j].mi.seq
 }
-func (h stratHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *stratHeap) Push(x any)   { *h = append(*h, x.(stratEntry)) }
-func (h *stratHeap) Pop() any {
+
+func (h stratHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h stratHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// push adds e, restoring heap order.
+func (h *stratHeap) push(e stratEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// popTop removes the minimum entry (index 0).
+func (h *stratHeap) popTop() {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = stratEntry{}
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = stratEntry{}
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+}
+
+// fixTop restores order after the top entry's key was rewritten in
+// place (lazy re-keying only ever grows keys, so sift down suffices).
+func (h stratHeap) fixTop() { h.down(0) }
+
+// reinit heapifies after a bulk rewrite (compaction).
+func (h stratHeap) reinit() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // pushStrategy adds a fresh entry, compacting the heap first when stale
@@ -189,7 +240,7 @@ func (g *GPUMirror) pushStrategy(e stratEntry) {
 	if len(g.stratQ) > 64 && len(g.stratQ) > 4*(len(g.withWork)+1) {
 		g.compactStrategies()
 	}
-	heap.Push(&g.stratQ, e)
+	g.stratQ.push(e)
 }
 
 // compactStrategies rebuilds the heap keeping only current-stamp entries.
@@ -204,7 +255,7 @@ func (g *GPUMirror) compactStrategies() {
 		g.stratQ[i] = stratEntry{}
 	}
 	g.stratQ = live
-	heap.Init(&g.stratQ)
+	g.stratQ.reinit()
 }
 
 // ---- ordered model index (treap) ----
@@ -219,6 +270,10 @@ type modelTreap struct {
 	// desc iterates keys high-to-low when true (demand order); low-to-
 	// high otherwise (deadline order).
 	desc bool
+	// free recycles detached nodes: every demand change re-keys a model
+	// (remove + insert), which would otherwise allocate a node per
+	// queue mutation.
+	free []*treapNode
 }
 
 type treapNode struct {
@@ -247,20 +302,27 @@ func (t *modelTreap) update(mi *ModelInfo, slot **treapNode, newKey int64) {
 		}
 		t.remove(slot)
 	}
-	n := &treapNode{mi: mi, key: newKey, prio: splitmix64(mi.seq)}
+	var n *treapNode
+	if m := len(t.free); m > 0 {
+		n, t.free = t.free[m-1], t.free[:m-1]
+		*n = treapNode{mi: mi, key: newKey, prio: splitmix64(mi.seq)}
+	} else {
+		n = &treapNode{mi: mi, key: newKey, prio: splitmix64(mi.seq)}
+	}
 	*slot = n
 	t.root = t.insert(t.root, n)
 	t.size++
 }
 
-// remove detaches the node held in *slot, if any.
+// remove detaches the node held in *slot, if any, and recycles it.
 func (t *modelTreap) remove(slot **treapNode) {
 	n := *slot
 	if n == nil {
 		return
 	}
 	t.root = t.delete(t.root, n)
-	n.l, n.r = nil, nil
+	*n = treapNode{}
+	t.free = append(t.free, n)
 	*slot = nil
 	t.size--
 }

@@ -59,9 +59,14 @@ type Metrics struct {
 
 	// perModel and perTenant break client-observed outcomes down for
 	// the control plane's ModelStats/TenantStats (lazily allocated on
-	// a model/tenant's first response).
+	// a model/tenant's first response). lastModel/lastMC memoise the
+	// most recent lookup: responses arrive in model bursts (batches
+	// complete together), so the common record() skips the map hash.
+	// Entries are never deleted, so the memoised pointer cannot dangle.
 	perModel  map[string]*modelCounters
 	perTenant map[string]*tenantCounters
+	lastModel string
+	lastMC    *modelCounters
 
 	// perShard bins client-observed outcomes by the scheduler shard
 	// that owned the model at completion — the balance signal the
@@ -288,10 +293,14 @@ func (m *Metrics) record(now simclock.Time, shard int, resp Response, latency, s
 	sb := m.shardBin(shard)
 	sb.Requests++
 
-	mc := m.perModel[resp.Model]
-	if mc == nil {
-		mc = &modelCounters{latency: telemetry.NewHistogram()}
-		m.perModel[resp.Model] = mc
+	mc := m.lastMC
+	if mc == nil || resp.Model != m.lastModel {
+		mc = m.perModel[resp.Model]
+		if mc == nil {
+			mc = &modelCounters{latency: telemetry.NewHistogram()}
+			m.perModel[resp.Model] = mc
+		}
+		m.lastModel, m.lastMC = resp.Model, mc
 	}
 	mc.requests++
 	mc.latency.Observe(latency)

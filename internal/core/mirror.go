@@ -139,6 +139,9 @@ type workerHandle struct {
 type ModelInfo struct {
 	name string
 	zoo  *modelzoo.Model
+	// owner is the controller this entry is registered with (rebound on
+	// migration adoption); PopBatch draws batch slices from its pool.
+	owner *Controller
 
 	// queue holds queued requests ordered by (priority desc, arrival):
 	// with the default priority 0 everywhere this is plain FIFO
@@ -298,12 +301,19 @@ func (mi *ModelInfo) CapBatch(n int) int {
 }
 
 // PopBatch removes and returns up to n queued requests in queue order.
-// Schedulers call this immediately before SendInfer.
+// Schedulers call this immediately before SendInfer. The returned slice
+// is pool-backed: it is reclaimed (with its requests) when the batch's
+// action resolves, so callers must not retain it past SendInfer.
 func (mi *ModelInfo) PopBatch(n int) []*Request {
 	if n > len(mi.queue) {
 		n = len(mi.queue)
 	}
-	out := make([]*Request, n)
+	var out []*Request
+	if mi.owner != nil {
+		out = mi.owner.acquireBatch(n)
+	} else {
+		out = make([]*Request, n) // standalone ModelInfo (tests)
+	}
 	copy(out, mi.queue[:n])
 	for _, r := range out {
 		if r.MaxBatch > 0 {

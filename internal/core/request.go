@@ -117,8 +117,11 @@ type Request struct {
 	OutputBytes int64
 
 	// OnResponse is invoked exactly once with the outcome. The cluster
-	// layer wires it back over the client's network link.
+	// layer wires it back over the client's network link. responder is
+	// the allocation-free alternative: a preallocated receiver checked
+	// first (see Responder).
 	OnResponse func(Response)
+	responder  Responder
 
 	// ---- scheduler-internal state ----
 	state     requestState
@@ -130,7 +133,24 @@ type Request struct {
 	// serve Run below.
 	ctl       *Controller
 	cancelTmr simclock.Timer
+	// gen guards recycling (mirroring simclock.Timer's generation
+	// guard): releaseRequest bumps it, so a stale external reference —
+	// a client Handle that outlived its request — can prove staleness
+	// with CancelRequestGen instead of acting on the recycled successor.
+	gen uint64
 }
+
+// Responder receives a request's terminal outcome — the closure-free
+// alternative to OnResponse. A pooled per-submission struct implements
+// it, so the response path carries no per-request func value.
+type Responder interface {
+	Respond(Response)
+}
+
+// Gen returns the request's recycling generation. Capture it alongside
+// the pointer when retaining a request past the submitting call; pass
+// both to CancelRequestGen.
+func (r *Request) Gen() uint64 { return r.gen }
 
 // Run implements simclock.Runner: the request doubles as its own timer
 // event. While queued the armed timer is the §4.1 admission cancel
@@ -148,8 +168,16 @@ func (r *Request) Run() {
 	case stateQueued:
 		if mi, ok := c.models[r.Model]; ok {
 			c.cancelRequest(mi, r)
+			if r.state == stateDone {
+				// The timer was the last engine-side reference; client
+				// handles hold a generation and survive the recycle.
+				c.releaseRequest(r)
+			}
 		}
 	case stateInFlight:
+		// Answered at the deadline, but the in-flight action still lists
+		// this request in pendingInfers — its result (or FailWorker)
+		// recycles it.
 		c.timeoutRequest(r)
 	}
 }
@@ -159,8 +187,12 @@ func (r *Request) Deadline() simclock.Time { return r.deadline }
 
 type requestState uint8
 
+// stateFree is deliberately the zero value: a recycled Request in the
+// free list (or a freshly zeroed one) matches no lifecycle check, so a
+// stale CancelRequest on a recycled object is a structural no-op.
 const (
-	stateQueued requestState = iota
+	stateFree requestState = iota
+	stateQueued
 	stateInFlight
 	stateDone
 )

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"time"
 
 	"clockwork/internal/action"
@@ -25,12 +24,25 @@ import (
 //     so workers never burn cycles on fruitless work.
 type ClockworkScheduler struct {
 	c     *Controller
-	wakes map[*GPUMirror]*simclock.Timer
+	wakes map[*GPUMirror]*gpuWake
 
 	// LoadSelection switches between Appendix B's priority policy
 	// (default) and the naive ablation policy. Set before first use.
 	LoadSelection LoadPolicy
 }
+
+// gpuWake is the preallocated re-evaluation event for one GPU: armWake
+// re-arms its embedded timer in Runner form, so the scheduler's wake
+// path — hit on every pass over a saturated executor — never allocates
+// a timer closure. One gpuWake lives per (scheduler, GPU) pair.
+type gpuWake struct {
+	s   *ClockworkScheduler
+	g   *GPUMirror
+	tmr simclock.Timer
+}
+
+// Run implements simclock.Runner.
+func (w *gpuWake) Run() { w.s.scheduleGPU(w.g) }
 
 // LoadPolicy selects how the scheduler chooses LOAD targets.
 type LoadPolicy uint8
@@ -44,7 +56,7 @@ const (
 
 // NewClockworkScheduler returns the paper's scheduler.
 func NewClockworkScheduler() *ClockworkScheduler {
-	return &ClockworkScheduler{wakes: make(map[*GPUMirror]*simclock.Timer)}
+	return &ClockworkScheduler{wakes: make(map[*GPUMirror]*gpuWake)}
 }
 
 // Attach implements Scheduler.
@@ -138,17 +150,17 @@ func (s *ClockworkScheduler) bestStrategy(g *GPUMirror, now simclock.Time) (best
 		e := g.stratQ[0]
 		mi := e.mi
 		if e.stamp != mi.stamp || !g.withWork[mi] {
-			heap.Pop(&g.stratQ)
+			g.stratQ.popTop()
 			continue
 		}
 		b, start, rs := s.c.inferCandidate(g, mi, now)
 		if b == 0 {
-			heap.Pop(&g.stratQ) // infeasible until the next stamp bump
+			g.stratQ.popTop() // infeasible until the next stamp bump
 			continue
 		}
 		if rs != e.key {
 			g.stratQ[0].key = rs
-			heap.Fix(&g.stratQ, 0)
+			g.stratQ.fixTop()
 			continue
 		}
 		return mi, b, start, rs
@@ -436,11 +448,14 @@ func (s *ClockworkScheduler) armWake(g *GPUMirror) {
 	if wake <= now {
 		wake = now.Add(time.Nanosecond)
 	}
-	if old := s.wakes[g]; old != nil {
-		if old.Pending() && old.When() <= wake {
-			return // an adequate wake is already armed
-		}
-		old.Stop()
+	w := s.wakes[g]
+	if w == nil {
+		w = &gpuWake{s: s, g: g}
+		s.wakes[g] = w
 	}
-	s.wakes[g] = s.c.Engine().At(wake, func() { s.scheduleGPU(g) })
+	if w.tmr.Pending() && w.tmr.When() <= wake {
+		return // an adequate wake is already armed
+	}
+	w.tmr.Stop()
+	w.tmr = s.c.Engine().AtRun(wake, w)
 }

@@ -24,9 +24,14 @@ type Device struct {
 	stream *rng.Stream
 	noise  Noise
 
-	// Serial-mode state.
-	busy      bool
-	busyUntil simclock.Time
+	// Serial-mode state. Exactly one execution is ever in flight, so
+	// the Runner-form completion context (ExecRun) lives right here and
+	// the Device itself is the completion event's Runner.
+	busy       bool
+	busyUntil  simclock.Time
+	execStart  simclock.Time
+	execActual time.Duration
+	execR      ExecRunner
 
 	// Concurrent-mode state.
 	active       []*kernel
@@ -106,6 +111,43 @@ func (d *Device) Exec(base time.Duration, done func(actual time.Duration)) {
 		}
 		done(actual)
 	})
+}
+
+// ExecRunner receives a Runner-form serial-exec completion — the
+// allocation-free alternative to Exec's done closure.
+type ExecRunner interface {
+	ExecDone(actual time.Duration)
+}
+
+// ExecRun is Exec in allocation-free Runner form. Serial mode only:
+// the single in-flight execution's context is held in Device fields.
+func (d *Device) ExecRun(base time.Duration, r ExecRunner) {
+	if d.busy {
+		panic("gpu: overlapping serial Exec — worker must run one EXEC at a time")
+	}
+	if base <= 0 {
+		panic(fmt.Sprintf("gpu: non-positive exec duration %v", base))
+	}
+	actual := d.noise.Apply(base, d.stream) + d.pendingDisturbance
+	d.pendingDisturbance = 0
+	start := d.eng.Now()
+	d.busy = true
+	d.busyUntil = start.Add(actual)
+	d.execStart, d.execActual, d.execR = start, actual, r
+	d.eng.ScheduleRun(d.busyUntil, d)
+}
+
+// Run completes the in-flight serial execution — the Device is its own
+// completion event for ExecRun. Not for external use.
+func (d *Device) Run() {
+	r := d.execR
+	d.execR = nil
+	d.busy = false
+	d.execCount++
+	if d.OnBusy != nil {
+		d.OnBusy(d.execStart, d.eng.Now())
+	}
+	r.ExecDone(d.execActual)
 }
 
 // Submit runs one kernel in concurrent mode. Any number of kernels may be

@@ -32,6 +32,8 @@ type Link struct {
 
 	// OnBusy, if set, receives every busy span (for PCIe utilisation).
 	OnBusy func(from, to simclock.Time)
+
+	freeEv []*transferEv // recycled Runner-form completion nodes
 }
 
 // DefaultBandwidth is the effective PCIe bandwidth implied by Table 1
@@ -90,6 +92,59 @@ func (l *Link) Transfer(base time.Duration, done func(start, end simclock.Time, 
 // TransferBytes enqueues a transfer priced by size.
 func (l *Link) TransferBytes(n int64, done func(start, end simclock.Time, actual time.Duration)) {
 	l.Transfer(l.DurationForBytes(n), done)
+}
+
+// TransferRunner receives a Runner-form transfer completion — the
+// allocation-free alternative to Transfer's done closure.
+type TransferRunner interface {
+	TransferDone(start, end simclock.Time, actual time.Duration)
+}
+
+// transferEv is one queued transfer's completion event. Several may be
+// in flight on a FIFO link at once, so the nodes pool per link rather
+// than living in Link fields. Engine-confined: no locks.
+type transferEv struct {
+	l      *Link
+	start  simclock.Time
+	end    simclock.Time
+	actual time.Duration
+	r      TransferRunner
+}
+
+func (t *transferEv) Run() {
+	l, start, end, actual, r := t.l, t.start, t.end, t.actual, t.r
+	t.r = nil
+	l.freeEv = append(l.freeEv, t)
+	if l.OnBusy != nil {
+		l.OnBusy(start, end)
+	}
+	r.TransferDone(start, end, actual)
+}
+
+// TransferRun is Transfer in allocation-free Runner form: the completion
+// event node is recycled through the link's free list.
+func (l *Link) TransferRun(base time.Duration, r TransferRunner) {
+	if base <= 0 {
+		panic(fmt.Sprintf("gpu: non-positive transfer duration %v", base))
+	}
+	actual := l.noise.Apply(base, l.stream)
+	start := simclock.Max(l.eng.Now(), l.busyUntil)
+	end := start.Add(actual)
+	l.busyUntil = end
+	l.count++
+	var t *transferEv
+	if n := len(l.freeEv); n > 0 {
+		t, l.freeEv = l.freeEv[n-1], l.freeEv[:n-1]
+	} else {
+		t = &transferEv{l: l}
+	}
+	t.start, t.end, t.actual, t.r = start, end, actual, r
+	l.eng.ScheduleRun(end, t)
+}
+
+// TransferBytesRun is TransferBytes in Runner form.
+func (l *Link) TransferBytesRun(n int64, r TransferRunner) {
+	l.TransferRun(l.DurationForBytes(n), r)
 }
 
 // QueueDelay returns how long a transfer submitted now would wait before

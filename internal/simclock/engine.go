@@ -78,6 +78,14 @@ type Runner interface {
 	Run()
 }
 
+// Aborter is the closure-free counterpart of an injection's abort hook:
+// when a live driver stops before a staged Runner reaches its engine,
+// Abort is called instead of Run (see RealtimeDriver.InjectRunOrAbort).
+// A pooled per-request struct typically implements both.
+type Aborter interface {
+	Abort()
+}
+
 type event struct {
 	at        Time
 	seq       uint64

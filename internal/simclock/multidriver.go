@@ -80,6 +80,7 @@ type shardPacer struct {
 
 	mu      sync.Mutex // guards pending and closed, never held during Step
 	pending []pendingInjection
+	spare   []pendingInjection // drained buffer, swapped back by takePending
 	closed  bool
 	wake    chan struct{}
 
@@ -87,14 +88,18 @@ type shardPacer struct {
 	parked atomic.Bool  // blocked, caught up to the wall: deemed wall-current
 }
 
-// pendingInjection is one staged cross-goroutine event. at <= the
+// pendingInjection is one staged cross-goroutine event, in closure form
+// (fn/abort) or the allocation-free Runner form (r/ab). at <= the
 // engine's current instant (including the zero Time) means "as soon as
-// possible". abort, if non-nil, runs when the driver stops before fn
-// could reach the engine; exactly one of fn/abort ever runs.
+// possible". abort (or ab.Abort), if set, runs when the driver stops
+// before the work could reach the engine; exactly one of run/abort ever
+// happens.
 type pendingInjection struct {
 	at    Time
 	fn    func()
+	r     Runner
 	abort func()
+	ab    Aborter
 }
 
 // NewMultiDriver wraps engines, one pacer each. speed is the shared
@@ -232,6 +237,20 @@ func (m *MultiDriver) InjectOrAbort(shard int, fn, abort func()) {
 	}
 }
 
+// InjectRun is Inject in the allocation-free Runner form (see
+// RealtimeDriver.InjectRun).
+func (m *MultiDriver) InjectRun(shard int, r Runner) bool {
+	return m.shards[shard].inject(pendingInjection{r: r})
+}
+
+// InjectRunOrAbort is InjectOrAbort in Runner form: exactly one of
+// r.Run() or ab.Abort() happens. r and ab may be the same object.
+func (m *MultiDriver) InjectRunOrAbort(shard int, r Runner, ab Aborter) {
+	if !m.shards[shard].inject(pendingInjection{r: r, ab: ab}) {
+		ab.Abort()
+	}
+}
+
 // Handoff schedules fn onto shard's engine at virtual instant at (or
 // the engine's current instant, whichever is later) — the cross-shard
 // delivery primitive. The sending shard stamps at = its own now plus
@@ -308,11 +327,16 @@ func (p *shardPacer) inject(inj pendingInjection) bool {
 	return true
 }
 
+// takePending transfers the staged injections, preserving inject order.
+// The two staging buffers ping-pong (see RealtimeDriver.takePending):
+// only run's goroutine consumes the returned slice, and it finishes
+// before calling takePending again.
 func (p *shardPacer) takePending() []pendingInjection {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	pend := p.pending
-	p.pending = nil
+	p.pending = p.spare[:0]
+	p.spare = pend
 	return pend
 }
 
@@ -323,7 +347,10 @@ func (p *shardPacer) close() {
 	p.pending = nil
 	p.mu.Unlock()
 	for _, inj := range dropped {
-		if inj.abort != nil {
+		switch {
+		case inj.ab != nil:
+			inj.ab.Abort()
+		case inj.abort != nil:
 			inj.abort()
 		}
 	}
@@ -361,12 +388,18 @@ func (p *shardPacer) run(stop <-chan struct{}) {
 			p.eng.RunUntil(target)
 			p.publish()
 		}
-		for _, inj := range p.takePending() {
-			at := inj.at
+		pend := p.takePending()
+		for i := range pend {
+			at := pend[i].at
 			if at < p.eng.Now() {
 				at = p.eng.Now()
 			}
-			p.eng.Schedule(at, inj.fn)
+			if pend[i].r != nil {
+				p.eng.ScheduleRun(at, pend[i].r)
+			} else {
+				p.eng.Schedule(at, pend[i].fn)
+			}
+			pend[i] = pendingInjection{} // buffer is recycled; drop refs
 		}
 		next := p.eng.NextEventAt()
 

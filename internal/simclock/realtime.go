@@ -21,6 +21,7 @@ type RealtimeDriver struct {
 
 	mu      sync.Mutex // guards pending and closed, never held during Step
 	pending []pendingFn
+	spare   []pendingFn // drained buffer, swapped back in by takePending
 	closed  bool
 	wake    chan struct{}
 
@@ -33,13 +34,17 @@ type RealtimeDriver struct {
 	originSet     bool
 }
 
-// pendingFn is one staged injection. abort, if non-nil, is called when
-// the driver stops before fn could reach the engine — the hook callers
-// holding resources against fn's execution (admission slots, pooled
-// buffers) use to reclaim them. Exactly one of fn/abort ever runs.
+// pendingFn is one staged injection, in either closure form (fn/abort)
+// or the allocation-free Runner form (r/ab). abort (or ab.Abort), if
+// set, is called when the driver stops before the work could reach the
+// engine — the hook callers holding resources against its execution
+// (admission slots, pooled buffers) use to reclaim them. Exactly one of
+// run/abort ever happens.
 type pendingFn struct {
 	fn    func()
+	r     Runner
 	abort func()
+	ab    Aborter
 }
 
 // NewRealtimeDriver wraps eng. speed scales virtual time against wall
@@ -59,7 +64,7 @@ func NewRealtimeDriver(eng *Engine, speed float64) *RealtimeDriver {
 // fn will never run, so a caller holding resources against fn's
 // execution (admission slots, pooled buffers) must reclaim them itself.
 func (d *RealtimeDriver) Inject(fn func()) bool {
-	return d.inject(fn, nil)
+	return d.inject(pendingFn{fn: fn})
 }
 
 // InjectOrAbort is Inject with a guaranteed disposition: fn runs on the
@@ -69,18 +74,35 @@ func (d *RealtimeDriver) Inject(fn func()) bool {
 // runs; Inject's boolean cannot make that promise, because a stop can
 // race the staged closure out of existence after Inject returned true.
 func (d *RealtimeDriver) InjectOrAbort(fn, abort func()) {
-	if !d.inject(fn, abort) {
+	if !d.inject(pendingFn{fn: fn, abort: abort}) {
 		abort()
 	}
 }
 
-func (d *RealtimeDriver) inject(fn, abort func()) bool {
+// InjectRun is Inject in the allocation-free Runner form: r.Run()
+// executes on the engine goroutine at its then-current instant. The
+// staging buffer is recycled, so a pooled Runner makes the whole
+// injection path allocation-free in steady state.
+func (d *RealtimeDriver) InjectRun(r Runner) bool {
+	return d.inject(pendingFn{r: r})
+}
+
+// InjectRunOrAbort is InjectOrAbort in Runner form: exactly one of
+// r.Run() (on the engine) or ab.Abort() (on the caller or the stopping
+// driver) happens. r and ab may be the same object.
+func (d *RealtimeDriver) InjectRunOrAbort(r Runner, ab Aborter) {
+	if !d.inject(pendingFn{r: r, ab: ab}) {
+		ab.Abort()
+	}
+}
+
+func (d *RealtimeDriver) inject(p pendingFn) bool {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return false
 	}
-	d.pending = append(d.pending, pendingFn{fn: fn, abort: abort})
+	d.pending = append(d.pending, p)
 	d.mu.Unlock()
 	select {
 	case d.wake <- struct{}{}:
@@ -90,11 +112,16 @@ func (d *RealtimeDriver) inject(fn, abort func()) bool {
 }
 
 // takePending transfers the staged injections, preserving Inject order.
+// The two staging buffers ping-pong: the drained one returned here is
+// handed back as the next append target, so steady-state injection does
+// not grow or reallocate either slice. Only Run's goroutine consumes
+// the returned slice, and it finishes before calling takePending again.
 func (d *RealtimeDriver) takePending() []pendingFn {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p := d.pending
-	d.pending = nil
+	d.pending = d.spare[:0]
+	d.spare = p
 	return p
 }
 
@@ -129,8 +156,14 @@ func (d *RealtimeDriver) Run(stop <-chan struct{}) {
 		if d.eng.NextEventAt() > wv && wv > d.eng.Now() {
 			d.eng.RunUntil(wv)
 		}
-		for _, p := range d.takePending() {
-			d.eng.Schedule(d.eng.Now(), p.fn)
+		pend := d.takePending()
+		for i := range pend {
+			if pend[i].r != nil {
+				d.eng.ScheduleRun(d.eng.Now(), pend[i].r)
+			} else {
+				d.eng.Schedule(d.eng.Now(), pend[i].fn)
+			}
+			pend[i] = pendingFn{} // the buffer is recycled; drop refs now
 		}
 		next := d.eng.NextEventAt()
 
@@ -184,7 +217,10 @@ func (d *RealtimeDriver) close() {
 	// that posted an abort hook get told, so no resource staked on an
 	// injected closure can leak across a stop.
 	for _, p := range dropped {
-		if p.abort != nil {
+		switch {
+		case p.ab != nil:
+			p.ab.Abort()
+		case p.abort != nil:
 			p.abort()
 		}
 	}

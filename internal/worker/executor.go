@@ -15,11 +15,15 @@ type executor struct {
 	name string
 	pq   actionHeap
 	busy bool
-	wake *simclock.Timer
+	wake simclock.Timer
 
 	// start begins executing a; it must eventually call done exactly
 	// once, at which point the executor proceeds to the next action.
 	start func(a *action.Action, done func())
+	// done is the one preallocated completion hook passed to every
+	// start call — per-action closures here would put an allocation on
+	// every EXEC.
+	done func()
 	// reject disposes of an action whose window closed before it
 	// could begin.
 	reject func(a *action.Action)
@@ -27,8 +31,17 @@ type executor struct {
 
 func newExecutor(eng *simclock.Engine, name string,
 	start func(*action.Action, func()), reject func(*action.Action)) *executor {
-	return &executor{eng: eng, name: name, start: start, reject: reject}
+	x := &executor{eng: eng, name: name, start: start, reject: reject}
+	x.done = func() {
+		x.busy = false
+		x.maybeStart()
+	}
+	return x
 }
+
+// Run re-evaluates the schedule when the wake timer fires — the
+// executor is its own closure-free wake event.
+func (x *executor) Run() { x.maybeStart() }
 
 // enqueue adds an action and re-evaluates the schedule.
 func (x *executor) enqueue(a *action.Action) {
@@ -52,11 +65,9 @@ func (x *executor) maybeStart() {
 		if now < next.Earliest {
 			// Sleep until the window opens; a newly enqueued
 			// earlier action re-evaluates via enqueue().
-			if x.wake == nil || !x.wake.Pending() || x.wake.When() > next.Earliest {
-				if x.wake != nil {
-					x.wake.Stop()
-				}
-				x.wake = x.eng.At(next.Earliest, x.maybeStart)
+			if !x.wake.Pending() || x.wake.When() > next.Earliest {
+				x.wake.Stop()
+				x.wake = x.eng.AtRun(next.Earliest, x)
 			}
 			return
 		}
@@ -68,10 +79,7 @@ func (x *executor) maybeStart() {
 			continue
 		}
 		x.busy = true
-		x.start(a, func() {
-			x.busy = false
-			x.maybeStart()
-		})
+		x.start(a, x.done)
 		return
 	}
 }

@@ -2,7 +2,6 @@ package worker
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"clockwork/internal/action"
@@ -80,6 +79,7 @@ type Worker struct {
 	OnResult func(action.Result)
 
 	inferStates map[uint64]*inferState
+	freeStates  []*inferState // recycled inferState nodes (engine-confined)
 	stats       Stats
 	failed      bool
 }
@@ -308,42 +308,93 @@ func (w *Worker) runUnload(g *GPU, a *action.Action) {
 
 // ---- INFER: INPUT / EXEC / OUTPUT ----
 
-// inferState tracks the asynchronous INPUT stage of one INFER action.
+// inferState carries one INFER action across its asynchronous stages
+// (INPUT copy, EXEC, OUTPUT copy) as a single pooled receiver: it is
+// the gpu.TransferRunner for both copies and the gpu.ExecRunner for
+// the kernel, so the whole pipeline schedules without a closure. States
+// recycle through a per-worker free list (engine-confined, no locks);
+// release happens only when no stage still holds a reference — on
+// OUTPUT completion, or, for an action rejected while its INPUT copy
+// was in flight, when that copy lands.
 type inferState struct {
-	ioBytes   int64
-	inputDone bool
-	// execWaiting, when non-nil, resumes a window-approved EXEC that is
-	// stalled on the input transfer.
-	execWaiting func()
-	rejected    bool
+	w       *Worker
+	g       *GPU
+	a       *action.Action
+	done    func() // executor slot release (preallocated per executor)
+	ioBytes int64
+
+	inputDone    bool
+	inputPending bool // INPUT copy in flight; gates recycling on reject
+	waiting      bool // window-approved EXEC stalled on the INPUT copy
+	rejected     bool
+	output       bool // OUTPUT copy in flight (distinguishes TransferDone calls)
+
+	execStart  simclock.Time
+	execEnd    simclock.Time
+	execActual time.Duration
+}
+
+func (w *Worker) acquireInferState() *inferState {
+	if n := len(w.freeStates); n > 0 {
+		st := w.freeStates[n-1]
+		w.freeStates = w.freeStates[:n-1]
+		return st
+	}
+	return new(inferState)
+}
+
+func (w *Worker) releaseInferState(st *inferState) {
+	*st = inferState{}
+	w.freeStates = append(w.freeStates, st)
+}
+
+// TransferDone receives both copy completions: the INPUT stage while
+// output is false, the OUTPUT stage after ExecDone flipped it. The two
+// never overlap for one action — input completes before EXEC starts,
+// output starts after it ends.
+func (st *inferState) TransferDone(_, _ simclock.Time, _ time.Duration) {
+	w, g, a := st.w, st.g, st.a
+	if st.output {
+		// OUTPUT landed: release IO, report, recycle.
+		delete(w.inferStates, a.ID)
+		if err := g.IO.Free(st.ioBytes); err != nil {
+			panic(fmt.Sprintf("worker: io free: %v", err))
+		}
+		start, end, actual := st.execStart, st.execEnd, st.execActual
+		w.releaseInferState(st)
+		w.emit(g, a, action.Success, start, end, actual)
+		return
+	}
+	st.inputPending = false
+	if st.rejected {
+		w.releaseInferState(st)
+		return
+	}
+	st.inputDone = true
+	if st.waiting {
+		st.waiting = false
+		w.execNow(st)
+	}
 }
 
 // admitInfer performs the INPUT stage immediately on receipt (§5.2):
 // reserve IO memory, start the input copy, enqueue the EXEC stage.
 func (w *Worker) admitInfer(g *GPU, a *action.Action) {
-	m, ok := w.models[a.Model]
-	if !ok {
+	if _, ok := w.models[a.Model]; !ok {
 		w.rejectAction(g, a, action.RejectedNotLoaded)
 		return
 	}
-	_ = m
-	st := &inferState{ioBytes: a.InputBytes + a.OutputBytes}
-	if err := g.IO.Alloc(st.ioBytes); err != nil {
+	ioBytes := a.InputBytes + a.OutputBytes
+	if err := g.IO.Alloc(ioBytes); err != nil {
 		w.rejectAction(g, a, action.RejectedIO)
 		return
 	}
+	st := w.acquireInferState()
+	st.w, st.g, st.a = w, g, a
+	st.ioBytes = ioBytes
+	st.inputPending = true
 	w.inferStates[a.ID] = st
-	g.InputH2D.TransferBytes(a.InputBytes, func(_, _ simclock.Time, _ time.Duration) {
-		if st.rejected {
-			return
-		}
-		st.inputDone = true
-		if st.execWaiting != nil {
-			resume := st.execWaiting
-			st.execWaiting = nil
-			resume()
-		}
-	})
+	g.InputH2D.TransferBytesRun(a.InputBytes, st)
 	g.inferExec.enqueue(a)
 }
 
@@ -354,6 +405,11 @@ func (w *Worker) rejectInfer(g *GPU, a *action.Action, status action.Status) {
 		delete(w.inferStates, a.ID)
 		if err := g.IO.Free(st.ioBytes); err != nil {
 			panic(fmt.Sprintf("worker: io free: %v", err))
+		}
+		if !st.inputPending {
+			// No stage holds a reference any more; with the copy still
+			// in flight, its TransferDone recycles instead.
+			w.releaseInferState(st)
 		}
 	}
 	w.rejectAction(g, a, status)
@@ -368,7 +424,6 @@ func (w *Worker) runExec(g *GPU, a *action.Action, done func()) {
 		done()
 		return
 	}
-	m := w.models[a.Model]
 	if !g.Pages.Has(a.Model) {
 		w.rejectInfer(g, a, action.RejectedNotLoaded)
 		done()
@@ -384,59 +439,62 @@ func (w *Worker) runExec(g *GPU, a *action.Action, done func()) {
 		done()
 		return
 	}
+	st.done = done
 	if !st.inputDone {
 		// Stall until the (tiny) input copy lands; the window was
 		// already validated when the executor picked this action.
-		st.execWaiting = func() { w.execNow(g, a, st, m, done) }
+		st.waiting = true
 		return
 	}
-	w.execNow(g, a, st, m, done)
+	w.execNow(st)
 }
 
-func (w *Worker) execNow(g *GPU, a *action.Action, st *inferState, m *modelzoo.Model, done func()) {
+func (w *Worker) execNow(st *inferState) {
+	g, a, done := st.g, st.a, st.done
 	if err := g.Pages.Pin(a.Model); err != nil {
 		w.rejectInfer(g, a, action.RejectedNotLoaded)
 		done()
 		return
 	}
 	if !w.cfg.BestEffort {
-		if err := g.WS.Acquire("infer-" + strconv.FormatUint(a.ID, 10)); err != nil {
-			panic(fmt.Sprintf("worker: workspace: %v (one-at-a-time EXEC violated)", err))
+		if err := g.WS.Acquire("infer"); err != nil {
+			panic(fmt.Sprintf("worker: workspace, action %d: %v (one-at-a-time EXEC violated)", a.ID, err))
 		}
 	}
 	g.Pages.Touch(a.Model)
-	start := w.eng.Now()
-	complete := func(actual time.Duration) {
-		execEnd := w.eng.Now()
-		if !w.cfg.BestEffort {
-			if err := g.WS.Release(); err != nil {
-				panic(fmt.Sprintf("worker: workspace release: %v", err))
-			}
-		}
-		if err := g.Pages.Unpin(a.Model); err != nil {
-			panic(fmt.Sprintf("worker: unpin: %v", err))
-		}
-		// OUTPUT stage: copy results back, then release IO and report.
-		g.D2H.TransferBytes(a.OutputBytes, func(_, _ simclock.Time, _ time.Duration) {
-			delete(w.inferStates, a.ID)
-			if err := g.IO.Free(st.ioBytes); err != nil {
-				panic(fmt.Sprintf("worker: io free: %v", err))
-			}
-			w.emit(g, a, action.Success, start, execEnd, actual)
-		})
-	}
+	st.execStart = w.eng.Now()
+	m := w.models[a.Model]
 	if w.cfg.BestEffort {
 		// Baseline mode: hand the kernel to the hardware scheduler and
 		// immediately accept the next action — the thread-pool design
-		// whose tail behaviour Fig 2b quantifies.
-		g.Dev.Submit(m.ExecLatency(a.Batch), complete)
+		// whose tail behaviour Fig 2b quantifies. ExecDone skips the
+		// slot release for this mode.
+		g.Dev.Submit(m.ExecLatency(a.Batch), st.ExecDone)
 		done()
 		return
 	}
-	g.Dev.Exec(m.ExecLatency(a.Batch), func(actual time.Duration) {
-		complete(actual)
-		// The GPU is free as soon as EXEC ends; OUTPUT overlaps the
-		// next EXEC (§4.4 "steps may coincide").
-		done()
-	})
+	g.Dev.ExecRun(m.ExecLatency(a.Batch), st)
+}
+
+// ExecDone receives the kernel completion: release the workspace and
+// pin, start the OUTPUT copy, and (in serial mode) free the executor —
+// the GPU is free as soon as EXEC ends; OUTPUT overlaps the next EXEC
+// (§4.4 "steps may coincide").
+func (st *inferState) ExecDone(actual time.Duration) {
+	w, g, a := st.w, st.g, st.a
+	st.execEnd = w.eng.Now()
+	st.execActual = actual
+	if !w.cfg.BestEffort {
+		if err := g.WS.Release(); err != nil {
+			panic(fmt.Sprintf("worker: workspace release: %v", err))
+		}
+	}
+	if err := g.Pages.Unpin(a.Model); err != nil {
+		panic(fmt.Sprintf("worker: unpin: %v", err))
+	}
+	st.output = true
+	g.D2H.TransferBytesRun(a.OutputBytes, st)
+	if !w.cfg.BestEffort {
+		st.done()
+	}
 }

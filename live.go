@@ -187,6 +187,27 @@ func (l *Live) InjectOn(shard int, fn func()) bool {
 	return l.drv.Inject(fn)
 }
 
+// InjectRunOn is InjectOn in the allocation-free simclock.Runner form:
+// r.Run() executes on shard's engine goroutine. With a pooled Runner
+// the whole injection path is allocation-free in steady state.
+func (l *Live) InjectRunOn(shard int, r simclock.Runner) bool {
+	if l.multi != nil {
+		return l.multi.InjectRun(shard, r)
+	}
+	return l.drv.InjectRun(r)
+}
+
+// InjectRunOrAbortOn is InjectOrAbortOn in Runner form: exactly one of
+// r.Run() (engine-side) or ab.Abort() runs. r and ab may be the same
+// pooled object.
+func (l *Live) InjectRunOrAbortOn(shard int, r simclock.Runner, ab simclock.Aborter) {
+	if l.multi != nil {
+		l.multi.InjectRunOrAbort(shard, r, ab)
+		return
+	}
+	l.drv.InjectRunOrAbort(r, ab)
+}
+
 // InjectOrAbortOn is InjectOn with a guaranteed-exactly-once outcome:
 // either fn runs on the shard's engine goroutine, or abort runs (on the
 // caller's or the driver's goroutine) because the driver stopped before
@@ -256,33 +277,57 @@ func (l *Live) Do(fn func()) error {
 		}
 		return nil
 	}
-	ran := make(chan struct{})
-	if !l.drv.Inject(func() {
-		fn()
-		close(ran)
-	}) {
+	c := doPool.Get().(*doCall)
+	c.fn = fn
+	if !l.drv.InjectRun(c) {
 		// The driver has already stopped: fn can never run. Without this
 		// check the select below still returns ErrLiveStopped (l.done is
-		// closed), but only after allocating and racing the channels —
-		// and a future refactor of that select could silently turn the
-		// dropped injection into a hang. Fail fast at the source.
+		// closed), but only after racing the channels — and a future
+		// refactor of that select could silently turn the dropped
+		// injection into a hang. Fail fast at the source.
+		c.fn = nil
+		doPool.Put(c)
 		return ErrLiveStopped
 	}
 	select {
-	case <-ran:
+	case <-c.ran:
+		c.fn = nil
+		doPool.Put(c)
 		return nil
 	case <-l.done:
 		// The driver exited; the injected event may still be queued but
 		// will never execute. Re-check once: fn may have run in the
-		// driver's final steps.
+		// driver's final steps (the driver goroutine finished before
+		// l.done closed, so a sent token is visible here).
 		select {
-		case <-ran:
+		case <-c.ran:
+			c.fn = nil
+			doPool.Put(c)
 			return nil
 		default:
+			// The staged call was dropped without running; it may still
+			// be referenced by the driver's buffers, so let the GC have
+			// it rather than recycling a possibly-reachable object.
 			return ErrLiveStopped
 		}
 	}
 }
+
+// doCall is Do's pooled rendezvous: a reusable Runner whose token
+// channel replaces a per-call make(chan)+close pair. The channel has
+// capacity 1 and is drained on every successful Do before the object
+// returns to the pool, so a recycled doCall always starts empty.
+type doCall struct {
+	fn  func()
+	ran chan struct{} // cap 1; Run sends exactly one token
+}
+
+func (c *doCall) Run() {
+	c.fn()
+	c.ran <- struct{}{}
+}
+
+var doPool = sync.Pool{New: func() any { return &doCall{ran: make(chan struct{}, 1)} }}
 
 // Stop halts the wall-clock driver(s) and waits for the goroutines to
 // exit. Pending virtual events (in-flight requests, timers) are left in

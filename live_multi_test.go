@@ -45,7 +45,7 @@ func TestMultiLiveSubmitAllShards(t *testing.T) {
 		t.Fatal("EnginePerShard system did not start a multi-engine driver")
 	}
 
-	handles := make(chan *clockwork.Handle, models*perModel)
+	handles := make(chan clockwork.Handle, models*perModel)
 	for i := 0; i < models; i++ {
 		model := fmt.Sprintf("m%d", i)
 		shard, ok := sys.OwnerShard(model)
@@ -57,7 +57,7 @@ func TestMultiLiveSubmitAllShards(t *testing.T) {
 				h, err := sys.SubmitRequestOn(shard, clockwork.Request{Model: model, SLO: time.Second}, nil)
 				if err != nil {
 					t.Errorf("SubmitRequestOn(%d, %s): %v", shard, model, err)
-					handles <- nil
+					handles <- clockwork.Handle{}
 					return
 				}
 				handles <- h
@@ -73,7 +73,7 @@ func TestMultiLiveSubmitAllShards(t *testing.T) {
 	for i := 0; i < models*perModel; i++ {
 		select {
 		case h := <-handles:
-			if h == nil {
+			if h == (clockwork.Handle{}) {
 				continue
 			}
 			res, err := h.Wait(ctx)
@@ -117,12 +117,12 @@ func TestMultiLiveStaleShardForwards(t *testing.T) {
 	}
 	wrong := 1 - shard
 
-	hc := make(chan *clockwork.Handle, 1)
+	hc := make(chan clockwork.Handle, 1)
 	if !live.InjectOn(wrong, func() {
 		h, err := sys.SubmitRequestOn(wrong, clockwork.Request{Model: "m0", SLO: time.Second}, nil)
 		if err != nil {
 			t.Errorf("SubmitRequestOn(wrong shard): %v", err)
-			hc <- nil
+			hc <- clockwork.Handle{}
 			return
 		}
 		hc <- h
@@ -132,7 +132,7 @@ func TestMultiLiveStaleShardForwards(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
 	h := <-hc
-	if h == nil {
+	if h == (clockwork.Handle{}) {
 		t.FailNow()
 	}
 	res, err := h.Wait(ctx)

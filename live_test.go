@@ -30,7 +30,7 @@ func newLiveSystem(t *testing.T, speed float64) (*clockwork.System, *clockwork.L
 func TestLiveHandleWait(t *testing.T) {
 	sys, live := newLiveSystem(t, 1000)
 
-	var h *clockwork.Handle
+	var h clockwork.Handle
 	var err error
 	if doErr := live.Do(func() {
 		h, err = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: time.Second}, nil)
@@ -62,7 +62,7 @@ func TestLiveHandleWait(t *testing.T) {
 func TestLiveHandleWaitCtxCancel(t *testing.T) {
 	sys, live := newLiveSystem(t, 1) // real time: the request outlives the ctx
 
-	var h *clockwork.Handle
+	var h clockwork.Handle
 	var err error
 	if doErr := live.Do(func() {
 		h, err = sys.SubmitRequest(clockwork.Request{Model: "m", SLO: 2 * time.Second}, nil)
@@ -93,7 +93,7 @@ func TestLiveOnResult(t *testing.T) {
 	var mu sync.Mutex
 	got := make([]clockwork.Result, 0, 2)
 	fromCallback := make(chan clockwork.Result, 1)
-	var h *clockwork.Handle
+	var h clockwork.Handle
 	var err error
 	if doErr := live.Do(func() {
 		h, err = sys.SubmitRequest(clockwork.Request{

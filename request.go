@@ -2,6 +2,9 @@ package clockwork
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"clockwork/internal/core"
@@ -96,23 +99,64 @@ type Result struct {
 	ColdStart bool
 }
 
+// ErrHandleReleased is returned by Handle.Wait on a handle that was
+// released (or never initialised): the underlying slot may already
+// belong to another request, so there is nothing to wait for.
+var ErrHandleReleased = errors.New("clockwork: handle released")
+
 // Handle tracks one submitted request from the client side. In
 // simulation mode, inspect or cancel between Run calls. In live mode
 // (see System.StartLive), Done, Outcome, ID and Wait are safe from any
 // goroutine; Cancel must run on the engine goroutine (via Live.Do).
+//
+// Handle is a small value: copy it freely, there is no per-handle
+// allocation. The underlying slot recycles through a pool when Release
+// is called; the captured generation makes every method on a stale copy
+// (one that outlived its Release) a deterministic no-op instead of an
+// accidental observation of the slot's next occupant. The zero Handle
+// is valid and behaves like a released one.
 type Handle struct {
 	h *core.Handle
+	// gen is the slot's generation when this handle was minted; a
+	// mismatch later proves the slot was recycled.
+	gen uint64
+}
+
+// valid reports whether the handle still refers to its own request.
+func (h Handle) valid() bool { return h.h != nil && h.h.Gen() == h.gen }
+
+// Release returns the handle's underlying slot to the pool. Call it
+// when no goroutine will use this handle (or any copy of it) again —
+// after Wait has returned, typically. Releasing a zero or already-
+// released handle is a no-op; methods on surviving copies become
+// deterministic no-ops.
+func (h Handle) Release() {
+	if h.valid() {
+		h.h.Release()
+	}
 }
 
 // ID returns the controller-assigned request ID (0 while the request is
-// still in transit to the controller).
-func (h *Handle) ID() uint64 { return h.h.ID() }
+// still in transit to the controller, or after Release).
+func (h Handle) ID() uint64 {
+	if !h.valid() {
+		return 0
+	}
+	return h.h.ID()
+}
 
-// Done reports whether the request has reached a final outcome.
-func (h *Handle) Done() bool { return h.h.Done() }
+// Done reports whether the request has reached a final outcome (false
+// after Release).
+func (h Handle) Done() bool {
+	return h.valid() && h.h.Done()
+}
 
-// Outcome returns the final result; ok is false while pending.
-func (h *Handle) Outcome() (Result, bool) {
+// Outcome returns the final result; ok is false while pending and after
+// Release.
+func (h Handle) Outcome() (Result, bool) {
+	if !h.valid() {
+		return Result{}, false
+	}
 	resp, latency, done := h.h.Outcome()
 	if !done {
 		return Result{}, false
@@ -125,8 +169,12 @@ func (h *Handle) Outcome() (Result, bool) {
 // busy-polling Done. Something else must be advancing the clock: a
 // RealtimeDriver started with System.StartLive, or (in tests) another
 // goroutine calling RunFor. A ctx cancellation abandons the wait, not
-// the request: the request still runs to its normal outcome.
-func (h *Handle) Wait(ctx context.Context) (Result, error) {
+// the request: the request still runs to its normal outcome. Waiting on
+// a released (or zero) handle returns ErrHandleReleased immediately.
+func (h Handle) Wait(ctx context.Context) (Result, error) {
+	if !h.valid() {
+		return Result{}, ErrHandleReleased
+	}
 	resp, latency, err := h.h.Wait(ctx)
 	if err != nil {
 		return Result{}, err
@@ -138,8 +186,10 @@ func (h *Handle) Wait(ctx context.Context) (Result, error) {
 // still-queued requests cancel immediately, in-transit requests cancel
 // deterministically on arrival at the controller. Only a request
 // already handed to a worker cannot be clawed back (§4.2); then Cancel
-// reports false and the request runs to its normal outcome.
-func (h *Handle) Cancel() bool { return h.h.Cancel() }
+// reports false, and so does a cancel on a released handle.
+func (h Handle) Cancel() bool {
+	return h.valid() && h.h.Cancel()
+}
 
 func resultOf(r core.Response, l time.Duration) Result {
 	return Result{
@@ -159,13 +209,13 @@ func resultOf(r core.Response, l time.Duration) Result {
 // when the response reaches the client. Unknown models and malformed
 // specs are typed errors (ErrUnknownModel, ErrInvalidRequest) — the
 // submission path no longer silently accepts unregistered names.
-func (s *System) SubmitRequest(req Request, onDone func(Result)) (*Handle, error) {
+func (s *System) SubmitRequest(req Request, onDone func(Result)) (Handle, error) {
 	spec, cb := req.lower(onDone)
 	h, err := s.cluster.SubmitRequest(spec, cb)
 	if err != nil {
-		return nil, err
+		return Handle{}, err
 	}
-	return &Handle{h: h}, nil
+	return Handle{h: h, gen: h.Gen()}, nil
 }
 
 // SubmitRequestOn is SubmitRequest entered on a specific shard — the
@@ -177,13 +227,71 @@ func (s *System) SubmitRequest(req Request, onDone func(Result)) (*Handle, error
 // hop. Out-of-range shards are ErrNoSuchShard. On a single-engine
 // system it is identical to SubmitRequest with the shard ignored (all
 // shards live on one engine).
-func (s *System) SubmitRequestOn(shard int, req Request, onDone func(Result)) (*Handle, error) {
+func (s *System) SubmitRequestOn(shard int, req Request, onDone func(Result)) (Handle, error) {
 	spec, cb := req.lower(onDone)
 	h, err := s.cluster.SubmitRequestOn(shard, spec, cb)
 	if err != nil {
-		return nil, err
+		return Handle{}, err
 	}
-	return &Handle{h: h}, nil
+	return Handle{h: h, gen: h.Gen()}, nil
+}
+
+// ResultSink receives a request's final outcome — the interface-shaped
+// alternative to the OnResult callback for callers that pool their
+// per-request state. OnResult runs on the engine goroutine, exactly once
+// per accepted submission; keep it short and non-blocking.
+type ResultSink interface {
+	OnResult(Result)
+}
+
+// sinkLower adapts a public ResultSink to the core response interface.
+// It recycles itself through a pool the moment the response fires, so
+// the sink path stays allocation-free in steady state.
+type sinkLower struct {
+	sink ResultSink
+}
+
+var sinkLowerPool = sync.Pool{New: func() any { return new(sinkLower) }}
+
+func (b *sinkLower) OnResponse(r core.Response, l time.Duration) {
+	sink := b.sink
+	b.sink = nil
+	sinkLowerPool.Put(b)
+	sink.OnResult(resultOf(r, l))
+}
+
+// SubmitRequestSink is the fire-and-forget submission path: no Handle is
+// minted (nothing to Wait on, nothing to Release), and the outcome is
+// delivered to sink's OnResult exactly once. shard has SubmitRequestOn's
+// semantics (ignored on a single-engine system; the caller must be on
+// that shard's engine goroutine otherwise). req.OnResult must be nil —
+// the sink IS the completion callback (ErrInvalidRequest otherwise).
+// This is the serving path for callers that keep per-request state in
+// pools of their own: nothing is allocated per request on the way down.
+func (s *System) SubmitRequestSink(shard int, req Request, sink ResultSink) error {
+	if req.OnResult != nil {
+		return fmt.Errorf("%w: SubmitRequestSink with both OnResult and a sink", ErrInvalidRequest)
+	}
+	spec := core.SubmitSpec{
+		Model:    req.Model,
+		SLO:      req.SLO,
+		Priority: req.Priority,
+		Tenant:   req.Tenant,
+		MaxBatch: req.MaxBatchSize,
+	}
+	var cs core.ResponseSink
+	var b *sinkLower
+	if sink != nil {
+		b = sinkLowerPool.Get().(*sinkLower)
+		b.sink = sink
+		cs = b
+	}
+	err := s.cluster.SubmitRequestSinkOn(shard, spec, cs)
+	if err != nil && b != nil {
+		b.sink = nil
+		sinkLowerPool.Put(b)
+	}
+	return err
 }
 
 // lower translates the public request into the core submission spec and

@@ -128,6 +128,11 @@ type Server struct {
 	maxInFlight int
 	stopCtx     context.Context
 	stopCancel  context.CancelFunc
+	// pendingCalls tracks HTTP infer calls between admission and
+	// release, so Shutdown can release the slots of requests whose
+	// outcome will never come once the clock freezes — the bulk
+	// replacement for a per-request context.AfterFunc watcher.
+	pendingCalls map[*inferCall]struct{}
 
 	// Stream-transport state: open listeners (closed first on
 	// Shutdown, so no new connections arrive during the drain) and
@@ -179,15 +184,16 @@ func New(sys *clockwork.System, opts Options) *Server {
 		sys.AttachFlightRecorder(flight)
 	}
 	s := &Server{
-		sys:         sys,
-		live:        sys.StartLive(opts.Speed),
-		mux:         http.NewServeMux(),
-		rec:         opts.Journal,
-		flight:      flight,
-		started:     time.Now(),
-		maxInFlight: opts.MaxInFlight,
-		streamLns:   make(map[net.Listener]struct{}),
-		streamConns: make(map[*streamConn]struct{}),
+		sys:          sys,
+		live:         sys.StartLive(opts.Speed),
+		mux:          http.NewServeMux(),
+		rec:          opts.Journal,
+		flight:       flight,
+		started:      time.Now(),
+		maxInFlight:  opts.MaxInFlight,
+		streamLns:    make(map[net.Listener]struct{}),
+		streamConns:  make(map[*streamConn]struct{}),
+		pendingCalls: make(map[*inferCall]struct{}),
 	}
 	if s.rec != nil && s.live.MultiEngine() {
 		panic("serve: Options.Journal requires a single-engine system (journaling and replay are single-engine features)")
@@ -359,10 +365,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = ctx.Err()
 		}
 	}
-	// Release any handler still blocked in Handle.Wait (only possible
+	// Release any handler still blocked on its outcome (only possible
 	// when the drain deadline expired) before freezing the clock, so no
-	// goroutine is stranded waiting on an engine that will never tick.
+	// goroutine is stranded waiting on an engine that will never tick —
+	// and release those requests' admission slots, which their engine-
+	// side completion will now never release.
 	s.stopCancel()
+	s.releasePendingCalls()
 	s.live.Stop()
 	// The engine goroutine is gone: no append can race the close. Flush
 	// and fsync the journal tail so the drained state is durable.
@@ -435,6 +444,33 @@ func (s *Server) release() {
 	s.inflight.Done()
 }
 
+// releaseCall is release plus deregistering the HTTP call from the
+// shutdown bulk-release set, in the same critical section.
+func (s *Server) releaseCall(c *inferCall) {
+	s.mu.Lock()
+	delete(s.pendingCalls, c)
+	s.inflightN--
+	s.mu.Unlock()
+	s.inflight.Done()
+}
+
+// releasePendingCalls releases the admission slot of every HTTP infer
+// call still awaiting its outcome — Shutdown's replacement for the
+// per-request stopCtx watcher, run immediately before the clock
+// freezes (those outcomes will never come). The per-call CAS absorbs a
+// racing completion.
+func (s *Server) releasePendingCalls() {
+	s.mu.Lock()
+	pending := make([]*inferCall, 0, len(s.pendingCalls))
+	for c := range s.pendingCalls {
+		pending = append(pending, c)
+	}
+	s.mu.Unlock()
+	for _, c := range pending {
+		c.rel()
+	}
+}
+
 // inflightLow reports whether the server is near-idle — the gate for
 // the stream transport's inline-write latency fast path (under burst,
 // responses take the coalescing writer instead).
@@ -447,17 +483,142 @@ func (s *Server) inflightLow() bool {
 
 // ---- handlers ----
 
-// inferScratch is the per-request scratch of the HTTP infer path —
-// request/response structs and the JSON decode buffer — pooled so the
-// legacy transport also sheds its per-request allocations.
-type inferScratch struct {
+// inferCall is the pooled per-request state of the HTTP infer path: the
+// decoded request, the response being built, the JSON decode buffer,
+// the two engine-crossing channels, and closures prebuilt once per
+// struct — so the steady-state handler borrows one object instead of
+// allocating scratch, channels, and a closure per hook on every
+// request. The struct is shared between the handler goroutine and the
+// engine turn; a two-party refcount returns it to the pool when the
+// last holder lets go (a handler abandoned by its client can return
+// while the engine-side outcome is still on its way).
+type inferCall struct {
+	s    *Server
 	req  InferRequest
 	resp InferResponse
 	body []byte
+
+	shard int
+	corr  uint64 // journal correlation (meaningful only when recording)
+
+	// outc carries the submission outcome (accepted / refused /
+	// driver stopped) from the injected closure back to the handler;
+	// resc carries the engine-side result. Both are reusable
+	// capacity-1 channels, drained on the struct's way back to the pool.
+	outc chan submitOutcome
+	resc chan clockwork.Result
+
+	// relFlag makes the admission-slot release idempotent across its
+	// three racers (outcome, early error path, shutdown's bulk
+	// release); reset on acquire. It replaces the old per-request
+	// sync.Once.
+	relFlag atomic.Uint32
+	// refs counts the parties still holding the struct: the handler,
+	// plus the engine side between a successful submit and OnResult.
+	refs atomic.Int32
+
+	// Method-value closures built once per struct (pool New), handed to
+	// InjectOrAbortOn without per-request allocs.
+	runF, abortF func()
 }
 
-var inferScratchPool = sync.Pool{
-	New: func() any { return &inferScratch{body: make([]byte, 0, 512)} },
+var inferCallPool = sync.Pool{New: func() any {
+	c := &inferCall{
+		body: make([]byte, 0, 512),
+		outc: make(chan submitOutcome, 1),
+		resc: make(chan clockwork.Result, 1),
+	}
+	c.runF, c.abortF = c.run, c.abort
+	return c
+}}
+
+func acquireInferCall(s *Server) *inferCall {
+	c := inferCallPool.Get().(*inferCall)
+	c.s = s
+	c.relFlag.Store(0)
+	c.refs.Store(1)
+	s.mu.Lock()
+	s.pendingCalls[c] = struct{}{}
+	s.mu.Unlock()
+	return c
+}
+
+// unref drops one holder's reference; the last one out resets the
+// struct and returns it to the pool.
+func (c *inferCall) unref() {
+	if c.refs.Add(-1) != 0 {
+		return
+	}
+	// Drain tokens an abandoned wait left behind (client-gone path).
+	select {
+	case <-c.outc:
+	default:
+	}
+	select {
+	case <-c.resc:
+	default:
+	}
+	c.s = nil
+	c.req, c.resp = InferRequest{}, InferResponse{}
+	c.body = c.body[:0]
+	c.shard, c.corr = 0, 0
+	inferCallPool.Put(c)
+}
+
+// rel releases the admission slot, exactly once per request; whichever
+// of its racers (outcome, early error, shutdown's bulk release) fires
+// first wins.
+func (c *inferCall) rel() {
+	if c.relFlag.CompareAndSwap(0, 1) {
+		c.s.releaseCall(c)
+	}
+}
+
+// run executes on the engine turn: journal the injection, submit
+// through the fire-and-forget sink path (no Handle, no completion
+// closure — this struct IS the sink), report the submission outcome
+// back to the handler.
+func (c *inferCall) run() {
+	s := c.s
+	if s.rec != nil {
+		c.corr = s.rec.Infer(c.shard, c.req.Model, c.req.SLO, c.req.Priority, c.req.Tenant, c.req.MaxBatchSize)
+	}
+	c.refs.Add(1) // the engine side holds the struct until OnResult
+	err := s.sys.SubmitRequestSink(c.shard, clockwork.Request{
+		Model:        c.req.Model,
+		SLO:          c.req.SLO,
+		Priority:     c.req.Priority,
+		Tenant:       c.req.Tenant,
+		MaxBatchSize: c.req.MaxBatchSize,
+	}, c)
+	if err != nil {
+		c.refs.Add(-1) // refused: no OnResult will come
+	}
+	if s.rec != nil {
+		s.rec.Commit()
+	}
+	c.outc <- submitOutcome{err: err}
+}
+
+// abort is the InjectOrAbortOn refusal path (driver stopped).
+func (c *inferCall) abort() {
+	c.outc <- submitOutcome{stopped: true}
+}
+
+// OnResult implements clockwork.ResultSink — the engine-side
+// completion. The outcome travels back through resc rather than
+// Handle.Wait: the journal's ack record is appended here, strictly
+// before the send, and the receiving handler flushes the journal before
+// responding — so the ack reaches the kernel before the response can
+// reach the wire, the no-acked-request-lost invariant.
+func (c *inferCall) OnResult(res clockwork.Result) {
+	s := c.s
+	if s.rec != nil {
+		s.rec.Ack(c.corr, res)
+	}
+	c.resc <- res
+	c.rel()
+	c.unref()
 }
 
 // ownerShard picks the engine shard to inject a submission on: the
@@ -474,10 +635,9 @@ func (s *Server) ownerShard(model string) int {
 	return 0
 }
 
-// submitOutcome carries the engine-side result of a submission back to
-// the handler goroutine.
+// submitOutcome carries the engine-side submission outcome back to the
+// handler goroutine.
 type submitOutcome struct {
-	h       *clockwork.Handle
 	err     error
 	stopped bool
 }
@@ -497,90 +657,44 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// not until this handler returns: a handler abandoned by its client
 	// leaves a request still occupying the engine, and the in-flight
 	// window must keep counting it or MaxInFlight stops bounding
-	// engine-side work (the whole point of admission). rel is idempotent;
-	// whichever of these fires first wins:
+	// engine-side work (the whole point of admission). c.rel is
+	// idempotent; whichever of these fires first wins:
 	//   - the request's OnResult (the normal case, on the engine turn),
 	//   - an early error path below (never submitted),
-	//   - stopCtx (the driver is freezing; the outcome will never come).
-	var relOnce sync.Once
-	rel := func() { relOnce.Do(s.release) }
-	stopRel := context.AfterFunc(s.stopCtx, rel)
-
-	sc := inferScratchPool.Get().(*inferScratch)
-	defer inferScratchPool.Put(sc)
-	sc.req = InferRequest{}
-	if !decodeJSONBuf(w, r, &sc.req, &sc.body) {
-		stopRel()
-		rel()
+	//   - Shutdown's bulk release (the driver is freezing; the outcome
+	//     will never come).
+	c := acquireInferCall(s)
+	defer c.unref()
+	if !decodeJSONBuf(w, r, &c.req, &c.body) {
+		c.rel()
 		return
 	}
-	req := &sc.req
 
 	// Inject on the shard owning the model (shard 0 on a single-engine
 	// system): a routed injection wakes one engine instead of
 	// barrier-stopping all of them, and InjectOrAbortOn guarantees
-	// exactly one of fn/abort runs even across a racing Stop, so the
+	// exactly one of run/abort fires even across a racing Stop, so the
 	// outcome channel always receives.
-	shard := s.ownerShard(req.Model)
-	outc := make(chan submitOutcome, 1)
-	// The outcome travels back through resc (filled by OnResult on the
-	// engine turn) rather than Handle.Wait: the journal's ack record is
-	// appended inside the same callback, strictly before the send, and
-	// the receiving handler flushes the journal before responding — so
-	// the ack reaches the kernel before the response can reach the wire,
-	// the no-acked-request-lost invariant.
-	resc := make(chan clockwork.Result, 1)
-	s.live.InjectOrAbortOn(shard, func() {
-		var corr uint64
-		if s.rec != nil {
-			corr = s.rec.Infer(shard, req.Model, req.SLO, req.Priority, req.Tenant, req.MaxBatchSize)
-		}
-		_, err := s.sys.SubmitRequestOn(shard, clockwork.Request{
-			Model:        req.Model,
-			SLO:          req.SLO,
-			Priority:     req.Priority,
-			Tenant:       req.Tenant,
-			MaxBatchSize: req.MaxBatchSize,
-			OnResult: func(res clockwork.Result) {
-				if s.rec != nil {
-					s.rec.Ack(corr, res)
-				}
-				resc <- res
-				stopRel()
-				rel()
-			},
-		}, nil)
-		if s.rec != nil {
-			s.rec.Commit()
-		}
-		outc <- submitOutcome{err: err}
-	}, func() {
-		outc <- submitOutcome{stopped: true}
-	})
-	out := <-outc
+	c.shard = s.ownerShard(c.req.Model)
+	s.live.InjectOrAbortOn(c.shard, c.runF, c.abortF)
+	out := <-c.outc
 	if out.stopped {
-		stopRel()
-		rel()
+		c.rel()
 		writeError(w, http.StatusServiceUnavailable, "stopped", clockwork.ErrLiveStopped)
 		return
 	}
 	if out.err != nil {
-		stopRel()
-		rel()
+		c.rel()
 		writeAPIError(w, out.err)
 		return
 	}
 	// Wait until completion, the client disconnecting, or the server
 	// giving up its drain (stopCtx) — the last so no handler is left
 	// waiting on a clock that stopped ticking.
-	waitCtx, cancel := context.WithCancel(r.Context())
-	defer cancel()
-	stopWatch := context.AfterFunc(s.stopCtx, cancel)
-	defer stopWatch()
 	var res clockwork.Result
 	var werr error
 	select {
-	case res = <-resc:
+	case res = <-c.resc:
 		// Group-commit barrier: the ack record buffered in OnResult must
 		// be in the kernel before this handler puts the response on the
 		// wire. One handler's flush covers every ack buffered since the
@@ -588,8 +702,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		if s.rec != nil {
 			s.rec.Flush()
 		}
-	case <-waitCtx.Done():
-		werr = waitCtx.Err()
+	case <-r.Context().Done():
+		werr = r.Context().Err()
+	case <-s.stopCtx.Done():
+		werr = s.stopCtx.Err()
 	}
 	if werr != nil {
 		// Distinguish the two release causes: the server abandoning its
@@ -605,7 +721,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, code, werr)
 		return
 	}
-	sc.resp = InferResponse{
+	c.resp = InferResponse{
 		RequestID:  res.RequestID,
 		Model:      res.Model,
 		Tenant:     res.Tenant,
@@ -616,7 +732,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Batch:      res.Batch,
 		ColdStart:  res.ColdStart,
 	}
-	writeJSON(w, &sc.resp)
+	writeJSON(w, &c.resp)
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {

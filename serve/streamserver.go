@@ -225,9 +225,67 @@ func (s *Server) injectBatch(sc *streamConn, batch *[]streamInfer) {
 	}
 }
 
+// streamSink is one in-flight request's completion state on the stream
+// path: a pooled clockwork.ResultSink that replaces the per-request
+// OnResult closure (and the discarded client Handle) of the old
+// submission form. OnResult runs exactly once on the engine turn, so the
+// sink can return itself to the pool there.
+type streamSink struct {
+	s     *Server
+	sc    *streamConn
+	corr  uint64 // client correlation ID
+	jcorr uint64 // journal correlation (0 when not recording)
+}
+
+var streamSinkPool = sync.Pool{New: func() any { return new(streamSink) }}
+
+// OnResult implements clockwork.ResultSink: queue the result frame,
+// release the admission slot, recycle the sink.
+func (k *streamSink) OnResult(res clockwork.Result) {
+	s, sc, corr, jcorr := k.s, k.sc, k.corr, k.jcorr
+	*k = streamSink{}
+	streamSinkPool.Put(k)
+	if s.rec != nil {
+		// Buffer the ack before the result frame can be queued toward
+		// the client. The group-commit flush happens on whichever
+		// goroutine externalizes the frame: the writer loop before its
+		// socket write, or this engine turn before sendInline below.
+		s.rec.Ack(jcorr, res)
+	}
+	m := outFramePool.Get().(*outFrame)
+	m.typ = stream.TypeResult
+	m.result = stream.ResultFrame{
+		Corr:      corr,
+		RequestID: res.RequestID,
+		Latency:   int64(res.Latency),
+		Batch:     uint64(res.Batch),
+		Reason:    uint8(res.Reason),
+		Success:   res.Success,
+		ColdStart: res.ColdStart,
+	}
+	// At low occupancy, skip the writer-goroutine handoff and write from
+	// the engine turn itself: one context switch fewer on the latency
+	// path, while bursts (high occupancy) still coalesce through the
+	// writer.
+	if s.inflightLow() {
+		// Barrier before the engine-turn socket write; an inline miss
+		// falls back to the queue, where the writer loop re-barriers
+		// before its own write.
+		if s.rec != nil {
+			s.rec.Flush()
+		}
+		if sc.sendInline(m) {
+			s.release()
+			return
+		}
+	}
+	sc.send(m)
+	s.release()
+}
+
 // injectBatchOn injects one single-shard batch. Each request's
-// completion callback queues a result frame on the connection writer
-// and releases its admission slot — the slot is held until the outcome
+// completion sink queues a result frame on the connection writer and
+// releases its admission slot — the slot is held until the outcome
 // exists, so the in-flight window means what it says even if the
 // connection dies first. A stopped driver runs the abort path instead:
 // every admitted item is answered with a draining error frame and its
@@ -237,7 +295,6 @@ func (s *Server) injectBatchOn(shard int, sc *streamConn, batch *[]streamInfer) 
 	s.live.InjectOrAbortOn(shard, func() {
 		for i := range *batch {
 			it := &(*batch)[i]
-			corr := it.corr
 			// One journal record per request of the coalesced batch, all
 			// stamped with this closure's engine step — replay regroups
 			// them into one injection by that shared stamp. The records
@@ -246,47 +303,12 @@ func (s *Server) injectBatchOn(shard int, sc *streamConn, batch *[]streamInfer) 
 			if s.rec != nil {
 				jcorr = s.rec.Infer(shard, it.req.Model, it.req.SLO, it.req.Priority, it.req.Tenant, it.req.MaxBatchSize)
 			}
-			it.req.OnResult = func(res clockwork.Result) {
-				if s.rec != nil {
-					// Buffer the ack before the result frame can be
-					// queued toward the client. The group-commit flush
-					// happens on whichever goroutine externalizes the
-					// frame: the writer loop before its socket write, or
-					// this engine turn before sendInline below.
-					s.rec.Ack(jcorr, res)
-				}
-				m := outFramePool.Get().(*outFrame)
-				m.typ = stream.TypeResult
-				m.result = stream.ResultFrame{
-					Corr:      corr,
-					RequestID: res.RequestID,
-					Latency:   int64(res.Latency),
-					Batch:     uint64(res.Batch),
-					Reason:    uint8(res.Reason),
-					Success:   res.Success,
-					ColdStart: res.ColdStart,
-				}
-				// At low occupancy, skip the writer-goroutine handoff and
-				// write from the engine turn itself: one context switch
-				// fewer on the latency path, while bursts (high occupancy)
-				// still coalesce through the writer.
-				if s.inflightLow() {
-					// Barrier before the engine-turn socket write; an
-					// inline miss falls back to the queue, where the
-					// writer loop re-barriers before its own write.
-					if s.rec != nil {
-						s.rec.Flush()
-					}
-					if sc.sendInline(m) {
-						s.release()
-						return
-					}
-				}
-				sc.send(m)
-				s.release()
-			}
-			if _, err := s.sys.SubmitRequestOn(shard, it.req, nil); err != nil {
-				sc.sendError(corr, errToWire(err), err.Error())
+			k := streamSinkPool.Get().(*streamSink)
+			k.s, k.sc, k.corr, k.jcorr = s, sc, it.corr, jcorr
+			if err := s.sys.SubmitRequestSink(shard, it.req, k); err != nil {
+				*k = streamSink{}
+				streamSinkPool.Put(k)
+				sc.sendError(it.corr, errToWire(err), err.Error())
 				s.release()
 			}
 		}

@@ -327,10 +327,12 @@ func (s *ShardRecorder) ExecDone(ids []uint64, actionID uint64, model string, wo
 			t.ExecStart, t.ExecEnd = start, end
 		}
 	}
+	// Copy the ID list: the caller's slice is the action's backing
+	// array, which the controller recycles for the next dispatch.
 	s.execs.push(ExecSpan{
 		ActionID: actionID, Model: model, Shard: s.shard,
 		Worker: worker, GPU: gpu, Batch: batch,
-		Start: start, End: end, Requests: ids,
+		Start: start, End: end, Requests: append([]uint64(nil), ids...),
 	})
 }
 
